@@ -1,0 +1,85 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench prints the same rows/series the corresponding paper table or
+figure reports, and appends machine-readable results to
+``benchmarks/results/<bench>.json``.
+
+Environment knobs:
+
+- ``REPRO_SCALE``: cell-count reduction factor vs the paper's designs
+  (default 400; 100 reproduces the DESIGN.md sizing, but takes longer).
+- ``REPRO_DESIGN_LIMIT``: cap on designs per table (default: all).
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import os
+import time
+
+DEFAULT_SCALE = int(os.environ.get("REPRO_SCALE", "400"))
+DESIGN_LIMIT = int(os.environ.get("REPRO_DESIGN_LIMIT", "0")) or None
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@functools.lru_cache(maxsize=None)
+def _design_cache(name: str, scale: int):
+    from repro.benchgen import load_design
+
+    return load_design(name, scale=scale)
+
+
+def get_design(name: str, scale: int = DEFAULT_SCALE):
+    """A fresh copy of a cached generated design."""
+    return _design_cache(name, scale).clone()
+
+
+def suite_names(table: str) -> list[str]:
+    from repro.benchgen import dac2012_suite, industrial_suite, ispd2005_suite
+
+    suites = {
+        "ispd2005": ispd2005_suite(),
+        "industrial": industrial_suite(),
+        "dac2012": dac2012_suite(),
+    }
+    names = [spec.name for spec in suites[table]]
+    return names[:DESIGN_LIMIT] if DESIGN_LIMIT else names
+
+
+def record(bench: str, payload: dict) -> None:
+    """Append one result row to benchmarks/results/<bench>.json."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{bench}.json")
+    rows = []
+    if os.path.exists(path):
+        with open(path) as handle:
+            rows = json.load(handle)
+    payload = dict(payload)
+    payload["timestamp"] = time.time()
+    payload["scale"] = DEFAULT_SCALE
+    rows.append(payload)
+    with open(path, "w") as handle:
+        json.dump(rows, handle, indent=1)
+
+
+def print_header(title: str, columns: list[str]) -> None:
+    print()
+    print(f"== {title} (1/{DEFAULT_SCALE} of paper sizes) ==")
+    print(" | ".join(f"{c:>12}" for c in columns))
+
+
+def print_row(values: list) -> None:
+    cells = []
+    for v in values:
+        if isinstance(v, float):
+            cells.append(f"{v:>12.3f}")
+        else:
+            cells.append(f"{str(v):>12}")
+    print(" | ".join(cells))
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,67 @@
+"""Fig. 10 — wirelength kernel strategies.
+
+Compares the net-by-net, atomic (Algorithm 1) and merged (Algorithm 2)
+WA wirelength forward+backward implementations per design with float32.
+Expected shape: merged fastest, atomic in between on the scatter-bound
+side, net-by-net slowest (the paper reports merged 3.7x over net-by-net
+and 1.8x over atomic on GPU; on CPU merged is >30% faster than
+net-by-net while atomic is slower than net-by-net).
+"""
+
+import numpy as np
+import pytest
+
+from _support import get_design, print_header, print_row, record, suite_names
+from repro.nn import Parameter
+from repro.ops.wa_wirelength import STRATEGIES, WeightedAverageWirelength
+
+_DESIGNS = suite_names("ispd2005")[:4]
+_TIMINGS: dict[tuple[str, str], float] = {}
+
+
+@pytest.mark.parametrize("design", _DESIGNS)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_fig10_wirelength_kernel(benchmark, design, strategy):
+    db = get_design(design)
+    op = WeightedAverageWirelength(db, gamma=1.0, strategy=strategy,
+                                   dtype=np.float32)
+    pos = Parameter(
+        np.concatenate([db.cell_x, db.cell_y]).astype(np.float32)
+    )
+
+    def forward_backward():
+        pos.zero_grad()
+        op(pos).backward()
+
+    benchmark.pedantic(forward_backward, rounds=5, iterations=1,
+                       warmup_rounds=1)
+    _TIMINGS[(design, strategy)] = benchmark.stats["mean"]
+    record("fig10_wirelength_ops", {
+        "design": design, "strategy": strategy,
+        "mean_seconds": benchmark.stats["mean"],
+    })
+
+
+def test_fig10_summary(benchmark):
+    designs = {d for d, _ in _TIMINGS}
+    if not designs:
+        pytest.skip("kernel timings missing")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print_header(
+        "Fig. 10 analog: WA wirelength fwd+bwd, float32 (seconds)",
+        ["design", "net_by_net", "atomic", "merged", "merged speedup"],
+    )
+    speedups = []
+    for design in sorted(designs):
+        naive = _TIMINGS[(design, "net_by_net")]
+        atomic = _TIMINGS[(design, "atomic")]
+        merged = _TIMINGS[(design, "merged")]
+        speedups.append(naive / merged)
+        print_row([design, naive, atomic, merged, naive / merged])
+    mean = sum(speedups) / len(speedups)
+    print(f"-- merged over net-by-net: {mean:.1f}x (paper GPU: 3.7x)")
+    record("fig10_wirelength_ops", {
+        "design": "__summary__", "merged_speedup": mean,
+    })
+    for design in designs:
+        assert _TIMINGS[(design, "merged")] < _TIMINGS[(design, "net_by_net")]

@@ -1,0 +1,67 @@
+"""Fig. 11 — DCT/IDCT algorithm comparison.
+
+Times the 2N-point FFT, N-point FFT (Algorithm 3) and single 2-D FFT
+(Algorithm 4) implementations of the 2-D DCT and IDCT on square maps,
+float32-sized like the paper (map sizes scaled down with the designs).
+Expected shape: 2-D > N-point > 2N-point.
+"""
+
+import numpy as np
+import pytest
+
+from _support import print_header, print_row, record
+from repro.ops import dct as D
+
+SIZES = (128, 256, 512)
+_TIMINGS: dict[tuple[str, str, int], float] = {}
+
+_DCT_IMPLS = {"2n": "2n", "n": "n", "2d": "2d"}
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("impl", list(_DCT_IMPLS))
+@pytest.mark.parametrize("transform", ["dct", "idct"])
+def test_fig11_transform(benchmark, transform, impl, size):
+    rng = np.random.default_rng(size)
+    x = rng.normal(size=(size, size)).astype(np.float32)
+    fn = D.dct2d if transform == "dct" else D.idct2d
+
+    benchmark.pedantic(lambda: fn(x, impl=impl), rounds=7, iterations=1,
+                       warmup_rounds=2)
+    _TIMINGS[(transform, impl, size)] = benchmark.stats["mean"]
+    record("fig11_dct", {
+        "transform": transform, "impl": impl, "size": size,
+        "mean_seconds": benchmark.stats["mean"],
+    })
+
+
+def test_fig11_summary(benchmark):
+    if not _TIMINGS:
+        pytest.skip("transform timings missing")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for transform in ("dct", "idct"):
+        print_header(
+            f"Fig. 11 analog: 2-D {transform.upper()} (seconds)",
+            ["size", "2n", "n", "2d", "2d speedup"],
+        )
+        for size in SIZES:
+            try:
+                t2n = _TIMINGS[(transform, "2n", size)]
+                tn = _TIMINGS[(transform, "n", size)]
+                t2d = _TIMINGS[(transform, "2d", size)]
+            except KeyError:
+                continue
+            print_row([size, t2n, tn, t2d, t2n / t2d])
+    record("fig11_dct", {"transform": "__summary__"})
+    # shape: both fast algorithms clearly beat the 2N-point baseline.
+    # (On the GPU of the paper the single 2-D FFT also beats the
+    # N-point row-column form because it amortizes kernel launches; on
+    # a single CPU core the one-sided real N-point FFT wins instead —
+    # see EXPERIMENTS.md.)
+    for transform in ("dct", "idct"):
+        for size in SIZES:
+            key2n = (transform, "2n", size)
+            if key2n not in _TIMINGS:
+                continue
+            for impl in ("n", "2d"):
+                assert _TIMINGS[(transform, impl, size)] < _TIMINGS[key2n]

@@ -1,0 +1,65 @@
+"""Fig. 7 — GP runtime across designs, implementations and precisions.
+
+The paper plots GP runtime per ISPD2005/industrial design for RePlAce
+(1..40 threads) and DREAMPlace (CPU/GPU, DAC/TCAD versions, float32/64).
+The analogs here: reference kernels (baseline), vectorized kernels with
+float64, and vectorized with float32.
+"""
+
+import pytest
+
+from _support import get_design, once, print_header, print_row, record, suite_names
+from repro.baseline import ReplacePlacer
+from repro.core import GlobalPlacer, PlacementParams
+
+_CONFIGS = {
+    "reference-f64": None,  # baseline placeholder
+    "vectorized-f64": PlacementParams(dtype="float64"),
+    "vectorized-f32": PlacementParams(dtype="float32"),
+}
+_RESULTS: dict[str, dict[str, float]] = {}
+_DESIGNS = suite_names("ispd2005")[:4]
+
+
+@pytest.mark.parametrize("design", _DESIGNS)
+@pytest.mark.parametrize("config", list(_CONFIGS))
+def test_fig7_gp_runtime(benchmark, design, config):
+    db = get_design(design)
+    if config == "reference-f64":
+        placer = ReplacePlacer(db, PlacementParams(),
+                               timing_mode="extrapolate")
+        result = once(benchmark, lambda: placer.run(detailed=False))
+        gp_time = result.gp_time
+        hpwl = result.hpwl_global
+    else:
+        params = _CONFIGS[config]
+        gp = GlobalPlacer(db, params)
+        result = once(benchmark, gp.place)
+        gp_time = result.runtime
+        hpwl = result.hpwl
+    _RESULTS.setdefault(design, {})[config] = gp_time
+    record("fig7_gp_runtime", {
+        "design": design, "config": config,
+        "gp_seconds": gp_time, "hpwl": hpwl,
+    })
+
+
+def test_fig7_summary(benchmark):
+    complete = {d: r for d, r in _RESULTS.items() if len(r) == 3}
+    if not complete:
+        pytest.skip("runs missing")
+    once(benchmark, lambda: None)
+    print_header("Fig. 7 analog: GP runtime (seconds)",
+                 ["design"] + list(_CONFIGS))
+    f32_speedups = []
+    for design, row in complete.items():
+        print_row([design] + [row[c] for c in _CONFIGS])
+        f32_speedups.append(row["vectorized-f64"] / row["vectorized-f32"])
+    mean32 = sum(f32_speedups) / len(f32_speedups)
+    print(f"-- float32 speedup over float64: {mean32:.2f}x "
+          "(paper: ~1.3-1.4x)")
+    record("fig7_gp_runtime", {
+        "design": "__summary__", "f32_speedup": mean32,
+    })
+    for design, row in complete.items():
+        assert row["vectorized-f64"] < row["reference-f64"]

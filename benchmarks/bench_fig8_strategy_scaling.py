@@ -1,0 +1,69 @@
+"""Fig. 8 — average GP runtime ratios across implementations.
+
+The paper normalizes every configuration (RePlAce 1..40 threads,
+DREAMPlace CPU 1..40 threads, DAC/TCAD GPU versions, float32/64) to the
+TCAD DREAMPlace on V100.  The single-core analogs are kernel-strategy
+configurations, normalized to the best one (merged + stamp + 2-D DCT,
+float64); the sweep exposes the same saturation shape: each step of
+kernel fusion/vectorization buys a diminishing factor.
+"""
+
+import pytest
+
+from _support import get_design, once, print_header, print_row, record
+from repro.core import GlobalPlacer, PlacementParams
+
+# from slowest to fastest, the "thread count / version" axis analog
+_CONFIGS = {
+    "ref-all-naive": dict(wirelength_strategy="net_by_net",
+                          density_strategy="naive", dct_impl="2n"),
+    "atomic-sorted-n": dict(wirelength_strategy="atomic",
+                            density_strategy="sorted", dct_impl="n"),
+    "merged-sorted-n": dict(wirelength_strategy="merged",
+                            density_strategy="sorted", dct_impl="n"),
+    "merged-stamp-2d": dict(wirelength_strategy="merged",
+                            density_strategy="stamp", dct_impl="2d"),
+    "merged-stamp-2d-f32": dict(wirelength_strategy="merged",
+                                density_strategy="stamp", dct_impl="2d",
+                                dtype="float32"),
+}
+_TIMINGS: dict[str, float] = {}
+_DESIGN = "adaptec1"
+_SAMPLE_ITERS = 30
+
+
+@pytest.mark.parametrize("config", list(_CONFIGS))
+def test_fig8_config(benchmark, config):
+    db = get_design(_DESIGN)
+    params = PlacementParams(**_CONFIGS[config])
+    placer = GlobalPlacer(db, params)
+    # fixed iteration count: compare per-iteration kernel cost
+    result = once(benchmark, lambda: placer.place(max_iters=_SAMPLE_ITERS))
+    per_iter = result.runtime / result.iterations
+    _TIMINGS[config] = per_iter
+    record("fig8_strategy_scaling", {
+        "config": config, "per_iteration_seconds": per_iter,
+    })
+
+
+def test_fig8_summary(benchmark):
+    if "merged-stamp-2d" not in _TIMINGS:
+        pytest.skip("config runs missing")
+    once(benchmark, lambda: None)
+    base = _TIMINGS["merged-stamp-2d"]
+    print_header(
+        f"Fig. 8 analog: GP per-iteration ratio on {_DESIGN}, "
+        "normalized to merged-stamp-2d float64",
+        ["config", "ratio"],
+    )
+    for config, seconds in _TIMINGS.items():
+        print_row([config, seconds / base])
+    record("fig8_strategy_scaling", {
+        "config": "__summary__",
+        "ratios": {c: t / base for c, t in _TIMINGS.items()},
+    })
+    # shape: monotone improvement along the fusion/vectorization axis
+    order = list(_CONFIGS)
+    for slower, faster in zip(order[:3], order[1:4]):
+        assert _TIMINGS[slower] >= 0.8 * _TIMINGS[faster]
+    assert _TIMINGS["ref-all-naive"] > 3.0 * base

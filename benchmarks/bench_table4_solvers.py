@@ -1,0 +1,106 @@
+"""Table IV — Nesterov vs native deep-learning solvers (Adam, SGD).
+
+The paper swaps the ePlace Nesterov solver for stock PyTorch optimizers
+with per-design exponential LR decay and reports final HPWL (after DP)
+and GP runtime.  Expected shape: Adam reaches slightly better or equal
+HPWL but needs ~1.8x the GP time; SGD with momentum is ~1.2% worse and
+~1.7x slower.
+"""
+
+import pytest
+
+from _support import get_design, once, print_header, print_row, record, suite_names
+from repro.core import DreamPlacer, PlacementParams
+
+# per-design LR decay, mirroring the "LR Decay" columns of Table IV
+_DECAY = {
+    "adaptec1": (0.995, 0.993),
+    "adaptec2": (0.995, 0.993),
+    "adaptec3": (0.995, 0.993),
+    "adaptec4": (0.995, 0.993),
+    "bigblue1": (0.995, 0.993),
+    "bigblue2": (0.995, 0.993),
+    "bigblue3": (0.997, 0.995),
+    "bigblue4": (0.997, 0.995),
+}
+
+_RESULTS: dict[str, dict] = {}
+
+
+def _solver_params(design: str, solver: str) -> PlacementParams:
+    adam_decay, sgd_decay = _DECAY[design]
+    base = PlacementParams(dtype="float64", detailed_passes=1,
+                           max_global_iters=1500)
+    if solver == "nesterov":
+        return base
+    if solver == "adam":
+        return base.with_overrides(optimizer="adam", learning_rate=0.01,
+                                   lr_decay=adam_decay)
+    return base.with_overrides(optimizer="sgd", learning_rate=0.002,
+                               momentum=0.9, lr_decay=sgd_decay)
+
+
+@pytest.mark.parametrize("design", suite_names("ispd2005"))
+@pytest.mark.parametrize("solver", ["nesterov", "adam", "sgd"])
+def test_table4_cell(benchmark, design, solver):
+    db = get_design(design)
+    params = _solver_params(design, solver)
+    result = once(benchmark, lambda: DreamPlacer(db, params).run())
+    _RESULTS.setdefault(design, {})[solver] = {
+        "hpwl": result.hpwl_final,
+        "gp": result.times.global_place,
+        "iterations": result.iterations,
+        "overflow": result.overflow,
+    }
+    record("table4_solvers", {
+        "design": design, "solver": solver,
+        "hpwl": result.hpwl_final, "gp": result.times.global_place,
+        "iterations": result.iterations, "overflow": result.overflow,
+    })
+
+
+def test_table4_summary(benchmark):
+    complete = {d: r for d, r in _RESULTS.items() if len(r) == 3}
+    if not complete:
+        pytest.skip("per-design cells did not run")
+    once(benchmark, lambda: None)
+    print_header(
+        "Table IV analog: solver comparison, float64",
+        ["design", "nest HPWL", "nest GP", "adam HPWL", "adam GP",
+         "sgd HPWL", "sgd GP"],
+    )
+    ratios = {"adam": {"hpwl": [], "gp": []}, "sgd": {"hpwl": [], "gp": []}}
+    for design, row in complete.items():
+        print_row([
+            design,
+            row["nesterov"]["hpwl"], row["nesterov"]["gp"],
+            row["adam"]["hpwl"], row["adam"]["gp"],
+            row["sgd"]["hpwl"], row["sgd"]["gp"],
+        ])
+        for solver in ("adam", "sgd"):
+            ratios[solver]["hpwl"].append(
+                row[solver]["hpwl"] / row["nesterov"]["hpwl"]
+            )
+            ratios[solver]["gp"].append(
+                row[solver]["gp"] / max(row["nesterov"]["gp"], 1e-9)
+            )
+
+    summary = {}
+    for solver in ("adam", "sgd"):
+        hpwl = sum(ratios[solver]["hpwl"]) / len(ratios[solver]["hpwl"])
+        gp = sum(ratios[solver]["gp"]) / len(ratios[solver]["gp"])
+        summary[solver] = (hpwl, gp)
+        print(f"-- {solver}: HPWL ratio {hpwl:.3f}, GP ratio {gp:.2f}x "
+              f"(paper: {'0.997 / 1.78x' if solver == 'adam' else '1.012 / 1.69x'})")
+    record("table4_solvers", {
+        "design": "__summary__",
+        "adam_hpwl_ratio": summary["adam"][0],
+        "adam_gp_ratio": summary["adam"][1],
+        "sgd_hpwl_ratio": summary["sgd"][0],
+        "sgd_gp_ratio": summary["sgd"][1],
+    })
+    # shape: stock solvers are competitive on quality (the paper's
+    # runtime gap needs designs large enough that line search pays off;
+    # the measured ratios are recorded for EXPERIMENTS.md either way)
+    assert summary["adam"][0] < 1.10
+    assert summary["sgd"][0] < 1.15

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""ISPD2005-style flow: scaled adaptec1 vs the RePlAce-style baseline.
+
+Reproduces one row of Table II interactively: places the adaptec1
+analog with both engines, reports HPWL + per-stage runtime, and
+round-trips the result through the Bookshelf format (the "IO" column).
+
+Run with::
+
+    python examples/ispd2005_flow.py [scale]
+
+``scale`` is the cell-count reduction vs the real adaptec1 (default
+400; 100 gives the DESIGN.md sizing, but runs longer).
+"""
+
+import sys
+import tempfile
+import time
+
+from repro.baseline import ReplacePlacer
+from repro.benchgen import load_design
+from repro.bookshelf import read_bookshelf, write_bookshelf
+from repro.core import DreamPlacer, PlacementParams
+
+
+def main() -> None:
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+    params = PlacementParams(dtype="float64")
+
+    db = load_design("adaptec1", scale=scale)
+    print(f"adaptec1 analog at 1/{scale}: {db}")
+
+    print("\n-- DREAMPlace-style flow (random init, vectorized kernels)")
+    dream = DreamPlacer(db, params).run()
+    print(f"   HPWL {dream.hpwl_final:,.0f}  "
+          f"GP {dream.times.global_place:.2f}s  "
+          f"LG {dream.times.legalize:.2f}s  "
+          f"DP {dream.times.detailed:.2f}s  legal={dream.legality.legal}")
+
+    print("\n-- RePlAce-style baseline (B2B init, reference kernels)")
+    db_base = load_design("adaptec1", scale=scale)
+    base = ReplacePlacer(db_base, params, timing_mode="extrapolate").run()
+    print(f"   HPWL {base.hpwl_final:,.0f}  "
+          f"GP {base.gp_time:.2f}s "
+          f"(IP {base.init_place_time:.2f}s + NL {base.nonlinear_time:.2f}s)  "
+          f"LG {base.times.legalize:.2f}s")
+
+    speedup = base.gp_time / dream.times.global_place
+    quality = base.hpwl_final / dream.hpwl_final
+    print(f"\n   GP speedup {speedup:.1f}x at HPWL ratio {quality:.4f} "
+          "(paper: ~40x at 1.002)")
+
+    print("\n-- Bookshelf round-trip (the IO column)")
+    with tempfile.TemporaryDirectory() as tmp:
+        start = time.perf_counter()
+        aux = write_bookshelf(db, tmp)
+        reloaded = read_bookshelf(aux)
+        io_time = time.perf_counter() - start
+    print(f"   wrote+read {aux.rsplit('/', 1)[-1]} in {io_time:.2f}s; "
+          f"HPWL preserved: "
+          f"{abs(reloaded.hpwl() - db.hpwl()) < 1e-6 * db.hpwl()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: generate a small design, place it, report the metrics.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.benchgen import CircuitSpec, generate
+from repro.core import DreamPlacer, PlacementParams, placement_summary
+
+
+def main() -> None:
+    # 1. Build (or load) a circuit.  repro.bookshelf reads real ISPD
+    #    benchmarks; here we synthesize a 1000-cell design.
+    spec = CircuitSpec(
+        name="quickstart",
+        num_cells=1000,
+        utilization=0.65,
+        macro_area_fraction=0.05,
+        num_macros=4,
+        num_ios=32,
+        seed=42,
+    )
+    db = generate(spec)
+    print(f"design: {db}")
+    print(f"region: {db.region}, utilization {db.utilization:.2f}")
+
+    # 2. Configure the flow.  Defaults follow the paper (WA wirelength,
+    #    electrostatic density, Nesterov with line search).
+    params = PlacementParams(target_density=1.0, seed=1)
+
+    # 3. Run global placement -> legalization -> detailed placement.
+    result = DreamPlacer(db, params).run()
+
+    print(f"\nglobal placement : HPWL {result.hpwl_global:,.0f} "
+          f"(overflow {result.overflow:.3f}, "
+          f"{result.iterations} iterations)")
+    print(f"legalized        : HPWL {result.hpwl_legal:,.0f} "
+          f"(+{100 * (result.hpwl_legal / result.hpwl_global - 1):.2f}%)")
+    print(f"detailed         : HPWL {result.hpwl_final:,.0f} "
+          f"({100 * (result.hpwl_final / result.hpwl_legal - 1):+.2f}%)")
+    print(f"legal            : {result.legality.legal}")
+    print(f"runtime          : GP {result.times.global_place:.2f}s, "
+          f"LG {result.times.legalize:.2f}s, "
+          f"DP {result.times.detailed:.2f}s")
+
+    summary = placement_summary(db)
+    print(f"\nfinal summary    : {summary}")
+
+    # 4. Plot the result (no matplotlib needed).
+    from repro.viz import write_placement_svg
+
+    path = write_placement_svg(db, "quickstart_placement.svg")
+    print(f"placement plot   : {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Swap gradient-descent engines on the same design (Table IV's theme).
+
+The paper's point: once placement is cast as "training", any stock
+deep-learning optimizer drives it.  This example runs Nesterov (the
+ePlace solver), Adam, SGD with momentum, RMSProp, and nonlinear CG on
+one design and compares quality and runtime.
+
+Run with::
+
+    python examples/solver_playground.py
+"""
+
+from repro.benchgen import CircuitSpec, generate
+from repro.core import DreamPlacer, PlacementParams
+
+SOLVERS = {
+    "nesterov": {},
+    "adam": dict(optimizer="adam", learning_rate=0.01, lr_decay=0.995),
+    "sgd": dict(optimizer="sgd", learning_rate=0.002, momentum=0.9,
+                lr_decay=0.993),
+    "rmsprop": dict(optimizer="rmsprop", learning_rate=0.004,
+                    lr_decay=0.995),
+    "cg": dict(optimizer="cg", learning_rate=0.05),
+}
+
+
+def main() -> None:
+    spec = CircuitSpec(name="solvers", num_cells=800, utilization=0.6,
+                       num_ios=32, seed=7)
+
+    print(f"{'solver':>10} | {'HPWL':>12} | {'GP (s)':>8} | "
+          f"{'iters':>6} | {'overflow':>8}")
+    baseline_hpwl = None
+    for name, overrides in SOLVERS.items():
+        db = generate(spec)
+        params = PlacementParams(max_global_iters=1200,
+                                 detailed_passes=1, **overrides)
+        result = DreamPlacer(db, params).run()
+        if baseline_hpwl is None:
+            baseline_hpwl = result.hpwl_final
+        ratio = result.hpwl_final / baseline_hpwl
+        print(f"{name:>10} | {result.hpwl_final:>12,.0f} | "
+              f"{result.times.global_place:>8.2f} | "
+              f"{result.iterations:>6} | {result.overflow:>8.3f} "
+              f"(x{ratio:.3f} vs nesterov)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""RePlAce-style baseline placer.
+
+The paper's speedups are measured against RePlAce (Cheng et al., TCAD
+2019), whose binary is not available offline.  This package implements
+the same ePlace electrostatic algorithm the "conventional" way, so the
+comparison keeps the structure of the paper's:
+
+- bound-to-bound quadratic *initial placement* (the paper measures it at
+  25-30% of RePlAce's GP runtime; DREAMPlace replaces it with random
+  center initialization),
+- reference kernels: per-net wirelength loops, per-cell density loops,
+  row-column 2N-point DCT,
+- a non-windowed legalizer (NTUplace3-style full-row scanning).
+"""
+
+from repro.baseline.b2b import bound2bound_place
+from repro.baseline.replace import ReplacePlacer, ReplaceResult
+
+__all__ = ["bound2bound_place", "ReplacePlacer", "ReplaceResult"]

@@ -1,0 +1,127 @@
+"""Bound-to-bound quadratic initial placement (Spindler's B2B net model).
+
+The classic quadratic placement step RePlAce starts from: every net is
+modeled with edges from each pin to the net's current boundary pins,
+weighted ``2 / ((p-1) * |distance|)`` so the quadratic sum reproduces
+HPWL at the linearization point; the resulting sparse linear system is
+solved per axis, and the model is rebuilt a few times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.netlist.database import PlacementDB
+
+_MIN_DIST = 1e-3
+
+
+def _solve_axis(db: PlacementDB, coords: np.ndarray, offsets: np.ndarray,
+                movable_id: np.ndarray, lo: float, hi: float) -> np.ndarray:
+    """One B2B solve along an axis; returns updated cell coordinates."""
+    num_movable = movable_id.shape[0]
+    mov_slot = np.full(db.num_cells, -1, dtype=np.int64)
+    mov_slot[movable_id] = np.arange(num_movable)
+
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    rhs = np.zeros(num_movable)
+
+    pin_pos = coords[db.pin_cell] + offsets
+
+    def add_edge(pin_i: int, pin_j: int, weight: float) -> None:
+        ci = int(db.pin_cell[pin_i])
+        cj = int(db.pin_cell[pin_j])
+        si = mov_slot[ci]
+        sj = mov_slot[cj]
+        if si < 0 and sj < 0:
+            return
+        delta = float(offsets[pin_i] - offsets[pin_j])
+        if si >= 0 and sj >= 0:
+            rows.extend((si, sj, si, sj))
+            cols.extend((si, sj, sj, si))
+            vals.extend((weight, weight, -weight, -weight))
+            rhs[si] -= weight * delta
+            rhs[sj] += weight * delta
+        elif si >= 0:
+            anchor = float(coords[cj] + offsets[pin_j])
+            rows.append(si)
+            cols.append(si)
+            vals.append(weight)
+            rhs[si] += weight * (anchor - offsets[pin_i])
+        else:
+            anchor = float(coords[ci] + offsets[pin_i])
+            rows.append(sj)
+            cols.append(sj)
+            vals.append(weight)
+            rhs[sj] += weight * (anchor - offsets[pin_j])
+
+    for net in range(db.num_nets):
+        pins = db.net_pins(net)
+        k = pins.shape[0]
+        if k < 2:
+            continue
+        w_net = db.net_weight[net]
+        pos = pin_pos[pins]
+        b = int(pins[np.argmin(pos)])
+        t = int(pins[np.argmax(pos)])
+        if b == t:
+            t = int(pins[1]) if int(pins[0]) == b else int(pins[0])
+        base = 2.0 * w_net / (k - 1)
+        dist = max(abs(float(pin_pos[t] - pin_pos[b])), _MIN_DIST)
+        add_edge(b, t, base / dist)
+        for pin in pins:
+            p = int(pin)
+            if p in (b, t):
+                continue
+            for bound in (b, t):
+                dist = max(abs(float(pin_pos[p] - pin_pos[bound])), _MIN_DIST)
+                add_edge(p, bound, base / dist)
+
+    matrix = sp.csr_matrix(
+        (vals, (rows, cols)), shape=(num_movable, num_movable)
+    )
+    # tiny diagonal regularization keeps disconnected cells solvable
+    matrix = matrix + sp.eye(num_movable, format="csr") * 1e-6
+    center = 0.5 * (lo + hi)
+    rhs = rhs + 1e-6 * center
+    solution, info = spla.cg(matrix, rhs, x0=coords[movable_id],
+                             rtol=1e-6, maxiter=500)
+    if info != 0:
+        solution = spla.spsolve(matrix.tocsc(), rhs)
+    out = coords.copy()
+    out[movable_id] = np.clip(solution, lo, hi)
+    return out
+
+
+def bound2bound_place(db: PlacementDB, iterations: int = 3,
+                      rng: np.random.Generator | None = None
+                      ) -> tuple[np.ndarray, np.ndarray]:
+    """B2B quadratic placement of movable cells; returns (x, y) corners.
+
+    This is wirelength-only (no spreading), producing the heavily
+    overlapped but wirelength-good starting point quadratic placers use.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    region = db.region
+    movable_id = db.movable_index
+    x = db.cell_x.copy()
+    y = db.cell_y.copy()
+    # linearization point: random uniform spread
+    x[movable_id] = rng.uniform(region.xl, region.xh, movable_id.shape[0])
+    y[movable_id] = rng.uniform(region.yl, region.yh, movable_id.shape[0])
+    for _ in range(max(iterations, 1)):
+        x = _solve_axis(db, x, db.pin_offset_x, movable_id,
+                        region.xl, region.xh)
+        y = _solve_axis(db, y, db.pin_offset_y, movable_id,
+                        region.yl, region.yh)
+    # convert from "cell coordinate" to lower-left corner staying inside
+    x[movable_id], y[movable_id] = region.clamp_cells(
+        x[movable_id], y[movable_id],
+        db.cell_width[movable_id], db.cell_height[movable_id],
+    )
+    return x, y

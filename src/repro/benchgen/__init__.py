@@ -1,0 +1,29 @@
+"""Synthetic benchmark circuits.
+
+The paper evaluates on ISPD 2005, DAC 2012 and proprietary industrial
+benchmarks (211k .. 10.5M cells).  Those inputs are not available
+offline, so this package generates deterministic synthetic circuits with
+matching structure — clustered hypergraphs with realistic net-degree
+distributions, fixed macros, peripheral I/O pads and (for the DAC2012
+analogs) routing capacities — at ~100x reduced cell counts, plus suite
+definitions mirroring each table of the paper.
+"""
+
+from repro.benchgen.generator import CircuitSpec, generate
+from repro.benchgen.suites import (
+    dac2012_suite,
+    industrial_suite,
+    ispd2005_suite,
+    load_design,
+    tiny_suite,
+)
+
+__all__ = [
+    "CircuitSpec",
+    "generate",
+    "ispd2005_suite",
+    "industrial_suite",
+    "dac2012_suite",
+    "tiny_suite",
+    "load_design",
+]

@@ -1,0 +1,186 @@
+"""Deterministic synthetic circuit generator.
+
+Produces placement databases with the structural features placers care
+about: a heavy-tailed net degree distribution (most nets 2-4 pins, a few
+large fan-outs), Rent's-rule-style locality (nets connect cells that are
+close in a hierarchical cluster ordering), fixed macro blockages, and
+peripheral I/O pads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.region import PlacementRegion
+from repro.netlist.database import PlacementDB
+from repro.netlist.hypergraph import CellKind, Netlist
+
+
+@dataclass
+class CircuitSpec:
+    """Parameters of a synthetic design."""
+
+    name: str
+    num_cells: int
+    #: nets per movable cell (ISPD2005 designs are close to 1.0)
+    nets_per_cell: float = 1.03
+    #: target placement utilization (movable area / free area)
+    utilization: float = 0.7
+    #: fraction of the region area occupied by fixed macros
+    macro_area_fraction: float = 0.0
+    num_macros: int = 0
+    #: macros placeable by the optimizer (bigblue-style mixed-size mode)
+    movable_macros: bool = False
+    num_ios: int = 64
+    #: fraction of net pins drawn locally (cluster locality strength)
+    locality: float = 0.9
+    #: mean extra pins beyond 2 (geometric tail; ISPD avg degree ~3.5-4)
+    degree_tail_mean: float = 1.7
+    max_degree: int = 24
+    #: cell width choices in sites and their probabilities
+    width_choices: tuple[int, ...] = (1, 2, 3, 4, 6)
+    width_probs: tuple[float, ...] = (0.35, 0.3, 0.2, 0.1, 0.05)
+    seed: int = 42
+
+    def __post_init__(self):
+        if self.num_cells < 2:
+            raise ValueError("need at least two cells")
+        if not 0 < self.utilization < 1:
+            raise ValueError("utilization must be in (0, 1)")
+        if abs(sum(self.width_probs) - 1.0) > 1e-9:
+            raise ValueError("width_probs must sum to 1")
+
+
+def _sample_degrees(rng: np.random.Generator, num_nets: int,
+                    spec: CircuitSpec) -> np.ndarray:
+    """Net degrees: 2 + geometric tail, clipped (heavy 2-3 pin mass)."""
+    tail = rng.geometric(1.0 / (1.0 + spec.degree_tail_mean), size=num_nets) - 1
+    return np.clip(2 + tail, 2, spec.max_degree)
+
+
+def _cluster_order(rng: np.random.Generator, n: int) -> np.ndarray:
+    """A hierarchical shuffle: recursive halves get contiguous ranges.
+
+    Cells close in this order behave like members of the same logical
+    cluster, so sampling net members near each other in the order gives
+    Rent's-rule-style locality.
+    """
+    order = np.arange(n)
+    rng.shuffle(order)
+    return order
+
+
+def generate(spec: CircuitSpec) -> PlacementDB:
+    """Build the synthetic design described by ``spec``."""
+    rng = np.random.default_rng(spec.seed)
+    netlist = Netlist(spec.name)
+
+    # -- geometry sizing ------------------------------------------------
+    widths = rng.choice(
+        np.asarray(spec.width_choices, dtype=np.float64),
+        size=spec.num_cells, p=np.asarray(spec.width_probs),
+    )
+    movable_area = float(widths.sum())  # height = 1
+    free_area = movable_area / spec.utilization
+    total_area = free_area / max(1.0 - spec.macro_area_fraction, 1e-6)
+    side = int(np.ceil(np.sqrt(total_area)))
+    region = PlacementRegion(0.0, 0.0, float(side), float(side),
+                             row_height=1.0, site_width=1.0)
+
+    # -- movable standard cells -----------------------------------------
+    for i in range(spec.num_cells):
+        netlist.add_cell(f"o{i}", float(widths[i]), 1.0, CellKind.MOVABLE)
+
+    # -- fixed macros on a coarse grid ------------------------------------
+    macro_cells: list[int] = []
+    if spec.num_macros > 0 and spec.macro_area_fraction > 0:
+        per_macro_area = spec.macro_area_fraction * total_area / spec.num_macros
+        macro_w = max(2.0, np.floor(np.sqrt(per_macro_area)))
+        macro_h = max(2.0, np.floor(per_macro_area / macro_w))
+        grid = int(np.ceil(np.sqrt(spec.num_macros)))
+        pitch_x = side / grid
+        pitch_y = side / grid
+        placed = 0
+        for gy in range(grid):
+            for gx in range(grid):
+                if placed >= spec.num_macros:
+                    break
+                mx = np.floor(gx * pitch_x + 0.5 * (pitch_x - macro_w))
+                my = np.floor(gy * pitch_y + 0.5 * (pitch_y - macro_h))
+                mx = float(np.clip(mx, 0, side - macro_w))
+                my = float(np.clip(my, 0, side - macro_h))
+                kind = CellKind.MOVABLE if spec.movable_macros \
+                    else CellKind.FIXED
+                macro_cells.append(netlist.add_cell(
+                    f"macro{placed}", macro_w, macro_h, kind, x=mx, y=my,
+                ))
+                placed += 1
+
+    # -- peripheral I/O pads ------------------------------------------------
+    io_cells: list[int] = []
+    for i in range(spec.num_ios):
+        edge = i % 4
+        t = (i // 4 + 0.5) / max(spec.num_ios // 4, 1)
+        coord = t * side
+        if edge == 0:
+            px, py = coord, 0.0
+        elif edge == 1:
+            px, py = coord, float(side)
+        elif edge == 2:
+            px, py = 0.0, coord
+        else:
+            px, py = float(side), coord
+        io_cells.append(netlist.add_cell(
+            f"p{i}", 0.0, 0.0, CellKind.TERMINAL, x=px, y=py,
+        ))
+
+    # -- nets with cluster locality --------------------------------------
+    order = _cluster_order(rng, spec.num_cells)
+    rank = np.empty(spec.num_cells, dtype=np.int64)
+    rank[order] = np.arange(spec.num_cells)
+    num_nets = max(int(spec.num_cells * spec.nets_per_cell), 1)
+    degrees = _sample_degrees(rng, num_nets, spec)
+    io_prob = min(2.0 * spec.num_ios / max(num_nets, 1), 0.2)
+
+    for e in range(num_nets):
+        degree = int(degrees[e])
+        center = int(rng.integers(spec.num_cells))
+        members = {center}
+        while len(members) < degree:
+            if rng.random() < spec.locality:
+                # a neighbor in the cluster order (two-sided geometric)
+                step = int(rng.geometric(0.08))
+                sign = 1 if rng.random() < 0.5 else -1
+                candidate_rank = (rank[center] + sign * step) % spec.num_cells
+                members.add(int(order[candidate_rank]))
+            else:
+                members.add(int(rng.integers(spec.num_cells)))
+        pins = []
+        for cell in members:
+            ox = float(rng.uniform(0.1, 0.9) * widths[cell])
+            oy = float(rng.uniform(0.1, 0.9))
+            pins.append((cell, ox, oy))
+        if io_cells and rng.random() < io_prob:
+            pins.append((int(rng.choice(io_cells)), 0.0, 0.0))
+        elif macro_cells and rng.random() < 0.05:
+            macro = int(rng.choice(macro_cells))
+            pins.append((
+                macro,
+                float(rng.uniform(0.2, 0.8)) * netlist._cells[macro].width,
+                float(rng.uniform(0.2, 0.8)) * netlist._cells[macro].height,
+            ))
+        netlist.add_net(f"n{e}", pins)
+
+    db = netlist.compile(region)
+    # scatter movable cells uniformly as a starting point (the placer
+    # re-initializes anyway; this gives IO and HPWL baselines meaning)
+    movable = db.movable_index
+    db.cell_x[movable] = rng.uniform(
+        0, side - db.cell_width[movable], size=movable.shape[0]
+    )
+    db.cell_y[movable] = rng.integers(
+        0, side, size=movable.shape[0]
+    ).astype(np.float64)
+    return db

@@ -1,0 +1,114 @@
+"""Benchmark suite definitions mirroring the paper's tables.
+
+Each suite reproduces the *relative* sizes of the paper's benchmarks at
+a reduced cell count (``scale`` = reduction factor vs the paper, default
+100x) so the full evaluation runs on one CPU core.  Table II (ISPD
+2005), Table III (industrial, including the 10M-cell scalability
+design), and Table V (DAC 2012 routability) all have analogs here.
+"""
+
+from __future__ import annotations
+
+from repro.benchgen.generator import CircuitSpec, generate
+from repro.netlist.database import PlacementDB
+
+DEFAULT_SCALE = 100  # cell-count reduction factor vs the paper
+
+# name -> (paper kilo-cells, macro area fraction, #macros, utilization)
+_ISPD2005 = {
+    "adaptec1": (211, 0.04, 4, 0.70),
+    "adaptec2": (255, 0.06, 6, 0.70),
+    "adaptec3": (452, 0.08, 8, 0.65),
+    "adaptec4": (496, 0.08, 8, 0.60),
+    "bigblue1": (278, 0.04, 4, 0.70),
+    "bigblue2": (558, 0.10, 12, 0.55),
+    "bigblue3": (1097, 0.08, 10, 0.65),
+    "bigblue4": (2177, 0.10, 16, 0.60),
+}
+
+_INDUSTRIAL = {
+    "design1": (1345, 0.05, 8, 0.68),
+    "design2": (1306, 0.05, 8, 0.68),
+    "design3": (2265, 0.06, 10, 0.65),
+    "design4": (1525, 0.05, 8, 0.66),
+    "design5": (1316, 0.05, 8, 0.68),
+    "design6": (10504, 0.06, 16, 0.62),
+}
+
+_DAC2012 = {
+    "superblue2": (1014, 0.10, 12, 0.55),
+    "superblue3": (920, 0.10, 10, 0.55),
+    "superblue6": (1014, 0.08, 10, 0.58),
+    "superblue7": (1365, 0.08, 12, 0.58),
+    "superblue9": (847, 0.08, 8, 0.58),
+    "superblue11": (955, 0.10, 10, 0.55),
+    "superblue12": (1293, 0.10, 12, 0.55),
+    "superblue14": (635, 0.08, 8, 0.58),
+    "superblue16": (699, 0.08, 8, 0.58),
+    "superblue19": (523, 0.08, 6, 0.58),
+}
+
+_TINY = {
+    "tiny1": 300,
+    "tiny2": 600,
+}
+
+
+def _spec(name: str, kcells: int, macro_frac: float, macros: int,
+          utilization: float, seed: int, scale: int) -> CircuitSpec:
+    return CircuitSpec(
+        name=name,
+        num_cells=max(kcells * 1000 // scale, 200),
+        macro_area_fraction=macro_frac,
+        num_macros=macros,
+        utilization=utilization,
+        num_ios=64,
+        seed=seed,
+    )
+
+
+def ispd2005_suite(scale: int = DEFAULT_SCALE) -> list[CircuitSpec]:
+    """Scaled analogs of the ISPD 2005 contest designs (Table II)."""
+    return [
+        _spec(name, *info, seed=100 + i, scale=scale)
+        for i, (name, info) in enumerate(_ISPD2005.items())
+    ]
+
+
+def industrial_suite(scale: int = DEFAULT_SCALE) -> list[CircuitSpec]:
+    """Scaled analogs of the industrial designs (Table III)."""
+    return [
+        _spec(name, *info, seed=200 + i, scale=scale)
+        for i, (name, info) in enumerate(_INDUSTRIAL.items())
+    ]
+
+
+def dac2012_suite(scale: int = DEFAULT_SCALE) -> list[CircuitSpec]:
+    """Scaled analogs of the DAC 2012 routability designs (Table V)."""
+    return [
+        _spec(name, *info, seed=300 + i, scale=scale)
+        for i, (name, info) in enumerate(_DAC2012.items())
+    ]
+
+
+def tiny_suite() -> list[CircuitSpec]:
+    """Small designs for tests and quick demos."""
+    return [
+        CircuitSpec(name=name, num_cells=n, num_ios=16,
+                    utilization=0.65, seed=400 + i)
+        for i, (name, n) in enumerate(_TINY.items())
+    ]
+
+
+def load_design(name: str, scale: int = DEFAULT_SCALE) -> PlacementDB:
+    """Generate a design by suite name."""
+    specs: dict[str, CircuitSpec] = {}
+    for suite in (ispd2005_suite(scale), industrial_suite(scale),
+                  dac2012_suite(scale), tiny_suite()):
+        for spec in suite:
+            specs[spec.name] = spec
+    if name not in specs:
+        raise KeyError(
+            f"unknown design {name!r}; available: {sorted(specs)}"
+        )
+    return generate(specs[name])

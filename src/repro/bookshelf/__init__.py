@@ -1,0 +1,13 @@
+"""Bookshelf benchmark format (.aux/.nodes/.nets/.pl/.scl/.wts).
+
+The ISPD 2005 and DAC 2012 contests distribute benchmarks in the GSRC
+Bookshelf format; this package reads and writes it so real benchmarks
+drop into the flow when available, and so the synthetic suites can be
+exported for other tools.  The "IO" columns of Tables II/III time these
+routines.
+"""
+
+from repro.bookshelf.reader import read_aux, read_bookshelf
+from repro.bookshelf.writer import write_bookshelf
+
+__all__ = ["read_aux", "read_bookshelf", "write_bookshelf"]

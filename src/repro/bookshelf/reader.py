@@ -1,0 +1,184 @@
+"""Bookshelf reader."""
+
+from __future__ import annotations
+
+import os
+
+from repro.geometry.region import PlacementRegion
+from repro.netlist.database import PlacementDB
+from repro.netlist.hypergraph import CellKind, Netlist
+
+
+def _content_lines(path: str):
+    """Yield non-comment, non-empty lines (header dropped)."""
+    with open(path) as handle:
+        first = True
+        for raw in handle:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            if first and line.startswith("UCLA"):
+                first = False
+                continue
+            first = False
+            yield line
+
+
+def read_aux(path: str) -> dict[str, str]:
+    """Parse the .aux file into a mapping from extension to path."""
+    base = os.path.dirname(path)
+    with open(path) as handle:
+        text = handle.read()
+    if ":" not in text:
+        raise ValueError(f"malformed aux file {path!r}")
+    files = text.split(":", 1)[1].split()
+    out = {}
+    for name in files:
+        ext = name.rsplit(".", 1)[-1].lower()
+        out[ext] = os.path.join(base, name)
+    return out
+
+
+def _read_nodes(path: str):
+    nodes = []
+    for line in _content_lines(path):
+        if line.startswith(("NumNodes", "NumTerminals")):
+            continue
+        parts = line.split()
+        name = parts[0]
+        width = float(parts[1])
+        height = float(parts[2])
+        terminal = len(parts) > 3 and parts[3].lower().startswith("terminal")
+        nodes.append((name, width, height, terminal))
+    return nodes
+
+
+def _read_pl(path: str):
+    positions = {}
+    for line in _content_lines(path):
+        parts = line.split()
+        if len(parts) < 3:
+            continue
+        name = parts[0]
+        x = float(parts[1])
+        y = float(parts[2])
+        fixed = "/FIXED" in line
+        positions[name] = (x, y, fixed)
+    return positions
+
+
+def _read_wts(path: str):
+    weights = {}
+    for line in _content_lines(path):
+        parts = line.split()
+        if len(parts) >= 2:
+            try:
+                weights[parts[0]] = float(parts[1])
+            except ValueError:
+                continue
+    return weights
+
+
+def _read_scl(path: str) -> PlacementRegion:
+    rows = []
+    current: dict[str, float] = {}
+    for line in _content_lines(path):
+        token = line.split()[0].lower()
+        if token == "corerow":
+            current = {}
+        elif token == "end":
+            if current:
+                rows.append(current)
+                current = {}
+        elif ":" in line:
+            # a line may carry several "Key : value" pairs
+            # (e.g. "SubrowOrigin : 0  NumSites : 26")
+            tokens = line.replace(":", " : ").split()
+            for pos, token in enumerate(tokens):
+                if token == ":" and pos > 0 and pos + 1 < len(tokens):
+                    key = tokens[pos - 1].lower()
+                    try:
+                        current[key] = float(tokens[pos + 1])
+                    except ValueError:
+                        pass
+    if not rows:
+        raise ValueError(f"no CoreRow found in {path!r}")
+    height = rows[0].get("height", 1.0)
+    site = rows[0].get("sitewidth", 1.0)
+    yl = min(r.get("coordinate", 0.0) for r in rows)
+    yh = max(r.get("coordinate", 0.0) + r.get("height", height) for r in rows)
+    xl = min(r.get("subroworigin", 0.0) for r in rows)
+    xh = max(
+        r.get("subroworigin", 0.0) + r.get("numsites", 0.0) * site
+        for r in rows
+    )
+    return PlacementRegion(xl, yl, xh, yh, row_height=height, site_width=site)
+
+
+def _read_nets(path: str, netlist: Netlist, weights: dict[str, float],
+               half_sizes: dict[str, tuple[float, float]]) -> None:
+    pins: list[tuple[str, float, float]] = []
+    net_name = None
+    counter = 0
+
+    def flush():
+        nonlocal pins, net_name
+        if net_name is not None and pins:
+            netlist.add_net(net_name, pins, weights.get(net_name, 1.0))
+        pins = []
+
+    for line in _content_lines(path):
+        if line.startswith(("NumNets", "NumPins")):
+            continue
+        if line.startswith("NetDegree"):
+            flush()
+            parts = line.replace(":", " ").split()
+            net_name = parts[-1] if len(parts) > 2 else f"net{counter}"
+            counter += 1
+            continue
+        parts = line.replace(":", " ").split()
+        if not parts or net_name is None:
+            continue
+        cell = parts[0]
+        ox = oy = 0.0
+        numeric = [p for p in parts[1:] if _is_number(p)]
+        if len(numeric) >= 2:
+            ox, oy = float(numeric[0]), float(numeric[1])
+        hw, hh = half_sizes[cell]
+        # bookshelf offsets are from the node center
+        pins.append((cell, ox + hw, oy + hh))
+    flush()
+
+
+def _is_number(token: str) -> bool:
+    try:
+        float(token)
+        return True
+    except ValueError:
+        return False
+
+
+def read_bookshelf(aux_path: str, name: str | None = None) -> PlacementDB:
+    """Load a Bookshelf benchmark given its .aux file."""
+    files = read_aux(aux_path)
+    for required in ("nodes", "nets", "pl", "scl"):
+        if required not in files:
+            raise ValueError(f"aux file missing .{required} entry")
+    nodes = _read_nodes(files["nodes"])
+    positions = _read_pl(files["pl"])
+    weights = _read_wts(files["wts"]) if "wts" in files else {}
+    region = _read_scl(files["scl"])
+
+    design = name or os.path.splitext(os.path.basename(aux_path))[0]
+    netlist = Netlist(design)
+    half_sizes: dict[str, tuple[float, float]] = {}
+    for node_name, width, height, terminal in nodes:
+        x, y, fixed = positions.get(node_name, (0.0, 0.0, False))
+        if terminal or fixed:
+            kind = CellKind.TERMINAL if width * height == 0 else CellKind.FIXED
+        else:
+            kind = CellKind.MOVABLE
+        netlist.add_cell(node_name, width, height, kind, x=x, y=y)
+        half_sizes[node_name] = (width / 2.0, height / 2.0)
+    _read_nets(files["nets"], netlist, weights, half_sizes)
+    return netlist.compile(region)

@@ -1,0 +1,82 @@
+"""Bookshelf writer."""
+
+from __future__ import annotations
+
+import os
+
+from repro.netlist.database import PlacementDB
+
+
+def write_bookshelf(db: PlacementDB, directory: str,
+                    name: str | None = None) -> str:
+    """Write the design as Bookshelf files; returns the .aux path."""
+    name = name or db.name
+    os.makedirs(directory, exist_ok=True)
+
+    def path(ext: str) -> str:
+        return os.path.join(directory, f"{name}.{ext}")
+
+    fixed_mask = ~db.movable
+    with open(path("nodes"), "w") as out:
+        out.write("UCLA nodes 1.0\n\n")
+        out.write(f"NumNodes : {db.num_cells}\n")
+        out.write(f"NumTerminals : {int(fixed_mask.sum())}\n")
+        for i in range(db.num_cells):
+            suffix = " terminal" if fixed_mask[i] else ""
+            out.write(
+                f"  {db.cell_names[i]} {db.cell_width[i]:g} "
+                f"{db.cell_height[i]:g}{suffix}\n"
+            )
+
+    with open(path("nets"), "w") as out:
+        out.write("UCLA nets 1.0\n\n")
+        out.write(f"NumNets : {db.num_nets}\n")
+        out.write(f"NumPins : {db.num_pins}\n")
+        for net in range(db.num_nets):
+            pins = db.net_pins(net)
+            out.write(f"NetDegree : {pins.shape[0]}  {db.net_names[net]}\n")
+            for pin in pins:
+                cell = int(db.pin_cell[pin])
+                # bookshelf offsets are from the node center
+                ox = db.pin_offset_x[pin] - db.cell_width[cell] / 2.0
+                oy = db.pin_offset_y[pin] - db.cell_height[cell] / 2.0
+                out.write(
+                    f"  {db.cell_names[cell]} B : {ox:.6g} {oy:.6g}\n"
+                )
+
+    with open(path("wts"), "w") as out:
+        out.write("UCLA wts 1.0\n\n")
+        for net in range(db.num_nets):
+            out.write(f"  {db.net_names[net]} {db.net_weight[net]:g}\n")
+
+    with open(path("pl"), "w") as out:
+        out.write("UCLA pl 1.0\n\n")
+        for i in range(db.num_cells):
+            suffix = " /FIXED" if fixed_mask[i] else ""
+            out.write(
+                f"  {db.cell_names[i]} {db.cell_x[i]:.6f} "
+                f"{db.cell_y[i]:.6f} : N{suffix}\n"
+            )
+
+    region = db.region
+    with open(path("scl"), "w") as out:
+        out.write("UCLA scl 1.0\n\n")
+        out.write(f"NumRows : {region.num_rows}\n\n")
+        for row in region.rows():
+            out.write("CoreRow Horizontal\n")
+            out.write(f"  Coordinate   : {row.y:g}\n")
+            out.write(f"  Height       : {row.height:g}\n")
+            out.write(f"  Sitewidth    : {row.site_width:g}\n")
+            out.write(f"  Sitespacing  : {row.site_width:g}\n")
+            out.write("  Siteorient   : 1\n")
+            out.write("  Sitesymmetry : 1\n")
+            out.write(f"  SubrowOrigin : {row.x:g}  NumSites : {row.num_sites}\n")
+            out.write("End\n")
+
+    aux = path("aux")
+    with open(aux, "w") as out:
+        out.write(
+            f"RowBasedPlacement : {name}.nodes {name}.nets {name}.wts "
+            f"{name}.pl {name}.scl\n"
+        )
+    return aux

@@ -1,0 +1,214 @@
+"""Command-line interface.
+
+``python -m repro <command>`` drives the flow without writing Python:
+
+- ``place``     run the full GP -> LG -> DP flow on a Bookshelf design
+                or a named synthetic suite design
+- ``generate``  synthesize a benchmark and write it as Bookshelf
+- ``route``     global-route a placed design and report RC/ACE
+- ``report``    print placement metrics for a design
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _load(design: str, scale: int):
+    """Load a .aux path or a named synthetic design."""
+    if design.endswith(".aux"):
+        from repro.bookshelf import read_bookshelf
+
+        return read_bookshelf(design)
+    from repro.benchgen import load_design
+
+    return load_design(design, scale=scale)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("design", help=".aux file or suite design name")
+    parser.add_argument("--scale", type=int, default=400,
+                        help="cell-count reduction for suite designs")
+
+
+def _cmd_place(args) -> int:
+    from repro.bookshelf import write_bookshelf
+    from repro.core import DreamPlacer, PlacementParams
+
+    db = _load(args.design, args.scale)
+    params = PlacementParams(
+        dtype=args.dtype,
+        optimizer=args.optimizer,
+        target_density=args.target_density,
+        routability=args.routability,
+        seed=args.seed,
+        detailed=not args.no_dp,
+        legalize=not args.no_lg,
+        verbose=args.verbose,
+    )
+    print(f"placing {db} ...")
+    result = DreamPlacer(db, params).run()
+    print(f"HPWL     : {result.hpwl_final:,.0f} "
+          f"(GP {result.hpwl_global:,.0f}, LG {result.hpwl_legal:,.0f})")
+    print(f"overflow : {result.overflow:.4f} after {result.iterations} iters")
+    if result.legality is not None:
+        print(f"legal    : {result.legality.legal} "
+              f"{result.legality.messages or ''}")
+    if result.rc is not None:
+        print(f"RC       : {result.rc:.2f}  sHPWL {result.shpwl:,.0f}")
+    times = result.times
+    print(f"runtime  : GP {times.global_place:.2f}s  "
+          f"GR {times.global_route:.2f}s  LG {times.legalize:.2f}s  "
+          f"DP {times.detailed:.2f}s")
+    if args.output:
+        aux = write_bookshelf(db, args.output)
+        print(f"wrote    : {aux}")
+    if args.svg:
+        from repro.viz import write_placement_svg
+
+        print(f"wrote    : {write_placement_svg(db, args.svg)}")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from repro.benchgen import CircuitSpec, generate
+    from repro.bookshelf import write_bookshelf
+
+    spec = CircuitSpec(
+        name=args.name,
+        num_cells=args.cells,
+        utilization=args.utilization,
+        macro_area_fraction=args.macro_fraction,
+        num_macros=args.macros,
+        num_ios=args.ios,
+        movable_macros=args.movable_macros,
+        seed=args.seed,
+    )
+    db = generate(spec)
+    aux = write_bookshelf(db, args.output)
+    print(f"generated {db}")
+    print(f"wrote {aux}")
+    return 0
+
+
+def _cmd_route(args) -> int:
+    from repro.route import GlobalRouter
+    from repro.route.router import calibrate_capacity
+
+    db = _load(args.design, args.scale)
+    capacity = args.capacity
+    if capacity <= 0:
+        capacity = calibrate_capacity(db, args.tiles, args.layers)
+        print(f"calibrated capacity: {capacity:.2f} tracks/layer")
+    router = GlobalRouter(db, num_tiles=args.tiles, num_layers=args.layers,
+                          tile_capacity=capacity)
+    result = router.route()
+    print(f"RC        : {result.rc:.2f}")
+    for pct, value in result.ace.items():
+        print(f"ACE {pct:>4}% : {value:.2f}")
+    print(f"overflow  : {result.total_overflow:.0f}")
+    print(f"wirelength: {result.wirelength_tiles} tile pitches")
+    if args.heat_svg:
+        from repro.viz import write_placement_svg
+
+        path = write_placement_svg(
+            db, args.heat_svg, heat=result.tile_ratio_map,
+        )
+        print(f"wrote     : {path}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.core import placement_summary
+    from repro.lg import check_legal
+    from repro.viz import ascii_density_map
+
+    db = _load(args.design, args.scale)
+    summary = placement_summary(db)
+    print(f"design     : {db}")
+    print(f"HPWL       : {summary.hpwl:,.0f}")
+    print(f"overflow   : {summary.overflow:.4f}")
+    print(f"utilization: {summary.utilization:.3f}")
+    report = check_legal(db)
+    print(f"legal      : {report.legal} {report.messages or ''}")
+    if args.density_map:
+        from repro.geometry import BinGrid
+        from repro.ops.density_map import scatter_density
+
+        grid = BinGrid(db.region, 32, 32)
+        movable = db.movable_index
+        rho = scatter_density(
+            grid, db.cell_x[movable], db.cell_y[movable],
+            db.cell_width[movable], db.cell_height[movable],
+            np.ones(movable.shape[0]),
+        )
+        print(ascii_density_map(rho))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DREAMPlace-reproduction placement flow",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    place = sub.add_parser("place", help="run the full placement flow")
+    _add_common(place)
+    place.add_argument("--dtype", choices=["float32", "float64"],
+                       default="float64")
+    place.add_argument("--optimizer", default="nesterov",
+                       choices=["nesterov", "adam", "sgd", "rmsprop", "cg"])
+    place.add_argument("--target-density", type=float, default=1.0)
+    place.add_argument("--routability", action="store_true")
+    place.add_argument("--seed", type=int, default=0)
+    place.add_argument("--no-dp", action="store_true",
+                       help="skip detailed placement")
+    place.add_argument("--no-lg", action="store_true",
+                       help="skip legalization (GP only)")
+    place.add_argument("--verbose", action="store_true")
+    place.add_argument("--output", help="write result as Bookshelf here")
+    place.add_argument("--svg", help="write a placement plot here")
+    place.set_defaults(func=_cmd_place)
+
+    gen = sub.add_parser("generate", help="synthesize a benchmark")
+    gen.add_argument("name")
+    gen.add_argument("--cells", type=int, default=1000)
+    gen.add_argument("--utilization", type=float, default=0.65)
+    gen.add_argument("--macro-fraction", type=float, default=0.0)
+    gen.add_argument("--macros", type=int, default=0)
+    gen.add_argument("--movable-macros", action="store_true")
+    gen.add_argument("--ios", type=int, default=32)
+    gen.add_argument("--seed", type=int, default=42)
+    gen.add_argument("--output", required=True)
+    gen.set_defaults(func=_cmd_generate)
+
+    route = sub.add_parser("route", help="global-route a placed design")
+    _add_common(route)
+    route.add_argument("--tiles", type=int, default=32)
+    route.add_argument("--layers", type=int, default=4)
+    route.add_argument("--capacity", type=float, default=0.0,
+                       help="tracks per tile per layer (0 = calibrate)")
+    route.add_argument("--heat-svg",
+                       help="write a congestion heatmap SVG here")
+    route.set_defaults(func=_cmd_route)
+
+    report = sub.add_parser("report", help="print placement metrics")
+    _add_common(report)
+    report.add_argument("--density-map", action="store_true",
+                        help="print an ASCII density map")
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Core placement engine: the DREAMPlace flow (Fig. 2(b)).
+
+Random-center initial placement -> kernel global-placement iterations
+(wirelength + density forward/backward, gradient-descent optimizer,
+density-weight and gamma annealing) -> legalization -> detailed
+placement, with an optional routability-driven cell-inflation loop.
+"""
+
+from repro.core.params import PlacementParams
+from repro.core.placer import DreamPlacer, PlacementResult, StageTimes
+from repro.core.global_place import GlobalPlacer, GlobalPlaceResult
+from repro.core.metrics import placement_summary, scaled_hpwl
+from repro.core.fence import (
+    FenceRegion,
+    MultiRegionDensity,
+    fence_clamp_bounds,
+)
+
+__all__ = [
+    "PlacementParams",
+    "DreamPlacer",
+    "PlacementResult",
+    "StageTimes",
+    "GlobalPlacer",
+    "GlobalPlaceResult",
+    "placement_summary",
+    "scaled_hpwl",
+    "FenceRegion",
+    "MultiRegionDensity",
+    "fence_clamp_bounds",
+]

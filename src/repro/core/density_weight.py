@@ -1,0 +1,55 @@
+"""Density weight (lambda) initialization and updating (Section III-C).
+
+The density constraint of eq. (1b) is relaxed into the objective with
+weight lambda (eq. 2); lambda starts so wirelength and density gradients
+balance, then grows multiplicatively per eq. (18), with the TCAD tweak
+``mu <- mu_max * max(0.9999^k, 0.98)`` when HPWL improved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class DensityWeight:
+    """Stateful lambda controller."""
+
+    def __init__(self, mu_min: float = 0.95, mu_max: float = 1.05,
+                 ref_delta_hpwl: float = 3.5e5, tcad_tweak: bool = True):
+        self.mu_min = float(mu_min)
+        self.mu_max = float(mu_max)
+        self.ref_delta_hpwl = float(ref_delta_hpwl)
+        self.tcad_tweak = bool(tcad_tweak)
+        self.value = 0.0
+        self._last_hpwl: float | None = None
+        self._iteration = 0
+
+    def initialize(self, wl_grad: np.ndarray, density_grad: np.ndarray,
+                   scale: float = 1.0) -> float:
+        """lambda_0 = |grad WL|_1 / |grad D|_1 (ePlace's balancing init)."""
+        wl_norm = float(np.abs(wl_grad).sum())
+        density_norm = float(np.abs(density_grad).sum())
+        if density_norm <= 0:
+            self.value = scale
+        else:
+            self.value = scale * wl_norm / density_norm
+        return self.value
+
+    def update(self, hpwl: float) -> float:
+        """Advance lambda per eq. (18) given the current HPWL."""
+        if self._last_hpwl is None:
+            self._last_hpwl = hpwl
+            self._iteration += 1
+            return self.value
+        delta = hpwl - self._last_hpwl
+        p = delta / self.ref_delta_hpwl
+        if p < 0:
+            mu = self.mu_max
+            if self.tcad_tweak:
+                mu *= max(0.9999 ** self._iteration, 0.98)
+        else:
+            mu = max(self.mu_min, self.mu_max ** (1.0 - p))
+        self.value *= mu
+        self._last_hpwl = hpwl
+        self._iteration += 1
+        return self.value

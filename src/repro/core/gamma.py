@@ -1,0 +1,27 @@
+"""Annealing of the wirelength smoothness parameter gamma.
+
+The smaller gamma, the closer WA/LSE approximate HPWL but the less
+smooth the objective (Section II-C).  Following ePlace/DREAMPlace, gamma
+shrinks with the density overflow: ``gamma = gamma_factor * base_bin *
+10^(k*overflow + b)`` with (k, b) chosen so overflow 1.0 maps to 10x and
+overflow 0.1 maps to 0.1x.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.bins import BinGrid
+
+# 10^(k*ovfl + b): k, b solve {1.0 -> 1, 0.1 -> -1}
+_K = 20.0 / 9.0
+_B = -11.0 / 9.0
+
+
+class GammaScheduler:
+    """Overflow-driven gamma annealing."""
+
+    def __init__(self, grid: BinGrid, gamma_factor: float = 4.0):
+        self.base = gamma_factor * 0.5 * (grid.bin_w + grid.bin_h)
+
+    def __call__(self, overflow: float) -> float:
+        overflow = min(max(overflow, 0.0), 1.0)
+        return self.base * 10.0 ** (_K * overflow + _B)

@@ -1,0 +1,328 @@
+"""Kernel global-placement loop (the "Kernel GP iterations" of Fig. 2(b)).
+
+Builds the extended position vector (movable cells + fillers), the
+wirelength and density operators, and runs gradient descent with gamma
+annealing and density-weight updating until the overflow target is met.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.density_weight import DensityWeight
+from repro.core.gamma import GammaScheduler
+from repro.core.initial_place import (
+    compute_fillers,
+    random_center_init,
+    uniform_filler_init,
+)
+from repro.core.objective import PlacementObjective
+from repro.core.params import PlacementParams
+from repro.geometry.bins import BinGrid
+from repro.netlist.database import PlacementDB
+from repro.nn.optim import (
+    SGD,
+    Adam,
+    ConjugateGradient,
+    ExponentialLR,
+    NesterovLineSearch,
+    RMSProp,
+)
+from repro.nn.tensor import Parameter
+from repro.ops.density_op import ElectricDensity
+from repro.ops.density_overflow import density_overflow
+from repro.ops.lse_wirelength import LogSumExpWirelength
+from repro.ops.wa_wirelength import WeightedAverageWirelength
+
+
+@dataclass
+class GlobalPlaceResult:
+    """Outcome of one global-placement run."""
+
+    x: np.ndarray
+    y: np.ndarray
+    hpwl: float
+    overflow: float
+    iterations: int
+    runtime: float
+    converged: bool
+    hpwl_trace: list[float] = field(default_factory=list)
+    overflow_trace: list[float] = field(default_factory=list)
+
+
+class GlobalPlacer:
+    """ePlace-style nonlinear global placement on the nn substrate."""
+
+    def __init__(self, db: PlacementDB, params: PlacementParams | None = None,
+                 wirelength_factory=None, fences=None):
+        """``wirelength_factory(db, gamma, dtype) -> Module`` plugs in a
+        custom wirelength operator (the paper's extensibility story:
+        new objectives are new OPs); default follows ``params.wirelength``.
+
+        ``fences`` is an optional list of
+        :class:`~repro.core.fence.FenceRegion`: each fence gets its own
+        electric field (Section III-G) and its cells are clamped inside
+        it.  Fences disable filler cells.
+        """
+        self.db = db
+        self.params = params or PlacementParams()
+        self.wirelength_factory = wirelength_factory
+        self.fences = list(fences) if fences else None
+        self.rng = np.random.default_rng(self.params.seed)
+        num_bins = self.params.resolve_num_bins(db.num_movable)
+        self.grid = BinGrid(db.region, num_bins, num_bins)
+        self.gamma_schedule = GammaScheduler(
+            self.grid, self.params.gamma_factor
+        )
+        self._build_variables()
+        self._build_ops()
+        #: lambda update period (>1 during routability rounds, III-F)
+        self.lambda_period = 1
+
+    # ------------------------------------------------------------------
+    def _build_variables(self) -> None:
+        params = self.params
+        db = self.db
+        x, y = random_center_init(db, params.init_noise_ratio, self.rng)
+        if params.use_fillers and self.fences is None:
+            count, fw, fh = compute_fillers(db, params.target_density)
+        else:
+            count, fw, fh = 0, 0.0, 0.0
+        self.num_fillers = count
+        self.filler_width = fw
+        self.filler_height = fh
+        if count:
+            fx, fy = uniform_filler_init(count, db, fw, fh, self.rng)
+            x = np.concatenate([x, fx])
+            y = np.concatenate([y, fy])
+        self.pos = Parameter(
+            np.concatenate([x, y]), dtype=params.np_dtype()
+        )
+        # per-entry clamp bounds (fixed cells clamp to themselves)
+        widths = np.concatenate([
+            db.cell_width, np.full(count, fw),
+        ])
+        heights = np.concatenate([
+            db.cell_height, np.full(count, fh),
+        ])
+        r = db.region
+        n = db.num_cells + count
+        self._lo = np.empty(2 * n)
+        self._hi = np.empty(2 * n)
+        self._lo[:n] = r.xl
+        self._hi[:n] = np.maximum(r.xh - widths, r.xl)
+        self._lo[n:] = r.yl
+        self._hi[n:] = np.maximum(r.yh - heights, r.yl)
+        frozen = np.concatenate([~db.movable, np.zeros(count, dtype=bool)])
+        frozen2 = np.concatenate([frozen, frozen])
+        pos0 = self.pos.data
+        self._lo[frozen2] = pos0[frozen2]
+        self._hi[frozen2] = pos0[frozen2]
+        if self.fences is not None:
+            from repro.core.fence import fence_clamp_bounds
+
+            # fence bounds replace the die bounds for fenced cells
+            # (count == 0 when fences are active, so shapes match)
+            fence_lo, fence_hi = fence_clamp_bounds(db, self.fences)
+            self._lo = np.maximum(self._lo, fence_lo)
+            self._hi = np.minimum(self._hi, fence_hi)
+            self._hi = np.maximum(self._hi, self._lo)
+            # start every cell inside its fence
+            self.pos.data = self._clamp(self.pos.data)
+
+    def _build_ops(self) -> None:
+        params = self.params
+        dtype = params.np_dtype()
+        if self.wirelength_factory is not None:
+            wl_op = self.wirelength_factory(
+                self.db, self.gamma_schedule(1.0), dtype
+            )
+        elif params.wirelength == "wa":
+            wl_op = WeightedAverageWirelength(
+                self.db, gamma=self.gamma_schedule(1.0),
+                strategy=params.wirelength_strategy, dtype=dtype,
+            )
+        elif params.wirelength == "lse":
+            wl_op = LogSumExpWirelength(
+                self.db, gamma=self.gamma_schedule(1.0), dtype=dtype,
+            )
+        else:
+            raise ValueError(f"unknown wirelength model {params.wirelength!r}")
+        if self.fences is not None:
+            from repro.core.fence import MultiRegionDensity
+
+            density_op = MultiRegionDensity(
+                self.db, self.fences,
+                num_bins=max(self.grid.nx // 2, 8),
+                dct_impl=params.dct_impl,
+            )
+        else:
+            density_op = ElectricDensity(
+                self.db, self.grid,
+                num_fillers=self.num_fillers,
+                filler_width=self.filler_width,
+                filler_height=self.filler_height,
+                strategy=params.density_strategy,
+                dct_impl=params.dct_impl,
+                dtype=dtype,
+            )
+        self.objective = PlacementObjective(wl_op, density_op)
+
+    def _build_optimizer(self):
+        params = self.params
+        scale = 0.5 * (self.db.region.width + self.db.region.height)
+        name = params.optimizer
+        if name == "nesterov":
+            opt = NesterovLineSearch([self.pos], lr=0.01 * scale)
+        elif name == "adam":
+            opt = Adam([self.pos], lr=params.learning_rate * scale)
+        elif name == "sgd":
+            opt = SGD([self.pos], lr=params.learning_rate * scale,
+                      momentum=params.momentum)
+        elif name == "rmsprop":
+            opt = RMSProp([self.pos], lr=params.learning_rate * scale)
+        elif name == "cg":
+            opt = ConjugateGradient([self.pos], lr=params.learning_rate * scale)
+        else:
+            raise ValueError(f"unknown optimizer {name!r}")
+        scheduler = None
+        if params.lr_decay < 1.0 and name in ("adam", "sgd", "rmsprop"):
+            scheduler = ExponentialLR(opt, params.lr_decay)
+        return opt, scheduler
+
+    # ------------------------------------------------------------------
+    def _clamp(self, flat: np.ndarray) -> np.ndarray:
+        return np.minimum(np.maximum(flat, self._lo), self._hi)
+
+    def _positions(self) -> tuple[np.ndarray, np.ndarray]:
+        n = self.db.num_cells + self.num_fillers
+        data = self.pos.data
+        return (
+            np.asarray(data[:self.db.num_cells], dtype=np.float64),
+            np.asarray(data[n:n + self.db.num_cells], dtype=np.float64),
+        )
+
+    def hpwl(self) -> float:
+        x, y = self._positions()
+        return self.db.hpwl(x, y)
+
+    def overflow(self) -> float:
+        x, y = self._positions()
+        return density_overflow(
+            self.db, self.grid, x, y, self.params.target_density
+        )
+
+    def _init_density_weight(self) -> DensityWeight:
+        weight = DensityWeight(
+            mu_min=self.params.mu_min,
+            mu_max=self.params.mu_max,
+            ref_delta_hpwl=self.params.ref_delta_hpwl,
+            tcad_tweak=self.params.tcad_mu_tweak,
+        )
+        self.pos.zero_grad()
+        wl = self.objective.wirelength(self.pos)
+        wl.backward()
+        wl_grad = self.pos.grad.copy()
+        self.pos.zero_grad()
+        density = self.objective.density(self.pos)
+        density.backward()
+        density_grad = self.pos.grad.copy()
+        self.pos.zero_grad()
+        weight.initialize(wl_grad, density_grad)
+        return weight
+
+    # ------------------------------------------------------------------
+    def place(self, max_iters: int | None = None,
+              stop_overflow: float | None = None) -> GlobalPlaceResult:
+        """Run the kernel GP loop to convergence."""
+        params = self.params
+        max_iters = params.max_global_iters if max_iters is None else max_iters
+        stop = params.stop_overflow if stop_overflow is None else stop_overflow
+        start = time.perf_counter()
+
+        overflow = self.overflow()
+        self.objective.gamma = self.gamma_schedule(overflow)
+        weight = self._init_density_weight()
+        self.objective.density_weight = weight.value
+        optimizer, scheduler = self._build_optimizer()
+
+        def closure():
+            self.pos.zero_grad()
+            obj = self.objective(self.pos)
+            obj.backward()
+            return obj
+
+        hpwl_trace: list[float] = []
+        overflow_trace: list[float] = []
+        best_hpwl = np.inf
+        best_overflow = np.inf
+        plateau = 0
+        converged = False
+        iteration = 0
+        for iteration in range(1, max_iters + 1):
+            optimizer.step(closure)
+            optimizer.project(self._clamp)
+            if scheduler is not None:
+                scheduler.step()
+
+            hpwl = self.hpwl()
+            overflow = self.overflow()
+            hpwl_trace.append(hpwl)
+            overflow_trace.append(overflow)
+            best_hpwl = min(best_hpwl, hpwl)
+
+            self.objective.gamma = self.gamma_schedule(overflow)
+            if iteration % self.lambda_period == 0:
+                self.objective.density_weight = weight.update(hpwl)
+
+            if params.verbose and iteration % 50 == 0:
+                print(
+                    f"[GP] iter {iteration:4d} hpwl {hpwl:.4e} "
+                    f"overflow {overflow:.4f} gamma "
+                    f"{self.objective.gamma:.3g} lambda {weight.value:.3g}"
+                )
+            if overflow <= stop and iteration >= params.min_global_iters:
+                converged = True
+                break
+            if hpwl > params.divergence_ratio * best_hpwl and \
+                    iteration > params.min_global_iters:
+                break
+            # plateau guard: overflow stopped improving well above the
+            # target — further lambda growth only degrades wirelength
+            if overflow < best_overflow - 1e-3:
+                best_overflow = overflow
+                plateau = 0
+            else:
+                plateau += 1
+                if plateau >= 150 and iteration >= params.min_global_iters:
+                    break
+
+        x, y = self._positions()
+        return GlobalPlaceResult(
+            x=x, y=y,
+            hpwl=self.hpwl(),
+            overflow=overflow,
+            iterations=iteration,
+            runtime=time.perf_counter() - start,
+            converged=converged,
+            hpwl_trace=hpwl_trace,
+            overflow_trace=overflow_trace,
+        )
+
+    def set_positions(self, x: np.ndarray, y: np.ndarray) -> None:
+        """Warm-start the cell coordinates (e.g. between inflation rounds)."""
+        n = self.db.num_cells + self.num_fillers
+        data = self.pos.data
+        data[:self.db.num_cells] = np.asarray(x, dtype=data.dtype)
+        data[n:n + self.db.num_cells] = np.asarray(y, dtype=data.dtype)
+        self.pos.data = self._clamp(data)
+
+    def write_back(self) -> None:
+        """Copy the optimized movable positions into the database."""
+        x, y = self._positions()
+        movable = self.db.movable
+        self.db.cell_x[movable] = x[movable]
+        self.db.cell_y[movable] = y[movable]

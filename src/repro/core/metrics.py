@@ -1,0 +1,44 @@
+"""Quality metrics and reporting helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.bins import BinGrid
+from repro.netlist.database import PlacementDB
+from repro.ops.density_overflow import density_overflow
+
+
+@dataclass
+class PlacementSummary:
+    """Headline numbers for a placement solution."""
+
+    hpwl: float
+    overflow: float
+    num_cells: int
+    num_nets: int
+    num_pins: int
+    utilization: float
+
+
+def placement_summary(db: PlacementDB, x: np.ndarray | None = None,
+                      y: np.ndarray | None = None,
+                      target_density: float = 1.0,
+                      num_bins: int = 64) -> PlacementSummary:
+    """Compute the headline metrics at the given (or stored) placement."""
+    grid = BinGrid(db.region, num_bins, num_bins)
+    return PlacementSummary(
+        hpwl=db.hpwl(x, y),
+        overflow=density_overflow(db, grid, x, y, target_density),
+        num_cells=db.num_cells,
+        num_nets=db.num_nets,
+        num_pins=db.num_pins,
+        utilization=db.utilization,
+    )
+
+
+def scaled_hpwl(hpwl: float, rc: float) -> float:
+    """DAC 2012 scaled wirelength, eq. (20): HPWL * (1 + 0.03*(RC-100))."""
+    return hpwl * (1.0 + 0.03 * (rc - 100.0))

@@ -1,0 +1,38 @@
+"""The placement objective as a neural-network-style module (Fig. 1(b)).
+
+``obj(pos) = sum_e WL(e; pos) + lambda * D(pos)`` — the wirelength term
+is the "prediction error" over net instances and the density penalty is
+the "regularizer"; the module composes the two custom OPs through the
+autograd engine, so one ``backward()`` produces the full gradient.
+"""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class PlacementObjective(Module):
+    """Relaxed objective of eq. (2) over the extended position vector."""
+
+    def __init__(self, wirelength_op: Module, density_op: Module):
+        self.wirelength = wirelength_op
+        self.density = density_op
+        self.density_weight = 0.0
+        self.last_wirelength = float("nan")
+        self.last_density = float("nan")
+
+    def forward(self, pos: Tensor) -> Tensor:
+        wl = self.wirelength(pos)
+        density = self.density(pos)
+        self.last_wirelength = wl.item()
+        self.last_density = density.item()
+        return wl + self.density_weight * density
+
+    @property
+    def gamma(self) -> float:
+        return self.wirelength.gamma
+
+    @gamma.setter
+    def gamma(self, value: float) -> None:
+        self.wirelength.gamma = float(value)

@@ -1,0 +1,94 @@
+"""Flow configuration.
+
+One dataclass gathers every knob of the flow, with defaults following
+the paper (and RePlAce where the paper inherits them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class PlacementParams:
+    """Configuration of the DREAMPlace flow."""
+
+    # -- numerics ------------------------------------------------------
+    dtype: str = "float64"  # "float32" or "float64" (the paper's sweeps)
+    seed: int = 0
+
+    # -- density system ------------------------------------------------
+    target_density: float = 1.0
+    #: bins per axis; ``None`` auto-sizes to a power of two near
+    #: sqrt(num_movable), clamped to [16, 512] (RePlAce-style grids)
+    num_bins: Optional[int] = None
+    density_strategy: str = "stamp"  # see repro.ops.density_map
+    dct_impl: str = "2d"  # see repro.ops.dct
+    use_fillers: bool = True
+
+    # -- wirelength model ------------------------------------------------
+    wirelength: str = "wa"  # "wa" or "lse"
+    wirelength_strategy: str = "merged"  # see repro.ops.wa_wirelength
+    #: gamma = gamma_factor * (bin_w + bin_h)/2 * 10^(k*overflow + b)
+    gamma_factor: float = 4.0
+
+    # -- optimizer -------------------------------------------------------
+    optimizer: str = "nesterov"  # nesterov | adam | sgd | rmsprop | cg
+    learning_rate: float = 0.01  # relative to region size for non-Nesterov
+    lr_decay: float = 1.0  # per-iteration exponential decay (Table IV)
+    momentum: float = 0.9  # for sgd
+
+    # -- global placement loop -------------------------------------------
+    max_global_iters: int = 1000
+    min_global_iters: int = 20
+    stop_overflow: float = 0.10
+    #: initial-placement noise, fraction of region size (paper: 0.1%)
+    init_noise_ratio: float = 0.001
+    #: density weight update (eq. 18)
+    mu_min: float = 0.95
+    mu_max: float = 1.05
+    ref_delta_hpwl: float = 3.5e5
+    #: TCAD tweak: mu_max * max(0.9999^k, 0.98) when HPWL improves
+    tcad_mu_tweak: bool = True
+    #: give up if HPWL exceeds this multiple of its running minimum
+    divergence_ratio: float = 8.0
+
+    # -- flow stages -------------------------------------------------------
+    legalize: bool = True
+    detailed: bool = True
+    detailed_passes: int = 2
+
+    # -- routability-driven mode (Section III-F) ---------------------------
+    routability: bool = False
+    route_num_tiles: int = 32
+    route_num_layers: int = 4
+    route_tile_capacity: float = 12.0  # tracks per tile edge per layer
+    inflation_exponent: float = 2.5
+    inflation_max_ratio: float = 2.5
+    inflation_overflow_trigger: float = 0.20
+    inflation_whitespace_cap: float = 0.10
+    inflation_stop_ratio: float = 0.01
+    inflation_max_rounds: int = 5
+    inflation_lambda_period: int = 5
+
+    verbose: bool = False
+
+    # ------------------------------------------------------------------
+    def np_dtype(self) -> np.dtype:
+        if self.dtype not in ("float32", "float64"):
+            raise ValueError(f"unsupported dtype {self.dtype!r}")
+        return np.dtype(self.dtype)
+
+    def resolve_num_bins(self, num_movable: int) -> int:
+        """Auto-size the bin grid to a power of two near sqrt(#cells)."""
+        if self.num_bins is not None:
+            return int(self.num_bins)
+        guess = int(2 ** np.ceil(np.log2(max(np.sqrt(max(num_movable, 1)), 1))))
+        return int(np.clip(guess, 16, 512))
+
+    def with_overrides(self, **kwargs) -> "PlacementParams":
+        """A copy with some fields replaced."""
+        return replace(self, **kwargs)

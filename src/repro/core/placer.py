@@ -1,0 +1,227 @@
+"""The full DREAMPlace flow (Fig. 2(b)).
+
+``DreamPlacer`` chains random-center initialization, the kernel GP
+iterations, (optionally) the routability-driven inflation loop of
+Section III-F, Tetris+Abacus legalization and detailed placement, with
+per-stage timing matching the paper's runtime tables.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.global_place import GlobalPlacer
+from repro.core.metrics import scaled_hpwl
+from repro.core.params import PlacementParams
+from repro.dp.detailed_placer import DetailedPlacer, DetailedPlaceStats
+from repro.lg.checker import LegalityReport, check_legal
+from repro.lg.legalizer import legalize
+from repro.netlist.database import PlacementDB
+
+
+@dataclass
+class StageTimes:
+    """Wall-clock seconds per flow stage (the paper's runtime columns)."""
+
+    global_place: float = 0.0
+    global_route: float = 0.0  # routability mode only ("GR" in Table V)
+    legalize: float = 0.0
+    detailed: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (self.global_place + self.global_route
+                + self.legalize + self.detailed)
+
+
+@dataclass
+class PlacementResult:
+    """Everything the paper's tables report for one run."""
+
+    x: np.ndarray
+    y: np.ndarray
+    hpwl_global: float
+    hpwl_legal: float
+    hpwl_final: float
+    overflow: float
+    iterations: int
+    times: StageTimes
+    legality: Optional[LegalityReport] = None
+    dp_stats: Optional[DetailedPlaceStats] = None
+    # routability-driven metrics (Table V)
+    rc: Optional[float] = None
+    shpwl: Optional[float] = None
+    inflation_rounds: int = 0
+    router_calls: int = 0
+
+
+class DreamPlacer:
+    """End-to-end placer: GP -> (routability loop) -> LG -> DP."""
+
+    def __init__(self, db: PlacementDB, params: PlacementParams | None = None):
+        self.db = db
+        self.params = params or PlacementParams()
+        #: resolved router capacity (``route_tile_capacity <= 0`` means
+        #: auto-calibrate to a mildly congested level on first routing)
+        self._route_capacity: float | None = (
+            self.params.route_tile_capacity
+            if self.params.route_tile_capacity > 0 else None
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> PlacementResult:
+        params = self.params
+        db = self.db
+        times = StageTimes()
+
+        if params.routability:
+            gp_result, route_info = self._routability_global_place(times)
+        else:
+            start = time.perf_counter()
+            placer = GlobalPlacer(db, params)
+            gp_result = placer.place()
+            times.global_place = time.perf_counter() - start
+            route_info = None
+
+        x, y = gp_result.x.copy(), gp_result.y.copy()
+        hpwl_global = db.hpwl(x, y)
+
+        hpwl_legal = hpwl_global
+        legality = None
+        if params.legalize:
+            start = time.perf_counter()
+            x, y = legalize(db, x, y)
+            times.legalize = time.perf_counter() - start
+            hpwl_legal = db.hpwl(x, y)
+            legality = check_legal(db, x, y)
+
+        hpwl_final = hpwl_legal
+        dp_stats = None
+        if params.legalize and params.detailed:
+            start = time.perf_counter()
+            dp = DetailedPlacer(db, passes=params.detailed_passes)
+            x, y, dp_stats = dp.run(x, y)
+            times.detailed = time.perf_counter() - start
+            hpwl_final = db.hpwl(x, y)
+            legality = check_legal(db, x, y)
+
+        db.set_positions(x, y)
+
+        rc = None
+        shpwl = None
+        rounds = 0
+        router_calls = 0
+        if route_info is not None:
+            rounds, router_calls = route_info
+            rc, shpwl = self._final_route_metrics(x, y, times)
+
+        return PlacementResult(
+            x=x, y=y,
+            hpwl_global=hpwl_global,
+            hpwl_legal=hpwl_legal,
+            hpwl_final=hpwl_final,
+            overflow=gp_result.overflow,
+            iterations=gp_result.iterations,
+            times=times,
+            legality=legality,
+            dp_stats=dp_stats,
+            rc=rc,
+            shpwl=shpwl,
+            inflation_rounds=rounds,
+            router_calls=router_calls,
+        )
+
+    # ------------------------------------------------------------------
+    def _routability_global_place(self, times: StageTimes):
+        """GP with the cell-inflation loop of Section III-F."""
+        from repro.route.inflation import apply_inflation, inflation_ratio_map
+        from repro.route.router import GlobalRouter
+
+        params = self.params
+        db = self.db
+        original_width = db.cell_width.copy()
+        total_cell_area = db.total_movable_area
+        router = None
+        router_calls = 0
+        rounds = 0
+        warm = None
+        try:
+            while True:
+                placer = GlobalPlacer(db, params)
+                if rounds > 0:
+                    placer.lambda_period = params.inflation_lambda_period
+                if warm is not None:
+                    placer.set_positions(*warm)
+                start = time.perf_counter()
+                if rounds < params.inflation_max_rounds:
+                    # run down to the inflation trigger overflow (20%)
+                    result = placer.place(
+                        stop_overflow=params.inflation_overflow_trigger
+                    )
+                else:
+                    result = placer.place()
+                times.global_place += time.perf_counter() - start
+
+                if rounds >= params.inflation_max_rounds:
+                    return result, (rounds, router_calls)
+
+                if router is None:
+                    router = self._make_router(result.x, result.y)
+                start = time.perf_counter()
+                routing = router.route(result.x, result.y)
+                times.global_route += time.perf_counter() - start
+                router_calls += 1
+
+                ratios = inflation_ratio_map(
+                    routing.tile_ratio_map,
+                    params.inflation_exponent,
+                    params.inflation_max_ratio,
+                )
+                added = apply_inflation(
+                    db, routing.grid.tiles, ratios,
+                    x=result.x, y=result.y,
+                    whitespace_cap=params.inflation_whitespace_cap,
+                )
+                if added < params.inflation_stop_ratio * total_cell_area:
+                    # converged: restore and finish placement to target
+                    final = GlobalPlacer(db, params)
+                    final.lambda_period = (
+                        params.inflation_lambda_period if rounds else 1
+                    )
+                    final.set_positions(result.x, result.y)
+                    start = time.perf_counter()
+                    result = final.place()
+                    times.global_place += time.perf_counter() - start
+                    return result, (rounds, router_calls)
+                rounds += 1
+                warm = (result.x, result.y)
+        finally:
+            db.cell_width = original_width
+
+    def _make_router(self, x=None, y=None):
+        """Build the global router, auto-calibrating capacity if asked."""
+        from repro.route.router import GlobalRouter, calibrate_capacity
+
+        params = self.params
+        if self._route_capacity is None:
+            self._route_capacity = calibrate_capacity(
+                self.db, params.route_num_tiles, params.route_num_layers,
+                x, y,
+            )
+        return GlobalRouter(
+            self.db, params.route_num_tiles, params.route_num_layers,
+            self._route_capacity,
+        )
+
+    def _final_route_metrics(self, x, y, times: StageTimes):
+        """Route the final placement to report RC and sHPWL (Table V)."""
+        router = self._make_router(x, y)
+        start = time.perf_counter()
+        routing = router.route(x, y)
+        times.global_route += time.perf_counter() - start
+        hpwl = self.db.hpwl(x, y)
+        return routing.rc, scaled_hpwl(hpwl, routing.rc)

@@ -1,0 +1,12 @@
+"""Detailed placement.
+
+The paper delegates DP to NTUplace3 (and later ABCDPlace); this package
+implements the classic trio those placers use — global swap, local
+reordering, and independent-set matching — operating on a legal
+placement and preserving legality.
+"""
+
+from repro.dp.detailed_placer import DetailedPlacer, detailed_place
+from repro.dp.incremental import IncrementalHpwl
+
+__all__ = ["DetailedPlacer", "detailed_place", "IncrementalHpwl"]

@@ -1,0 +1,58 @@
+"""Detailed placement orchestrator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dp.global_swap import global_swap
+from repro.dp.incremental import IncrementalHpwl
+from repro.dp.independent_set import independent_set_matching
+from repro.dp.local_reorder import local_reorder
+from repro.netlist.database import PlacementDB
+
+
+@dataclass
+class DetailedPlaceStats:
+    """Per-pass acceptance counts and HPWL trajectory."""
+
+    hpwl_before: float = 0.0
+    hpwl_after: float = 0.0
+    swaps: list[int] = field(default_factory=list)
+    reorders: list[int] = field(default_factory=list)
+    matchings: list[int] = field(default_factory=list)
+
+
+class DetailedPlacer:
+    """Iterates global-swap -> local-reorder -> independent-set passes."""
+
+    def __init__(self, db: PlacementDB, passes: int = 2,
+                 reorder_window: int = 3, group_size: int = 12):
+        self.db = db
+        self.passes = int(passes)
+        self.reorder_window = int(reorder_window)
+        self.group_size = int(group_size)
+
+    def run(self, x: np.ndarray, y: np.ndarray
+            ) -> tuple[np.ndarray, np.ndarray, DetailedPlaceStats]:
+        state = IncrementalHpwl(self.db, x, y)
+        stats = DetailedPlaceStats(hpwl_before=state.total_hpwl())
+        for _ in range(self.passes):
+            stats.swaps.append(global_swap(self.db, state))
+            stats.reorders.append(
+                local_reorder(self.db, state, self.reorder_window)
+            )
+            stats.matchings.append(
+                independent_set_matching(self.db, state, self.group_size)
+            )
+            if stats.swaps[-1] + stats.reorders[-1] + stats.matchings[-1] == 0:
+                break
+        stats.hpwl_after = state.total_hpwl()
+        return state.x, state.y, stats
+
+
+def detailed_place(db: PlacementDB, x: np.ndarray, y: np.ndarray,
+                   passes: int = 2):
+    """Convenience wrapper; returns ``(x, y, stats)``."""
+    return DetailedPlacer(db, passes=passes).run(x, y)

@@ -1,0 +1,79 @@
+"""Global swap: move cells toward their optimal region by swapping.
+
+For each cell the optimal position is the median of its nets' bounding
+boxes (computed without the cell itself); the pass then looks for an
+equal-width cell near that position and swaps the pair when total HPWL
+improves.  Equal widths keep the placement legal without repacking.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dp.incremental import IncrementalHpwl
+from repro.netlist.database import PlacementDB
+
+
+def _optimal_position(db: PlacementDB, state: IncrementalHpwl,
+                      cell: int) -> tuple[float, float]:
+    """Median of the connected nets' bounding boxes excluding ``cell``."""
+    xs: list[float] = []
+    ys: list[float] = []
+    for pin in db.cell_pins(cell):
+        net = int(db.pin_net[pin])
+        others = [p for p in db.net_pins(net) if db.pin_cell[p] != cell]
+        if not others:
+            continue
+        px = state._pin_x[others]
+        py = state._pin_y[others]
+        xs.extend((float(px.min()), float(px.max())))
+        ys.extend((float(py.min()), float(py.max())))
+    if not xs:
+        return float(state.x[cell]), float(state.y[cell])
+    return float(np.median(xs)), float(np.median(ys))
+
+
+def global_swap(db: PlacementDB, state: IncrementalHpwl,
+                max_candidates: int = 8,
+                search_radius: float | None = None) -> int:
+    """One sweep of global swapping; returns #accepted swaps."""
+    region = db.region
+    movable = db.movable_index
+    if movable.size == 0:
+        return 0
+    if search_radius is None:
+        search_radius = 4.0 * region.row_height
+
+    accepted = 0
+    # order by pin count (well-connected cells first, like NTUplace)
+    degree = np.diff(db.cell2pin_start)[movable]
+    order = movable[np.argsort(-degree, kind="stable")]
+    for cell in order:
+        ox, oy = _optimal_position(db, state, cell)
+        if abs(ox - state.x[cell]) + abs(oy - state.y[cell]) \
+                < region.site_width:
+            continue
+        width = db.cell_width[cell]
+        height = db.cell_height[cell]
+        # candidates: same-footprint movable cells near the optimum
+        dist = np.abs(state.x[movable] - ox) + np.abs(state.y[movable] - oy)
+        nearby = movable[
+            (dist < search_radius)
+            & (np.abs(db.cell_width[movable] - width) < 1e-9)
+            & (np.abs(db.cell_height[movable] - height) < 1e-9)
+            & (movable != cell)
+        ]
+        if nearby.size == 0:
+            continue
+        nearby = nearby[np.argsort(
+            np.abs(state.x[nearby] - ox) + np.abs(state.y[nearby] - oy)
+        )][:max_candidates]
+        for other in nearby:
+            pair = [cell, int(other)]
+            new_x = [state.x[other], state.x[cell]]
+            new_y = [state.y[other], state.y[cell]]
+            if state.delta(pair, new_x, new_y) < -1e-9:
+                state.apply(pair, new_x, new_y)
+                accepted += 1
+                break
+    return accepted

@@ -1,0 +1,74 @@
+"""Incremental HPWL evaluation for detailed placement moves."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netlist.database import PlacementDB
+
+
+class IncrementalHpwl:
+    """Tracks pin positions and answers "what if these cells moved?".
+
+    Positions are cell lower-left corners; the evaluator maintains its
+    own copies, mutated through :meth:`apply`.
+    """
+
+    def __init__(self, db: PlacementDB, x: np.ndarray, y: np.ndarray):
+        self.db = db
+        self.x = np.asarray(x, dtype=np.float64).copy()
+        self.y = np.asarray(y, dtype=np.float64).copy()
+        self._pin_x = self.x[db.pin_cell] + db.pin_offset_x
+        self._pin_y = self.y[db.pin_cell] + db.pin_offset_y
+
+    # ------------------------------------------------------------------
+    def net_hpwl(self, net: int) -> float:
+        pins = self.db.net_pins(net)
+        px = self._pin_x[pins]
+        py = self._pin_y[pins]
+        return float(px.max() - px.min() + py.max() - py.min())
+
+    def nets_of_cells(self, cells) -> np.ndarray:
+        pin_lists = [self.db.cell_pins(c) for c in cells]
+        if not pin_lists:
+            return np.empty(0, dtype=np.int64)
+        pins = np.concatenate(pin_lists)
+        return np.unique(self.db.pin_net[pins])
+
+    def total_hpwl(self) -> float:
+        from repro.ops.hpwl import hpwl
+
+        return hpwl(self._pin_x, self._pin_y, self.db.pin_net,
+                    self.db.num_nets, self.db.net_weight)
+
+    # ------------------------------------------------------------------
+    def delta(self, cells, new_x, new_y) -> float:
+        """HPWL change if ``cells`` moved to ``new_x/new_y`` (not applied)."""
+        nets = self.nets_of_cells(cells)
+        before = sum(self.net_hpwl(e) * self.db.net_weight[e] for e in nets)
+        moved = {int(c): (float(nx), float(ny))
+                 for c, nx, ny in zip(cells, new_x, new_y)}
+        after = 0.0
+        for e in nets:
+            pins = self.db.net_pins(e)
+            px = self._pin_x[pins].copy()
+            py = self._pin_y[pins].copy()
+            for k, pin in enumerate(pins):
+                cell = int(self.db.pin_cell[pin])
+                if cell in moved:
+                    nx, ny = moved[cell]
+                    px[k] = nx + self.db.pin_offset_x[pin]
+                    py[k] = ny + self.db.pin_offset_y[pin]
+            after += (px.max() - px.min() + py.max() - py.min()) \
+                * self.db.net_weight[e]
+        return after - before
+
+    def apply(self, cells, new_x, new_y) -> None:
+        """Commit moves, updating cached pin positions."""
+        for c, nx, ny in zip(cells, new_x, new_y):
+            c = int(c)
+            self.x[c] = float(nx)
+            self.y[c] = float(ny)
+            pins = self.db.cell_pins(c)
+            self._pin_x[pins] = self.x[c] + self.db.pin_offset_x[pins]
+            self._pin_y[pins] = self.y[c] + self.db.pin_offset_y[pins]

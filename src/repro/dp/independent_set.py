@@ -1,0 +1,81 @@
+"""Independent-set matching: optimally re-assign sets of swappable cells.
+
+Picks groups of equal-width cells that share no nets (so their cost
+contributions are independent), builds the cell x slot HPWL cost matrix
+and solves the assignment exactly with the Hungarian algorithm — the
+NTUplace3/ABCDPlace "independent set matching" refinement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.dp.incremental import IncrementalHpwl
+from repro.netlist.database import PlacementDB
+
+
+def _independent_groups(db: PlacementDB, cells: np.ndarray,
+                        group_size: int) -> list[np.ndarray]:
+    """Greedily partition ``cells`` into net-disjoint groups."""
+    groups: list[np.ndarray] = []
+    current: list[int] = []
+    used_nets: set[int] = set()
+    for cell in cells:
+        nets = {int(db.pin_net[p]) for p in db.cell_pins(cell)}
+        if nets & used_nets:
+            continue
+        current.append(int(cell))
+        used_nets |= nets
+        if len(current) == group_size:
+            groups.append(np.asarray(current))
+            current = []
+            used_nets = set()
+    if len(current) >= 2:
+        groups.append(np.asarray(current))
+    return groups
+
+
+def independent_set_matching(db: PlacementDB, state: IncrementalHpwl,
+                             group_size: int = 12) -> int:
+    """One sweep of independent-set matching; returns #improved groups."""
+    movable = db.movable_index
+    if movable.size == 0:
+        return 0
+    improved = 0
+    widths = db.cell_width[movable]
+    heights = db.cell_height[movable]
+    footprints = np.stack([widths, heights], axis=1)
+    for width, height in np.unique(footprints, axis=0):
+        cells = movable[
+            (np.abs(widths - width) < 1e-9)
+            & (np.abs(heights - height) < 1e-9)
+        ]
+        if cells.size < 2:
+            continue
+        # spatially coherent order so groups are local
+        order = np.argsort(
+            state.y[cells] * 8192 + state.x[cells], kind="stable"
+        )
+        for group in _independent_groups(db, cells[order], group_size):
+            k = len(group)
+            slots_x = state.x[group].copy()
+            slots_y = state.y[group].copy()
+            cost = np.empty((k, k))
+            for i, cell in enumerate(group):
+                for j in range(k):
+                    if abs(slots_x[j] - state.x[cell]) < 1e-12 and \
+                            abs(slots_y[j] - state.y[cell]) < 1e-12:
+                        cost[i, j] = 0.0
+                    else:
+                        cost[i, j] = state.delta(
+                            [cell], [slots_x[j]], [slots_y[j]]
+                        )
+            rows, cols = linear_sum_assignment(cost)
+            total = float(cost[rows, cols].sum())
+            if total < -1e-9:
+                state.apply(
+                    group[rows], slots_x[cols], slots_y[cols]
+                )
+                improved += 1
+    return improved

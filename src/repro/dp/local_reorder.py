@@ -1,0 +1,80 @@
+"""Local reordering: permute small windows of adjacent cells in a row."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.dp.incremental import IncrementalHpwl
+from repro.lg.rows import build_row_segments
+from repro.netlist.database import PlacementDB
+
+
+def local_reorder(db: PlacementDB, state: IncrementalHpwl,
+                  window: int = 3) -> int:
+    """One sweep of sliding-window reordering; returns #accepted moves.
+
+    Windows are confined to one free row segment (so packing never
+    crosses a fixed blockage) and the cells of a window are left-packed
+    in the tried order, which never grows the occupied extent — legality
+    is preserved by construction.
+    """
+    region = db.region
+    accepted = 0
+    movable = db.movable_index
+    # only single-row cells can be repacked within a row
+    movable = movable[
+        db.cell_height[movable] <= region.row_height + 1e-9
+    ]
+    if movable.size == 0:
+        return 0
+    rows = ((state.y[movable] - region.yl) / region.row_height + 0.5).astype(int)
+    # movable macros (if any) act as blockages at their current spot
+    all_movable = db.movable_index
+    tall = all_movable[
+        db.cell_height[all_movable] > region.row_height + 1e-9
+    ]
+    macro_rects = [
+        (state.x[i], state.y[i],
+         state.x[i] + db.cell_width[i], state.y[i] + db.cell_height[i])
+        for i in tall
+    ]
+    segments = build_row_segments(db, extra_blockers=macro_rects)
+    for row in np.unique(rows):
+        row_cells = movable[rows == row]
+        if row < 0 or row >= len(segments):
+            continue
+        for seg in segments[row]:
+            seg_cells = row_cells[
+                (state.x[row_cells] >= seg.start - 1e-9)
+                & (state.x[row_cells] < seg.end - 1e-9)
+            ]
+            for lo in range(0, len(seg_cells) - window + 1,
+                            max(window - 1, 1)):
+                # re-sort by the *current* x so the window really is a
+                # set of adjacent cells even after earlier windows
+                # permuted the segment
+                cells = seg_cells[
+                    np.argsort(state.x[seg_cells], kind="stable")
+                ]
+                group = cells[lo:lo + window]
+                start = state.x[group[0]]
+                widths = db.cell_width[group]
+                base_y = state.y[group]
+                best_delta = -1e-9
+                best_perm = None
+                for perm in itertools.permutations(range(len(group))):
+                    xs = start + np.concatenate(
+                        ([0.0], np.cumsum(widths[list(perm)])[:-1])
+                    )
+                    ordered = group[list(perm)]
+                    delta = state.delta(ordered, xs, base_y[:len(ordered)])
+                    if delta < best_delta:
+                        best_delta = delta
+                        best_perm = (ordered, xs)
+                if best_perm is not None:
+                    ordered, xs = best_perm
+                    state.apply(ordered, xs, base_y[:len(ordered)])
+                    accepted += 1
+    return accepted

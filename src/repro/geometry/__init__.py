@@ -1,0 +1,18 @@
+"""Layout geometry: die region, placement rows/sites, and bin grids."""
+
+from repro.geometry.region import PlacementRegion, Row
+from repro.geometry.bins import BinGrid
+from repro.geometry.boxes import (
+    clamp,
+    overlap_1d,
+    rect_overlap_area,
+)
+
+__all__ = [
+    "PlacementRegion",
+    "Row",
+    "BinGrid",
+    "clamp",
+    "overlap_1d",
+    "rect_overlap_area",
+]

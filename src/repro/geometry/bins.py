@@ -1,0 +1,81 @@
+"""Uniform bin grid for density and congestion maps.
+
+The electrostatic density system of ePlace discretizes the region into an
+``M x M`` grid of bins (Section II-C); routing congestion uses the same
+structure with per-layer capacities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.region import PlacementRegion
+
+
+class BinGrid:
+    """An ``nx x ny`` uniform grid over a placement region.
+
+    Bin (i, j) covers ``[xl + i*bw, xl + (i+1)*bw] x [yl + j*bh, ...]``;
+    maps are indexed ``map[i, j]`` with i along x.
+    """
+
+    def __init__(self, region: PlacementRegion, nx: int, ny: int):
+        if nx <= 0 or ny <= 0:
+            raise ValueError(f"invalid grid {nx} x {ny}")
+        self.region = region
+        self.nx = int(nx)
+        self.ny = int(ny)
+        self.bin_w = region.width / nx
+        self.bin_h = region.height / ny
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.nx, self.ny)
+
+    @property
+    def bin_area(self) -> float:
+        return self.bin_w * self.bin_h
+
+    def x_edges(self) -> np.ndarray:
+        return self.region.xl + np.arange(self.nx + 1) * self.bin_w
+
+    def y_edges(self) -> np.ndarray:
+        return self.region.yl + np.arange(self.ny + 1) * self.bin_h
+
+    def x_centers(self) -> np.ndarray:
+        return self.region.xl + (np.arange(self.nx) + 0.5) * self.bin_w
+
+    def y_centers(self) -> np.ndarray:
+        return self.region.yl + (np.arange(self.ny) + 0.5) * self.bin_h
+
+    def bin_index_x(self, x) -> np.ndarray:
+        """Bin column index containing coordinate x (clipped)."""
+        idx = np.floor((np.asarray(x) - self.region.xl) / self.bin_w)
+        return np.clip(idx, 0, self.nx - 1).astype(np.int64)
+
+    def bin_index_y(self, y) -> np.ndarray:
+        idx = np.floor((np.asarray(y) - self.region.yl) / self.bin_h)
+        return np.clip(idx, 0, self.ny - 1).astype(np.int64)
+
+    def span_x(self, xl, xh):
+        """First and one-past-last bin columns overlapped by [xl, xh]."""
+        lo = self.bin_index_x(xl)
+        hi = np.floor(
+            (np.asarray(xh) - self.region.xl) / self.bin_w - 1e-9
+        )
+        hi = np.clip(hi, 0, self.nx - 1).astype(np.int64) + 1
+        return lo, np.maximum(hi, lo + 1)
+
+    def span_y(self, yl, yh):
+        lo = self.bin_index_y(yl)
+        hi = np.floor(
+            (np.asarray(yh) - self.region.yl) / self.bin_h - 1e-9
+        )
+        hi = np.clip(hi, 0, self.ny - 1).astype(np.int64) + 1
+        return lo, np.maximum(hi, lo + 1)
+
+    def zeros(self, dtype=np.float64) -> np.ndarray:
+        return np.zeros((self.nx, self.ny), dtype=dtype)
+
+    def __repr__(self):
+        return f"BinGrid({self.nx} x {self.ny}, bin={self.bin_w:.3g} x {self.bin_h:.3g})"

@@ -1,0 +1,26 @@
+"""Vectorized rectangle utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def clamp(values: np.ndarray, lo, hi) -> np.ndarray:
+    """Elementwise clamp of ``values`` into ``[lo, hi]``."""
+    return np.minimum(np.maximum(values, lo), hi)
+
+
+def overlap_1d(al, ah, bl, bh) -> np.ndarray:
+    """Length of the 1-D overlap of intervals [al, ah] and [bl, bh].
+
+    All arguments broadcast; the result is clipped at zero.
+    """
+    return np.maximum(
+        np.minimum(ah, bh) - np.maximum(al, bl),
+        0.0,
+    )
+
+
+def rect_overlap_area(axl, ayl, axh, ayh, bxl, byl, bxh, byh) -> np.ndarray:
+    """Overlap area of rectangles a and b (broadcasting, >= 0)."""
+    return overlap_1d(axl, axh, bxl, bxh) * overlap_1d(ayl, ayh, byl, byh)

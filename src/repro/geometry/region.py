@@ -1,0 +1,132 @@
+"""Die region and standard-cell rows.
+
+A :class:`PlacementRegion` models the core area of the layout: its
+bounding box plus the uniform standard-cell rows and sites that
+legalization must snap cells onto (the .scl content of a Bookshelf
+benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Row:
+    """One standard-cell row: y origin, height, x origin, #sites, site width."""
+
+    y: float
+    height: float
+    x: float
+    num_sites: int
+    site_width: float
+
+    @property
+    def x_end(self) -> float:
+        return self.x + self.num_sites * self.site_width
+
+
+class PlacementRegion:
+    """Core placement area with uniform rows.
+
+    Parameters
+    ----------
+    xl, yl, xh, yh:
+        Bounding box of the placeable region.
+    row_height:
+        Height of every standard-cell row; rows tile [yl, yh).
+    site_width:
+        Width of a placement site inside each row.
+    """
+
+    def __init__(self, xl: float, yl: float, xh: float, yh: float,
+                 row_height: float = 1.0, site_width: float = 1.0):
+        if xh <= xl or yh <= yl:
+            raise ValueError(
+                f"degenerate region: ({xl}, {yl}) .. ({xh}, {yh})"
+            )
+        if row_height <= 0 or site_width <= 0:
+            raise ValueError("row_height and site_width must be positive")
+        self.xl = float(xl)
+        self.yl = float(yl)
+        self.xh = float(xh)
+        self.yh = float(yh)
+        self.row_height = float(row_height)
+        self.site_width = float(site_width)
+
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        return self.xh - self.xl
+
+    @property
+    def height(self) -> float:
+        return self.yh - self.yl
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def num_rows(self) -> int:
+        return int(np.floor(self.height / self.row_height + 1e-9))
+
+    @property
+    def num_sites_per_row(self) -> int:
+        return int(np.floor(self.width / self.site_width + 1e-9))
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return (self.xl + self.xh) / 2.0, (self.yl + self.yh) / 2.0
+
+    def rows(self) -> list[Row]:
+        """Enumerate the standard-cell rows covering the region."""
+        return [
+            Row(
+                y=self.yl + i * self.row_height,
+                height=self.row_height,
+                x=self.xl,
+                num_sites=self.num_sites_per_row,
+                site_width=self.site_width,
+            )
+            for i in range(self.num_rows)
+        ]
+
+    # ------------------------------------------------------------------
+    def row_index(self, y) -> np.ndarray:
+        """Row index for coordinate ``y`` (clipped into the region)."""
+        idx = np.floor((np.asarray(y) - self.yl) / self.row_height)
+        return np.clip(idx, 0, self.num_rows - 1).astype(np.int64)
+
+    def row_y(self, index) -> np.ndarray:
+        """y origin of row ``index``."""
+        return self.yl + np.asarray(index, dtype=np.float64) * self.row_height
+
+    def snap_x(self, x) -> np.ndarray:
+        """Snap x coordinates to the nearest site boundary."""
+        sites = np.round((np.asarray(x) - self.xl) / self.site_width)
+        sites = np.clip(sites, 0, self.num_sites_per_row)
+        return self.xl + sites * self.site_width
+
+    def clamp_cells(self, x, y, widths, heights):
+        """Clamp lower-left cell corners so cells stay inside the region."""
+        cx = np.minimum(np.maximum(x, self.xl), self.xh - widths)
+        cy = np.minimum(np.maximum(y, self.yl), self.yh - heights)
+        return cx, cy
+
+    def contains(self, x, y, widths=0.0, heights=0.0) -> np.ndarray:
+        eps = 1e-6
+        return (
+            (np.asarray(x) >= self.xl - eps)
+            & (np.asarray(y) >= self.yl - eps)
+            & (np.asarray(x) + widths <= self.xh + eps)
+            & (np.asarray(y) + heights <= self.yh + eps)
+        )
+
+    def __repr__(self):
+        return (
+            f"PlacementRegion(({self.xl}, {self.yl}) .. ({self.xh}, "
+            f"{self.yh}), rows={self.num_rows})"
+        )

@@ -1,0 +1,21 @@
+"""Legalization (Section III-E).
+
+A Tetris-like greedy pass (as in NTUplace3) assigns every movable cell
+to a row and a legal, non-overlapping interval; an Abacus row-based pass
+(Spindler et al.) then minimizes displacement within each row by
+clustering.  A checker validates the invariants the detailed placer
+relies on.
+"""
+
+from repro.lg.tetris import tetris_legalize
+from repro.lg.abacus import abacus_legalize
+from repro.lg.checker import check_legal, LegalityReport
+from repro.lg.legalizer import legalize
+
+__all__ = [
+    "tetris_legalize",
+    "abacus_legalize",
+    "check_legal",
+    "LegalityReport",
+    "legalize",
+]

@@ -1,0 +1,118 @@
+"""Abacus row-based legalization (second step of Section III-E).
+
+Spindler et al.'s dynamic clustering: cells assigned to a row are placed
+at their desired x and merged into clusters whenever they overlap; each
+cluster sits at the weighted mean of its members' desired positions,
+clamped into the free segment — yielding minimal total squared
+displacement within the row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lg.rows import build_row_segments
+from repro.netlist.database import PlacementDB
+
+
+class _Cluster:
+    __slots__ = ("e", "q", "w", "x", "cells")
+
+    def __init__(self):
+        self.e = 0.0  # total weight
+        self.q = 0.0  # weighted sum of (desired - offset in cluster)
+        self.w = 0.0  # total width
+        self.x = 0.0
+        self.cells: list[int] = []
+
+    def add_cell(self, cell: int, desired: float, width: float,
+                 weight: float) -> None:
+        self.e += weight
+        self.q += weight * (desired - self.w)
+        self.w += width
+        self.cells.append(cell)
+
+    def add_cluster(self, other: "_Cluster") -> None:
+        self.q += other.q - other.e * self.w
+        self.e += other.e
+        self.w += other.w
+        self.cells.extend(other.cells)
+
+    def place(self, lo: float, hi: float) -> None:
+        self.x = self.q / self.e if self.e > 0 else lo
+        self.x = min(max(self.x, lo), max(hi - self.w, lo))
+
+
+def _legalize_segment(cells, desired_x, widths, weights, lo, hi):
+    """Abacus within one free segment; returns x per cell (packed)."""
+    clusters: list[_Cluster] = []
+    for cell in cells:
+        cluster = _Cluster()
+        cluster.add_cell(cell, desired_x[cell], widths[cell], weights[cell])
+        cluster.place(lo, hi)
+        clusters.append(cluster)
+        while len(clusters) >= 2 and \
+                clusters[-2].x + clusters[-2].w > clusters[-1].x + 1e-9:
+            prev = clusters[-2]
+            prev.add_cluster(clusters[-1])
+            clusters.pop()
+            prev.place(lo, hi)
+    out = {}
+    for cluster in clusters:
+        cursor = cluster.x
+        for cell in cluster.cells:
+            out[cell] = cursor
+            cursor += widths[cell]
+    return out
+
+
+def abacus_legalize(db: PlacementDB, x: np.ndarray, y: np.ndarray,
+                    row_of_cell: np.ndarray,
+                    desired_x: np.ndarray | None = None,
+                    desired_y: np.ndarray | None = None):
+    """Refine a row-assigned placement with Abacus clustering.
+
+    ``x/y/row_of_cell`` come from :func:`tetris_legalize` (they define
+    which segment each cell occupies); ``desired_*`` are the positions
+    to approach (default: the current global-placement result in the
+    database).  Returns new ``(x, y)``.
+    """
+    region = db.region
+    x = np.asarray(x, dtype=np.float64).copy()
+    y = np.asarray(y, dtype=np.float64).copy()
+    desired_x = db.cell_x if desired_x is None else np.asarray(desired_x)
+    weights = np.maximum(
+        np.diff(db.cell2pin_start).astype(np.float64), 1.0
+    )  # pin count as cluster weight
+    widths = db.cell_width
+    site = region.site_width
+
+    segments = build_row_segments(db)
+    for row, row_segments in enumerate(segments):
+        members = np.flatnonzero(row_of_cell == row)
+        if members.size == 0:
+            continue
+        members = members[np.argsort(x[members], kind="stable")]
+        for seg in row_segments:
+            inside = members[
+                (x[members] >= seg.start - 1e-9)
+                & (x[members] < seg.end - 1e-9)
+            ]
+            if inside.size == 0:
+                continue
+            placed = _legalize_segment(
+                list(inside), desired_x, widths, weights,
+                seg.start, seg.end,
+            )
+            # snap each packed run onto the site grid without overlap
+            prev_end = seg.start
+            for cell in inside:
+                pos = placed[cell]
+                snapped = region.xl + np.floor(
+                    (pos - region.xl) / site + 1e-9
+                ) * site
+                pos = max(snapped, prev_end)
+                pos = min(pos, seg.end - widths[cell])
+                x[cell] = pos
+                prev_end = pos + widths[cell]
+    return x, y

@@ -1,0 +1,97 @@
+"""Placement legality checking."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.netlist.database import PlacementDB
+
+
+@dataclass
+class LegalityReport:
+    """Outcome of a legality check."""
+
+    legal: bool
+    outside: int = 0
+    off_row: int = 0
+    off_site: int = 0
+    overlaps: int = 0
+    messages: list[str] = field(default_factory=list)
+
+
+def check_legal(db: PlacementDB, x: np.ndarray | None = None,
+                y: np.ndarray | None = None,
+                check_sites: bool = True) -> LegalityReport:
+    """Verify the movable cells are inside, row/site aligned, overlap-free.
+
+    Overlaps are checked movable-vs-movable and movable-vs-fixed via a
+    sweep over row occupancy.
+    """
+    region = db.region
+    x = db.cell_x if x is None else np.asarray(x)
+    y = db.cell_y if y is None else np.asarray(y)
+    report = LegalityReport(legal=True)
+    movable = db.movable_index
+    w = db.cell_width
+    h = db.cell_height
+
+    inside = region.contains(x[movable], y[movable], w[movable], h[movable])
+    report.outside = int((~inside).sum())
+    if report.outside:
+        report.messages.append(f"{report.outside} cells outside region")
+
+    rel_y = (y[movable] - region.yl) / region.row_height
+    off_row = np.abs(rel_y - np.round(rel_y)) > 1e-6
+    report.off_row = int(off_row.sum())
+    if report.off_row:
+        report.messages.append(f"{report.off_row} cells off row grid")
+
+    if check_sites:
+        rel_x = (x[movable] - region.xl) / region.site_width
+        off_site = np.abs(rel_x - np.round(rel_x)) > 1e-6
+        report.off_site = int(off_site.sum())
+        if report.off_site:
+            report.messages.append(f"{report.off_site} cells off site grid")
+
+    # overlap sweep per row band
+    overlaps = 0
+    boxes = []
+    for i in movable:
+        if w[i] > 0 and h[i] > 0:
+            boxes.append((x[i], y[i], x[i] + w[i], y[i] + h[i], i, True))
+    for i in db.fixed_index:
+        if w[i] > 0 and h[i] > 0:
+            boxes.append((x[i], y[i], x[i] + w[i], y[i] + h[i], i, False))
+    # bucket boxes by row band to keep the pairwise check local
+    bands: dict[int, list] = {}
+    for box in boxes:
+        lo = int(np.floor((box[1] - region.yl) / region.row_height))
+        hi = int(np.ceil((box[3] - region.yl) / region.row_height))
+        for band in range(lo, max(hi, lo + 1)):
+            bands.setdefault(band, []).append(box)
+    eps = 1e-6
+    seen: set[tuple[int, int]] = set()
+    for band_boxes in bands.values():
+        band_boxes.sort(key=lambda b: b[0])
+        for i, a in enumerate(band_boxes):
+            for b in band_boxes[i + 1:]:
+                if b[0] >= a[2] - eps:
+                    break
+                if not (a[5] or b[5]):
+                    continue  # fixed-fixed overlaps are benign
+                if min(a[3], b[3]) - max(a[1], b[1]) > eps:
+                    key = (min(a[4], b[4]), max(a[4], b[4]))
+                    if key not in seen:
+                        seen.add(key)
+                        overlaps += 1
+    report.overlaps = overlaps
+    if overlaps:
+        report.messages.append(f"{overlaps} overlapping cell pairs")
+
+    report.legal = (
+        report.outside == 0 and report.off_row == 0
+        and report.off_site == 0 and report.overlaps == 0
+    )
+    return report

@@ -1,0 +1,49 @@
+"""Legalization orchestrator: Tetris pass then Abacus refinement."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lg.abacus import abacus_legalize
+from repro.lg.macro_legalize import legalize_macros, movable_macro_index
+from repro.lg.tetris import tetris_legalize
+from repro.netlist.database import PlacementDB
+
+
+def legalize(db: PlacementDB, x: np.ndarray | None = None,
+             y: np.ndarray | None = None,
+             refine: bool = True) -> tuple[np.ndarray, np.ndarray]:
+    """Legalize movable cells, following Section III-E.
+
+    Movable macros (multi-row cells) are legalized greedily first and
+    then treated as fixed obstacles.  The Tetris-like greedy pass
+    assigns standard cells to rows and removes overlaps, then (if
+    ``refine``) Abacus minimizes displacement within rows using the
+    pre-legalization positions as targets.  Returns legal ``(x, y)``.
+    """
+    desired_x = db.cell_x.copy() if x is None else np.asarray(x).copy()
+    desired_y = db.cell_y.copy() if y is None else np.asarray(y).copy()
+
+    macros = movable_macro_index(db)
+    if macros.size:
+        mx, my, _ = legalize_macros(db, desired_x, desired_y)
+        desired_x[macros] = mx[macros]
+        desired_y[macros] = my[macros]
+        # std-cell legalizers see the macros as fixed obstacles
+        work = db.clone()
+        work.movable = work.movable.copy()
+        work.movable[macros] = False
+        work.cell_x[macros] = mx[macros]
+        work.cell_y[macros] = my[macros]
+    else:
+        work = db
+
+    lx, ly, row_of_cell = tetris_legalize(work, desired_x, desired_y)
+    if refine:
+        lx, ly = abacus_legalize(
+            work, lx, ly, row_of_cell, desired_x=desired_x,
+        )
+    if macros.size:
+        lx[macros] = desired_x[macros]
+        ly[macros] = desired_y[macros]
+    return lx, ly

@@ -1,0 +1,104 @@
+"""Greedy legalization of movable macros (multi-row cells).
+
+Macros are legalized before standard cells: each macro, in decreasing
+area order, is snapped to the row/site grid and placed at the nearest
+non-overlapping position found by an expanding ring search.  Legalized
+macros then act as fixed obstacles for the row-based standard-cell
+legalizers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.boxes import rect_overlap_area
+from repro.netlist.database import PlacementDB
+
+
+def movable_macro_index(db: PlacementDB) -> np.ndarray:
+    """Indices of movable cells taller than one row."""
+    eps = 1e-9
+    return np.flatnonzero(
+        db.movable & (db.cell_height > db.region.row_height + eps)
+    )
+
+
+def _overlaps_any(x, y, w, h, obstacles) -> bool:
+    for ox, oy, ow, oh in obstacles:
+        if rect_overlap_area(x, y, x + w, y + h,
+                             ox, oy, ox + ow, oy + oh) > 1e-9:
+            return True
+    return False
+
+
+def legalize_macros(db: PlacementDB,
+                    x: np.ndarray | None = None,
+                    y: np.ndarray | None = None,
+                    max_radius: int | None = None):
+    """Legalize multi-row movable cells; returns ``(x, y, macro_ids)``.
+
+    Raises ``RuntimeError`` if a macro cannot be placed within the
+    search radius (default: the whole region).
+    """
+    region = db.region
+    x = db.cell_x.copy() if x is None else np.asarray(x, dtype=np.float64).copy()
+    y = db.cell_y.copy() if y is None else np.asarray(y, dtype=np.float64).copy()
+    macros = movable_macro_index(db)
+    if macros.size == 0:
+        return x, y, macros
+
+    site = region.site_width
+    row = region.row_height
+    if max_radius is None:
+        max_radius = max(region.num_sites_per_row, region.num_rows)
+
+    obstacles = [
+        (db.cell_x[i], db.cell_y[i], db.cell_width[i], db.cell_height[i])
+        for i in db.fixed_index
+        if db.cell_width[i] > 0 and db.cell_height[i] > 0
+    ]
+
+    order = macros[np.argsort(-db.cell_area[macros], kind="stable")]
+    for macro in order:
+        w = db.cell_width[macro]
+        h = db.cell_height[macro]
+        # snap the desired position onto the site/row grid, inside
+        base_x, base_y = region.clamp_cells(
+            np.array([x[macro]]), np.array([y[macro]]),
+            np.array([w]), np.array([h]),
+        )
+        col0 = int(round((base_x[0] - region.xl) / site))
+        row0 = int(round((base_y[0] - region.yl) / row))
+        placed = False
+        for radius in range(max_radius + 1):
+            ring = []
+            if radius == 0:
+                ring.append((col0, row0))
+            else:
+                for d in range(-radius, radius + 1):
+                    ring.append((col0 + d, row0 - radius))
+                    ring.append((col0 + d, row0 + radius))
+                    ring.append((col0 - radius, row0 + d))
+                    ring.append((col0 + radius, row0 + d))
+            for col, band in ring:
+                cx = region.xl + col * site
+                cy = region.yl + band * row
+                if cx < region.xl - 1e-9 or cy < region.yl - 1e-9:
+                    continue
+                if cx + w > region.xh + 1e-9 or cy + h > region.yh + 1e-9:
+                    continue
+                if _overlaps_any(cx, cy, w, h, obstacles):
+                    continue
+                x[macro] = cx
+                y[macro] = cy
+                obstacles.append((cx, cy, w, h))
+                placed = True
+                break
+            if placed:
+                break
+        if not placed:
+            raise RuntimeError(
+                f"macro legalization failed for "
+                f"{db.cell_names[macro]!r} ({w} x {h})"
+            )
+    return x, y, macros

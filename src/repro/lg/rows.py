@@ -1,0 +1,70 @@
+"""Row free-space bookkeeping shared by the legalizers.
+
+Rows are split into free segments by fixed cells/macros; legalizers
+allocate cell intervals from these segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netlist.database import PlacementDB
+
+
+@dataclass
+class Segment:
+    """A free interval [start, end) in one row."""
+
+    row: int
+    start: float
+    end: float
+
+    @property
+    def width(self) -> float:
+        return self.end - self.start
+
+
+def build_row_segments(db: PlacementDB,
+                       extra_blockers=()) -> list[list[Segment]]:
+    """Free segments per row after subtracting fixed cells.
+
+    Terminals with zero area are ignored; any fixed cell overlapping a
+    row blocks the overlapped x interval.  ``extra_blockers`` adds
+    rectangles ``(xl, yl, xh, yh)`` treated like fixed cells (e.g.
+    already-legalized movable macros).
+    """
+    region = db.region
+    num_rows = region.num_rows
+    blockers: list[list[tuple[float, float]]] = [[] for _ in range(num_rows)]
+    rects = [
+        (db.cell_x[i], db.cell_y[i],
+         db.cell_x[i] + db.cell_width[i],
+         db.cell_y[i] + db.cell_height[i])
+        for i in db.fixed_index
+        if db.cell_width[i] > 0 and db.cell_height[i] > 0
+    ]
+    rects.extend(extra_blockers)
+    for rect_xl, rect_yl, rect_xh, rect_yh in rects:
+        xl = max(rect_xl, region.xl)
+        xh = min(rect_xh, region.xh)
+        if xh <= xl:
+            continue
+        row_lo = int(np.floor((rect_yl - region.yl) / region.row_height))
+        row_hi = int(np.ceil((rect_yh - region.yl) / region.row_height))
+        for row in range(max(row_lo, 0), min(row_hi, num_rows)):
+            blockers[row].append((xl, xh))
+
+    segments: list[list[Segment]] = []
+    for row in range(num_rows):
+        free: list[Segment] = []
+        cursor = region.xl
+        for xl, xh in sorted(blockers[row]):
+            if xl > cursor:
+                free.append(Segment(row, cursor, xl))
+            cursor = max(cursor, xh)
+        if cursor < region.xh:
+            free.append(Segment(row, cursor, region.xh))
+        segments.append(free)
+    return segments

@@ -1,0 +1,138 @@
+"""Tetris-like greedy legalization (first step of Section III-E).
+
+Cells are processed in left-to-right order of their global-placement x;
+each is assigned the minimum-displacement legal slot among nearby rows,
+packing rows greedily like falling Tetris pieces (NTUplace3's scheme).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lg.rows import build_row_segments
+from repro.netlist.database import PlacementDB
+
+
+class _RowState:
+    """Per-row free segments with monotone fill cursors."""
+
+    __slots__ = ("y", "segments")
+
+    def __init__(self, y: float, segments):
+        self.y = y
+        # [start, end, cursor] per free segment
+        self.segments = [[s.start, s.end, s.start] for s in segments]
+
+    def best_slot(self, desired_x: float, width: float, site: float,
+                  region_xl: float, packed: bool = False):
+        """Cheapest feasible x in this row, or None.
+
+        ``packed`` ignores the desired x and fills from the cursor —
+        the fallback mode that always succeeds when capacity suffices
+        (greedy placement at the desired x can strand the space left of
+        each row's cursor on heavily clustered inputs).
+        """
+        best = None
+        for seg in self.segments:
+            start, end, cursor = seg
+            pos = cursor if packed else max(cursor, desired_x)
+            # snap up to the site grid (never below the cursor)
+            snapped = region_xl + np.ceil((pos - region_xl) / site - 1e-9) * site
+            pos = max(snapped, cursor)
+            if pos + width > end + 1e-9:
+                # tail of the segment is full: fall back to the leftmost
+                # still-free position (floor-snapped), if the cell fits
+                fallback = end - width
+                fallback = region_xl + np.floor(
+                    (fallback - region_xl) / site + 1e-9
+                ) * site
+                if fallback < cursor - 1e-9:
+                    continue
+                pos = fallback
+            cost = abs(pos - desired_x)
+            if best is None or cost < best[0]:
+                best = (cost, pos, seg)
+        return best
+
+    def commit(self, seg, pos: float, width: float) -> None:
+        seg[2] = pos + width
+
+
+def tetris_legalize(db: PlacementDB,
+                    x: np.ndarray | None = None,
+                    y: np.ndarray | None = None,
+                    row_window: int = 8,
+                    packed: bool = False):
+    """Legalize movable single-row cells.
+
+    Returns ``(x, y, row_of_cell)`` where ``row_of_cell[i] = -1`` for
+    non-movable cells.  If the greedy pass strands too much space (it
+    never places a cell left of a row's fill cursor), the whole pass is
+    retried in ``packed`` mode, which fills rows from the left and
+    succeeds whenever the total capacity suffices.  Raises
+    ``RuntimeError`` only if even packed mode cannot fit the cells.
+    """
+    region = db.region
+    x = db.cell_x.copy() if x is None else np.asarray(x, dtype=np.float64).copy()
+    y = db.cell_y.copy() if y is None else np.asarray(y, dtype=np.float64).copy()
+
+    movable = db.movable_index
+    tall = db.cell_height[movable] > region.row_height + 1e-9
+    if tall.any():
+        raise NotImplementedError(
+            "tetris_legalize only handles single-row movable cells; "
+            f"{int(tall.sum())} movable cells are taller than a row"
+        )
+
+    rows = [
+        _RowState(region.yl + r * region.row_height, segs)
+        for r, segs in enumerate(build_row_segments(db))
+    ]
+    num_rows = len(rows)
+    site = region.site_width
+    row_of_cell = np.full(db.num_cells, -1, dtype=np.int64)
+
+    order = movable[np.argsort(x[movable], kind="stable")]
+    for cell in order:
+        desired_x = x[cell]
+        desired_y = y[cell]
+        width = db.cell_width[cell]
+        center_row = int(np.clip(
+            np.round((desired_y - region.yl) / region.row_height),
+            0, num_rows - 1,
+        ))
+        window = row_window
+        placed = False
+        while not placed:
+            lo = max(center_row - window, 0)
+            hi = min(center_row + window + 1, num_rows)
+            best = None
+            for r in range(lo, hi):
+                slot = rows[r].best_slot(desired_x, width, site,
+                                         region.xl, packed=packed)
+                if slot is None:
+                    continue
+                x_cost, pos, seg = slot
+                cost = x_cost + abs(rows[r].y - desired_y)
+                if best is None or cost < best[0]:
+                    best = (cost, r, pos, seg)
+            if best is not None:
+                _, r, pos, seg = best
+                rows[r].commit(seg, pos, width)
+                x[cell] = pos
+                y[cell] = rows[r].y
+                row_of_cell[cell] = r
+                placed = True
+            elif lo == 0 and hi == num_rows:
+                if not packed:
+                    # greedy stranded too much space; pack from the left
+                    return tetris_legalize(db, x, y, row_window,
+                                           packed=True)
+                raise RuntimeError(
+                    f"tetris legalization failed for cell "
+                    f"{db.cell_names[cell]!r} (width {width}); "
+                    "design may be over-utilized"
+                )
+            else:
+                window *= 2
+    return x, y, row_of_cell

@@ -1,0 +1,7 @@
+"""Circuit netlist: hypergraph builder and flat placement database."""
+
+from repro.netlist.hypergraph import Netlist, CellKind
+from repro.netlist.database import PlacementDB
+from repro.netlist.validate import validate_db
+
+__all__ = ["Netlist", "CellKind", "PlacementDB", "validate_db"]

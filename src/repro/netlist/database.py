@@ -1,0 +1,212 @@
+"""Flat placement database.
+
+All placer kernels operate on this structure-of-arrays form: cells,
+nets and pins are integer-indexed, with CSR adjacency in both
+directions (net -> pins and cell -> pins).  This mirrors the flat
+tensors DREAMPlace feeds its CUDA kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.geometry.region import PlacementRegion
+
+
+@dataclass
+class PlacementDB:
+    """Structure-of-arrays circuit database.
+
+    Coordinates ``cell_x``/``cell_y`` are the lower-left corners of
+    cells.  Pin offsets are relative to that corner, so pin positions
+    are ``cell_x[pin_cell] + pin_offset_x``.
+    """
+
+    name: str
+    region: PlacementRegion
+    cell_names: list[str]
+    cell_width: np.ndarray
+    cell_height: np.ndarray
+    cell_x: np.ndarray
+    cell_y: np.ndarray
+    movable: np.ndarray  # bool mask
+    terminal: np.ndarray  # bool mask (subset of fixed)
+    net_names: list[str]
+    net_weight: np.ndarray
+    net2pin_start: np.ndarray  # CSR offsets, len = num_nets + 1
+    pin_cell: np.ndarray  # pin -> cell
+    pin_net: np.ndarray  # pin -> net
+    pin_offset_x: np.ndarray
+    pin_offset_y: np.ndarray
+
+    # derived, built in __post_init__
+    net2pin: np.ndarray = field(init=False)
+    cell2pin_start: np.ndarray = field(init=False)
+    cell2pin: np.ndarray = field(init=False)
+    net_degree: np.ndarray = field(init=False)
+
+    def __post_init__(self):
+        self.cell_width = np.asarray(self.cell_width, dtype=np.float64)
+        self.cell_height = np.asarray(self.cell_height, dtype=np.float64)
+        self.cell_x = np.asarray(self.cell_x, dtype=np.float64)
+        self.cell_y = np.asarray(self.cell_y, dtype=np.float64)
+        self.movable = np.asarray(self.movable, dtype=bool)
+        self.terminal = np.asarray(self.terminal, dtype=bool)
+        self.net_weight = np.asarray(self.net_weight, dtype=np.float64)
+        self.net2pin_start = np.asarray(self.net2pin_start, dtype=np.int64)
+        self.pin_cell = np.asarray(self.pin_cell, dtype=np.int64)
+        self.pin_net = np.asarray(self.pin_net, dtype=np.int64)
+        self.pin_offset_x = np.asarray(self.pin_offset_x, dtype=np.float64)
+        self.pin_offset_y = np.asarray(self.pin_offset_y, dtype=np.float64)
+
+        # net -> pin CSR: pins are already grouped by net in pin order
+        # (hypergraph.compile guarantees this); keep an explicit index
+        # array so callers may also construct DBs with arbitrary order.
+        order = np.argsort(self.pin_net, kind="stable")
+        self.net2pin = order.astype(np.int64)
+        self.net_degree = np.diff(self.net2pin_start).astype(np.int64)
+
+        # cell -> pin CSR
+        order = np.argsort(self.pin_cell, kind="stable")
+        counts = np.bincount(self.pin_cell, minlength=self.num_cells)
+        self.cell2pin_start = np.concatenate(
+            ([0], np.cumsum(counts))
+        ).astype(np.int64)
+        self.cell2pin = order.astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # sizes
+    # ------------------------------------------------------------------
+    @property
+    def num_cells(self) -> int:
+        return self.cell_width.shape[0]
+
+    @property
+    def num_nets(self) -> int:
+        return self.net_weight.shape[0]
+
+    @property
+    def num_pins(self) -> int:
+        return self.pin_cell.shape[0]
+
+    @property
+    def num_movable(self) -> int:
+        return int(self.movable.sum())
+
+    @property
+    def movable_index(self) -> np.ndarray:
+        return np.flatnonzero(self.movable)
+
+    @property
+    def fixed_index(self) -> np.ndarray:
+        return np.flatnonzero(~self.movable)
+
+    @property
+    def cell_area(self) -> np.ndarray:
+        return self.cell_width * self.cell_height
+
+    @property
+    def total_movable_area(self) -> float:
+        return float(self.cell_area[self.movable].sum())
+
+    @property
+    def total_fixed_area(self) -> float:
+        """Area of fixed cells overlapping the placement region."""
+        from repro.geometry.boxes import rect_overlap_area
+
+        fixed = ~self.movable & ~self.terminal
+        if not fixed.any():
+            return 0.0
+        r = self.region
+        areas = rect_overlap_area(
+            self.cell_x[fixed], self.cell_y[fixed],
+            self.cell_x[fixed] + self.cell_width[fixed],
+            self.cell_y[fixed] + self.cell_height[fixed],
+            r.xl, r.yl, r.xh, r.yh,
+        )
+        return float(areas.sum())
+
+    @property
+    def utilization(self) -> float:
+        """Movable area over free (non-fixed) region area."""
+        free = self.region.area - self.total_fixed_area
+        return self.total_movable_area / free if free > 0 else np.inf
+
+    # ------------------------------------------------------------------
+    # positions
+    # ------------------------------------------------------------------
+    def positions(self) -> tuple[np.ndarray, np.ndarray]:
+        """Copies of the lower-left coordinates."""
+        return self.cell_x.copy(), self.cell_y.copy()
+
+    def set_positions(self, x: np.ndarray, y: np.ndarray) -> None:
+        self.cell_x = np.asarray(x, dtype=np.float64).copy()
+        self.cell_y = np.asarray(y, dtype=np.float64).copy()
+
+    def centers(self, x: Optional[np.ndarray] = None,
+                y: Optional[np.ndarray] = None):
+        cx = (self.cell_x if x is None else x) + 0.5 * self.cell_width
+        cy = (self.cell_y if y is None else y) + 0.5 * self.cell_height
+        return cx, cy
+
+    def pin_positions(self, x: Optional[np.ndarray] = None,
+                      y: Optional[np.ndarray] = None):
+        """Pin coordinates for cell corners ``(x, y)`` (defaults: stored)."""
+        cx = self.cell_x if x is None else x
+        cy = self.cell_y if y is None else y
+        return (
+            cx[self.pin_cell] + self.pin_offset_x,
+            cy[self.pin_cell] + self.pin_offset_y,
+        )
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def hpwl(self, x: Optional[np.ndarray] = None,
+             y: Optional[np.ndarray] = None) -> float:
+        """Weighted half-perimeter wirelength at the given placement."""
+        from repro.ops.hpwl import hpwl
+
+        px, py = self.pin_positions(x, y)
+        return hpwl(px, py, self.pin_net, self.num_nets, self.net_weight)
+
+    def net_pins(self, net: int) -> np.ndarray:
+        """Pin indices of one net."""
+        return self.net2pin[self.net2pin_start[net]:self.net2pin_start[net + 1]]
+
+    def cell_pins(self, cell: int) -> np.ndarray:
+        """Pin indices on one cell."""
+        return self.cell2pin[
+            self.cell2pin_start[cell]:self.cell2pin_start[cell + 1]
+        ]
+
+    def clone(self) -> "PlacementDB":
+        """Deep copy (positions and arrays independent of the original)."""
+        return PlacementDB(
+            name=self.name,
+            region=self.region,
+            cell_names=list(self.cell_names),
+            cell_width=self.cell_width.copy(),
+            cell_height=self.cell_height.copy(),
+            cell_x=self.cell_x.copy(),
+            cell_y=self.cell_y.copy(),
+            movable=self.movable.copy(),
+            terminal=self.terminal.copy(),
+            net_names=list(self.net_names),
+            net_weight=self.net_weight.copy(),
+            net2pin_start=self.net2pin_start.copy(),
+            pin_cell=self.pin_cell.copy(),
+            pin_net=self.pin_net.copy(),
+            pin_offset_x=self.pin_offset_x.copy(),
+            pin_offset_y=self.pin_offset_y.copy(),
+        )
+
+    def __repr__(self):
+        return (
+            f"PlacementDB({self.name!r}, cells={self.num_cells} "
+            f"(movable={self.num_movable}), nets={self.num_nets}, "
+            f"pins={self.num_pins})"
+        )

@@ -1,0 +1,169 @@
+"""Incremental netlist builder.
+
+The circuit is a hypergraph H = (V, E): vertices are cells (standard
+cells, macros, fixed terminals/pads) and hyperedges are nets connecting
+pins.  :class:`Netlist` is the convenient mutable builder; call
+:meth:`Netlist.compile` to produce the flat, numpy-backed
+:class:`~repro.netlist.database.PlacementDB` the placer operates on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.region import PlacementRegion
+
+
+class CellKind(enum.Enum):
+    """Classification of a cell for placement purposes."""
+
+    MOVABLE = "movable"  # standard cell placed by the optimizer
+    FIXED = "fixed"  # pre-placed macro / blockage
+    TERMINAL = "terminal"  # I/O pad on the periphery (fixed, zero area ok)
+
+
+@dataclass
+class _Cell:
+    name: str
+    width: float
+    height: float
+    kind: CellKind
+    x: float = 0.0
+    y: float = 0.0
+
+
+@dataclass
+class _Net:
+    name: str
+    weight: float = 1.0
+    # each pin: (cell index, offset x, offset y) with offsets measured
+    # from the cell's lower-left corner
+    pins: list[tuple[int, float, float]] = field(default_factory=list)
+
+
+class Netlist:
+    """Mutable netlist under construction."""
+
+    def __init__(self, name: str = "design"):
+        self.name = name
+        self._cells: list[_Cell] = []
+        self._nets: list[_Net] = []
+        self._cell_index: dict[str, int] = {}
+        self._net_index: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def num_cells(self) -> int:
+        return len(self._cells)
+
+    @property
+    def num_nets(self) -> int:
+        return len(self._nets)
+
+    @property
+    def num_pins(self) -> int:
+        return sum(len(net.pins) for net in self._nets)
+
+    def cell_id(self, name: str) -> int:
+        return self._cell_index[name]
+
+    def cell_name(self, index: int) -> str:
+        return self._cells[index].name
+
+    # ------------------------------------------------------------------
+    def add_cell(self, name: str, width: float, height: float,
+                 kind: CellKind = CellKind.MOVABLE,
+                 x: float = 0.0, y: float = 0.0) -> int:
+        """Add a cell; returns its index."""
+        if name in self._cell_index:
+            raise ValueError(f"duplicate cell name: {name!r}")
+        if width < 0 or height < 0:
+            raise ValueError(f"negative size for cell {name!r}")
+        index = len(self._cells)
+        self._cells.append(_Cell(name, float(width), float(height), kind,
+                                 float(x), float(y)))
+        self._cell_index[name] = index
+        return index
+
+    def add_net(self, name: str,
+                pins: Sequence[tuple[str | int, float, float]],
+                weight: float = 1.0) -> int:
+        """Add a net.
+
+        ``pins`` is a sequence of ``(cell, offset_x, offset_y)`` where
+        ``cell`` is a name or index and offsets are measured from the
+        cell's lower-left corner.
+        """
+        if name in self._net_index:
+            raise ValueError(f"duplicate net name: {name!r}")
+        resolved = []
+        for cell, ox, oy in pins:
+            index = cell if isinstance(cell, int) else self._cell_index[cell]
+            if not 0 <= index < len(self._cells):
+                raise IndexError(f"net {name!r}: cell index {index} out of range")
+            resolved.append((index, float(ox), float(oy)))
+        net_index = len(self._nets)
+        self._nets.append(_Net(name, float(weight), resolved))
+        self._net_index[name] = net_index
+        return net_index
+
+    def set_position(self, cell: str | int, x: float, y: float) -> None:
+        index = cell if isinstance(cell, int) else self._cell_index[cell]
+        self._cells[index].x = float(x)
+        self._cells[index].y = float(y)
+
+    # ------------------------------------------------------------------
+    def compile(self, region: PlacementRegion) -> "PlacementDB":
+        """Freeze into a flat :class:`PlacementDB`."""
+        from repro.netlist.database import PlacementDB
+
+        num_cells = len(self._cells)
+        cell_width = np.array([c.width for c in self._cells])
+        cell_height = np.array([c.height for c in self._cells])
+        cell_x = np.array([c.x for c in self._cells])
+        cell_y = np.array([c.y for c in self._cells])
+        movable = np.array(
+            [c.kind is CellKind.MOVABLE for c in self._cells], dtype=bool
+        )
+        terminal = np.array(
+            [c.kind is CellKind.TERMINAL for c in self._cells], dtype=bool
+        )
+        cell_names = [c.name for c in self._cells]
+
+        pin_cell = []
+        pin_net = []
+        pin_ox = []
+        pin_oy = []
+        net_weight = np.array([n.weight for n in self._nets])
+        net_names = [n.name for n in self._nets]
+        net2pin_start = np.zeros(len(self._nets) + 1, dtype=np.int64)
+        for i, net in enumerate(self._nets):
+            net2pin_start[i + 1] = net2pin_start[i] + len(net.pins)
+            for cell, ox, oy in net.pins:
+                pin_cell.append(cell)
+                pin_net.append(i)
+                pin_ox.append(ox)
+                pin_oy.append(oy)
+
+        return PlacementDB(
+            name=self.name,
+            region=region,
+            cell_names=cell_names,
+            cell_width=cell_width,
+            cell_height=cell_height,
+            cell_x=cell_x,
+            cell_y=cell_y,
+            movable=movable,
+            terminal=terminal,
+            net_names=net_names,
+            net_weight=net_weight,
+            net2pin_start=net2pin_start,
+            pin_cell=np.array(pin_cell, dtype=np.int64),
+            pin_net=np.array(pin_net, dtype=np.int64),
+            pin_offset_x=np.array(pin_ox, dtype=np.float64),
+            pin_offset_y=np.array(pin_oy, dtype=np.float64),
+        )

@@ -1,0 +1,67 @@
+"""Consistency checks for a :class:`PlacementDB`."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netlist.database import PlacementDB
+
+
+def validate_db(db: PlacementDB, check_inside: bool = False) -> None:
+    """Raise ``ValueError`` on any structural inconsistency.
+
+    Parameters
+    ----------
+    check_inside:
+        Also require every movable cell to lie inside the region
+        (useful after legalization, not during global placement).
+    """
+    problems: list[str] = []
+
+    if db.cell_width.shape != (db.num_cells,):
+        problems.append("cell_width shape mismatch")
+    for attr in ("cell_height", "cell_x", "cell_y", "movable", "terminal"):
+        if getattr(db, attr).shape != (db.num_cells,):
+            problems.append(f"{attr} shape mismatch")
+    if len(db.cell_names) != db.num_cells:
+        problems.append("cell_names length mismatch")
+    if len(db.net_names) != db.num_nets:
+        problems.append("net_names length mismatch")
+
+    if db.net2pin_start.shape != (db.num_nets + 1,):
+        problems.append("net2pin_start must have num_nets + 1 entries")
+    elif db.net2pin_start[0] != 0 or db.net2pin_start[-1] != db.num_pins:
+        problems.append("net2pin_start must start at 0 and end at num_pins")
+    elif (np.diff(db.net2pin_start) < 0).any():
+        problems.append("net2pin_start must be non-decreasing")
+    else:
+        counts = np.bincount(db.pin_net, minlength=db.num_nets)
+        if not np.array_equal(counts, np.diff(db.net2pin_start)):
+            problems.append("net2pin_start inconsistent with pin_net")
+
+    if db.num_pins:
+        if db.pin_cell.min() < 0 or db.pin_cell.max() >= db.num_cells:
+            problems.append("pin_cell index out of range")
+        if db.pin_net.min() < 0 or db.pin_net.max() >= db.num_nets:
+            problems.append("pin_net index out of range")
+
+    if (db.cell_width < 0).any() or (db.cell_height < 0).any():
+        problems.append("negative cell dimensions")
+    if (db.net_weight < 0).any():
+        problems.append("negative net weights")
+    if (db.movable & db.terminal).any():
+        problems.append("a terminal cannot be movable")
+
+    if check_inside:
+        inside = db.region.contains(
+            db.cell_x[db.movable], db.cell_y[db.movable],
+            db.cell_width[db.movable], db.cell_height[db.movable],
+        )
+        if not inside.all():
+            bad = int((~inside).sum())
+            problems.append(f"{bad} movable cells outside the region")
+
+    if problems:
+        raise ValueError(
+            f"invalid PlacementDB {db.name!r}: " + "; ".join(problems)
+        )

@@ -1,0 +1,26 @@
+"""Minimal deep-learning-toolkit substrate for placement.
+
+This package plays the role PyTorch plays in the paper: it provides the
+three stacks of Fig. 2(a) — low-level operators with explicit forward and
+backward functions (:class:`Function`), automatic gradient derivation
+(:class:`Tensor` with define-by-run taping), and optimization engines
+(:mod:`repro.nn.optim`).  Placement is then "trained" like a neural
+network: cell coordinates are the weights, wirelength is the data loss and
+density is the regularizer.
+"""
+
+from repro.nn.tensor import Tensor, Parameter, no_grad
+from repro.nn.function import Function
+from repro.nn.module import Module
+from repro.nn import functional
+from repro.nn import optim
+
+__all__ = [
+    "Tensor",
+    "Parameter",
+    "Function",
+    "Module",
+    "functional",
+    "optim",
+    "no_grad",
+]

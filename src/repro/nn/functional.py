@@ -1,0 +1,102 @@
+"""Elementary differentiable operations used to compose objectives."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.function import Function
+from repro.nn.tensor import Tensor
+
+
+class _Add(Function):
+    def forward(self, a, b):
+        return a + b
+
+    def backward(self, grad_output):
+        return grad_output, grad_output
+
+
+class _Sub(Function):
+    def forward(self, a, b):
+        return a - b
+
+    def backward(self, grad_output):
+        return grad_output, -grad_output
+
+
+class _Mul(Function):
+    def forward(self, a, b):
+        self.save_for_backward(a, b)
+        return a * b
+
+    def backward(self, grad_output):
+        a, b = self.saved_values
+        return grad_output * b, grad_output * a
+
+
+class _Div(Function):
+    def forward(self, a, b):
+        self.save_for_backward(a, b)
+        return a / b
+
+    def backward(self, grad_output):
+        a, b = self.saved_values
+        return grad_output / b, -grad_output * a / (b * b)
+
+
+class _Sum(Function):
+    def forward(self, a):
+        self.save_for_backward(a.shape, a.dtype)
+        return np.asarray(a.sum(), dtype=a.dtype)
+
+    def backward(self, grad_output):
+        shape, dtype = self.saved_values
+        return np.broadcast_to(np.asarray(grad_output, dtype=dtype), shape)
+
+
+class _Abs(Function):
+    def forward(self, a):
+        self.save_for_backward(np.sign(a))
+        return np.abs(a)
+
+    def backward(self, grad_output):
+        (sign,) = self.saved_values
+        return grad_output * sign
+
+
+class _Square(Function):
+    def forward(self, a):
+        self.save_for_backward(a)
+        return a * a
+
+    def backward(self, grad_output):
+        (a,) = self.saved_values
+        return 2.0 * grad_output * a
+
+
+def add(a: Tensor, b: Tensor) -> Tensor:
+    return _Add.apply(a, b)
+
+
+def sub(a: Tensor, b: Tensor) -> Tensor:
+    return _Sub.apply(a, b)
+
+
+def mul(a: Tensor, b: Tensor) -> Tensor:
+    return _Mul.apply(a, b)
+
+
+def div(a: Tensor, b: Tensor) -> Tensor:
+    return _Div.apply(a, b)
+
+
+def tensor_sum(a: Tensor) -> Tensor:
+    return _Sum.apply(a)
+
+
+def absolute(a: Tensor) -> Tensor:
+    return _Abs.apply(a)
+
+
+def square(a: Tensor) -> Tensor:
+    return _Square.apply(a)

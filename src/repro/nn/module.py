@@ -1,0 +1,46 @@
+"""Module containers, mirroring ``torch.nn.Module`` at small scale."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.nn.tensor import Parameter, Tensor
+
+
+class Module:
+    """Base class for objective components.
+
+    Subclasses assign :class:`~repro.nn.tensor.Parameter` and ``Module``
+    attributes freely; :meth:`parameters` discovers them recursively, so an
+    optimizer can be pointed at any composed objective, exactly like a
+    network in a deep-learning toolkit.
+    """
+
+    def __call__(self, *args, **kwargs) -> Tensor:
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs) -> Tensor:
+        raise NotImplementedError
+
+    def parameters(self) -> Iterator[Parameter]:
+        seen: set[int] = set()
+        yield from self._parameters(seen)
+
+    def _parameters(self, seen: set[int]) -> Iterator[Parameter]:
+        for value in self.__dict__.values():
+            if isinstance(value, Parameter) and id(value) not in seen:
+                seen.add(id(value))
+                yield value
+            elif isinstance(value, Module):
+                yield from value._parameters(seen)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Parameter) and id(item) not in seen:
+                        seen.add(id(item))
+                        yield item
+                    elif isinstance(item, Module):
+                        yield from item._parameters(seen)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()

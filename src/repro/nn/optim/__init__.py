@@ -1,0 +1,25 @@
+"""Optimization engines (the third stack of Fig. 2(a)).
+
+Includes the ePlace/RePlAce Nesterov method with Lipschitz-constant line
+search (the paper's default solver) plus the stock deep-learning solvers
+compared in Table IV: Adam, SGD with momentum, RMSProp, and a nonlinear
+conjugate-gradient solver.
+"""
+
+from repro.nn.optim.optimizer import Optimizer
+from repro.nn.optim.sgd import SGD
+from repro.nn.optim.adam import Adam
+from repro.nn.optim.rmsprop import RMSProp
+from repro.nn.optim.nesterov import NesterovLineSearch
+from repro.nn.optim.cg import ConjugateGradient
+from repro.nn.optim.lr_scheduler import ExponentialLR
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "RMSProp",
+    "NesterovLineSearch",
+    "ConjugateGradient",
+    "ExponentialLR",
+]

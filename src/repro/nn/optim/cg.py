@@ -1,0 +1,77 @@
+"""Nonlinear conjugate-gradient solver (Polak-Ribiere with restarts).
+
+ePlace's predecessor family used conjugate gradient as the descent
+engine; the paper lists it among the provided solvers.  The line search
+is a backtracking Armijo search on the closure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.optim.optimizer import Closure, Optimizer
+
+
+class ConjugateGradient(Optimizer):
+    """Polak-Ribiere nonlinear CG with Armijo backtracking line search."""
+
+    def __init__(self, params, lr: float = 1.0, armijo_c: float = 1e-4,
+                 shrink: float = 0.5, max_backtracks: int = 12):
+        super().__init__(params, lr)
+        self.armijo_c = float(armijo_c)
+        self.shrink = float(shrink)
+        self.max_backtracks = int(max_backtracks)
+        self._prev_grad = None
+        self._direction = None
+
+    def _flatten(self, arrays) -> np.ndarray:
+        return np.concatenate([np.ravel(a) for a in arrays])
+
+    def _write_params(self, flat: np.ndarray) -> None:
+        offset = 0
+        for param in self.params:
+            n = param.data.size
+            param.data = flat[offset:offset + n].reshape(param.data.shape)
+            offset += n
+
+    def step(self, closure: Optional[Closure] = None):
+        if closure is None:
+            raise ValueError("ConjugateGradient requires a closure")
+
+        x0 = self._flatten([p.data for p in self.params])
+        loss0 = closure()
+        f0 = loss0.item()
+        grad = self._flatten([p.grad for p in self.params])
+
+        if self._prev_grad is None:
+            direction = -grad
+        else:
+            diff = grad - self._prev_grad
+            denom = float(self._prev_grad @ self._prev_grad)
+            beta = float(grad @ diff) / denom if denom > 0 else 0.0
+            beta = max(beta, 0.0)  # PR+ restart
+            direction = -grad + beta * self._direction
+            if float(direction @ grad) >= 0.0:
+                direction = -grad  # not a descent direction -> restart
+
+        slope = float(grad @ direction)
+        step = self.lr
+        accepted = loss0
+        for _ in range(self.max_backtracks):
+            trial = x0 + step * direction
+            self._write_params(trial)
+            loss = closure()
+            if loss.item() <= f0 + self.armijo_c * step * slope:
+                accepted = loss
+                break
+            step *= self.shrink
+        else:
+            trial = x0 + step * direction
+            self._write_params(trial)
+            accepted = closure()
+
+        self._prev_grad = grad
+        self._direction = direction
+        return accepted

@@ -1,0 +1,30 @@
+"""Learning-rate schedulers.
+
+Table IV of the paper controls Adam and SGD step sizes with a per-design
+exponential decay ("LR Decay" columns); :class:`ExponentialLR` provides
+exactly that: ``lr_k = lr_0 * gamma^k``.
+"""
+
+from __future__ import annotations
+
+from repro.nn.optim.optimizer import Optimizer
+
+
+class ExponentialLR:
+    """Multiply the optimizer learning rate by ``gamma`` every step."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float):
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"invalid decay factor: {gamma}")
+        self.optimizer = optimizer
+        self.gamma = float(gamma)
+        self.base_lr = optimizer.lr
+        self.last_epoch = 0
+
+    def step(self) -> None:
+        self.last_epoch += 1
+        self.optimizer.lr = self.base_lr * self.gamma ** self.last_epoch
+
+    @property
+    def current_lr(self) -> float:
+        return self.optimizer.lr

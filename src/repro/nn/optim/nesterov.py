@@ -1,0 +1,139 @@
+"""Nesterov's accelerated gradient with Lipschitz-constant line search.
+
+This is the solver of ePlace/RePlAce (Section III-D of the paper): the
+step length is the inverse of a local Lipschitz-constant estimate
+``|v_k - v_{k-1}| / |grad(v_k) - grad(v_{k-1})|`` refined by backtracking
+prediction, combined with Nesterov's momentum sequence
+``a_{k+1} = (1 + sqrt(4 a_k^2 + 1)) / 2``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.optim.optimizer import Closure, Optimizer
+
+
+class NesterovLineSearch(Optimizer):
+    """ePlace-style Nesterov solver.
+
+    Parameters
+    ----------
+    params:
+        Parameters to optimize (the cell coordinates).
+    lr:
+        Initial step length used before the first Lipschitz estimate
+        stabilizes.
+    max_backtracks:
+        Maximum number of backtracking refinements per iteration.
+    accept_ratio:
+        Accept the predicted step once the re-estimated step is at least
+        this fraction of the prediction (0.95 in RePlAce).
+    """
+
+    def __init__(self, params, lr: float = 1.0, max_backtracks: int = 10,
+                 accept_ratio: float = 0.95):
+        super().__init__(params, lr)
+        self.max_backtracks = int(max_backtracks)
+        self.accept_ratio = float(accept_ratio)
+        self._u = None  # major solution u_k
+        self._v = None  # reference solution v_k (== current param values)
+        self._g = None  # gradient at v_k
+        self._a = 1.0  # momentum coefficient a_k
+        self._alpha = float(lr)
+        self.backtrack_count = 0  # diagnostic: closure evals beyond 1/iter
+
+    # ------------------------------------------------------------------
+    def _flatten(self, arrays) -> np.ndarray:
+        return np.concatenate([np.ravel(a) for a in arrays])
+
+    def _read_params(self) -> np.ndarray:
+        return self._flatten([p.data for p in self.params])
+
+    def _write_params(self, flat: np.ndarray) -> None:
+        offset = 0
+        for param in self.params:
+            n = param.data.size
+            param.data = flat[offset:offset + n].reshape(param.data.shape)
+            offset += n
+
+    def _grad_at(self, flat: np.ndarray, closure: Closure):
+        """Evaluate objective gradient with parameters set to ``flat``."""
+        self._write_params(flat)
+        loss = closure()
+        grad = self._flatten(
+            [p.grad if p.grad is not None else np.zeros_like(p.data)
+             for p in self.params]
+        )
+        return loss, grad
+
+    # ------------------------------------------------------------------
+    def step(self, closure: Optional[Closure] = None):
+        if closure is None:
+            raise ValueError("NesterovLineSearch requires a closure")
+
+        if self._v is None:
+            # First call: v_0 = u_0 = current params; bootstrap the
+            # Lipschitz estimate with a probe step of length ``lr``.
+            self._v = self._read_params()
+            self._u = self._v.copy()
+            _, self._g = self._grad_at(self._v, closure)
+            g_norm = float(np.linalg.norm(self._g))
+            if g_norm > 0:
+                probe = self._v - self.lr * self._g / g_norm
+                _, g_probe = self._grad_at(probe, closure)
+                dg = float(np.linalg.norm(g_probe - self._g))
+                if dg > 0:
+                    self._alpha = float(np.linalg.norm(probe - self._v)) / dg
+
+        a_next = (1.0 + np.sqrt(4.0 * self._a * self._a + 1.0)) / 2.0
+        coef = (self._a - 1.0) / a_next
+
+        alpha_hat = self._alpha
+        loss = None
+        for _ in range(self.max_backtracks):
+            u_next = self._v - alpha_hat * self._g
+            v_next = u_next + coef * (u_next - self._u)
+            loss, g_next = self._grad_at(v_next, closure)
+            dv = float(np.linalg.norm(v_next - self._v))
+            dg = float(np.linalg.norm(g_next - self._g))
+            alpha_new = dv / dg if dg > 0 else alpha_hat
+            if alpha_new >= alpha_hat * self.accept_ratio:
+                break
+            alpha_hat = alpha_new
+            self.backtrack_count += 1
+
+        self._u = u_next
+        self._v = v_next
+        self._g = g_next
+        self._a = a_next
+        self._alpha = alpha_new
+        self._write_params(self._v)
+        return loss
+
+    def project(self, fn) -> None:
+        """Project parameters *and* the internal u/v solutions.
+
+        Used to keep cells inside the placement region without
+        desynchronizing the momentum sequence.
+        """
+        super().project(fn)
+        if self._v is not None:
+            self._u = fn(self._u)
+            self._v = fn(self._v)
+
+    def reset_momentum(self) -> None:
+        """Restart the momentum sequence (used after cell inflation)."""
+        self._a = 1.0
+        if self._v is not None:
+            self._u = self._v.copy()
+
+    def rebind(self) -> None:
+        """Forget cached state after parameters were changed externally
+        (e.g. legalization or inflation moved the cells)."""
+        self._u = None
+        self._v = None
+        self._g = None
+        self._a = 1.0

@@ -1,0 +1,53 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.nn.tensor import Parameter, Tensor
+
+Closure = Callable[[], Tensor]
+
+
+class Optimizer:
+    """Base class for gradient-descent solvers.
+
+    All solvers expose ``step(closure)`` where ``closure`` zeroes
+    gradients, evaluates the objective at the current parameter values,
+    runs ``backward`` and returns the loss tensor.  First-order solvers
+    (SGD/Adam/RMSProp) also accept ``step()`` with pre-computed gradients;
+    line-search solvers (Nesterov, CG) require the closure because they
+    evaluate gradients at trial points.
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float):
+        self.params: list[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"invalid learning rate: {lr}")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self, closure: Optional[Closure] = None) -> Optional[Tensor]:
+        raise NotImplementedError
+
+    def project(self, fn) -> None:
+        """Apply an in-place projection (e.g. clamping into the region)
+        to the parameters and any internal solution copies the solver
+        keeps.  ``fn(array) -> array`` operates on each parameter's data.
+        """
+        for param in self.params:
+            param.data = fn(param.data)
+
+    def _gradients(self):
+        for param in self.params:
+            if param.grad is None:
+                raise RuntimeError(
+                    "parameter has no gradient; call backward() (or pass a "
+                    "closure) before step()"
+                )
+            yield param, param.grad

@@ -1,0 +1,40 @@
+"""RMSProp optimizer — reference [33] of the paper."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.optim.optimizer import Closure, Optimizer
+
+
+class RMSProp(Optimizer):
+    """RMSProp with optional momentum, matching the PyTorch semantics."""
+
+    def __init__(self, params, lr: float = 1e-2, alpha: float = 0.99,
+                 eps: float = 1e-8, momentum: float = 0.0):
+        super().__init__(params, lr)
+        if not 0.0 <= alpha < 1.0:
+            raise ValueError(f"invalid alpha: {alpha}")
+        self.alpha = float(alpha)
+        self.eps = float(eps)
+        self.momentum = float(momentum)
+        self._square_avg = [np.zeros_like(p.data) for p in self.params]
+        self._buf = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self, closure: Optional[Closure] = None):
+        loss = closure() if closure is not None else None
+        for (param, grad), avg, buf in zip(
+            self._gradients(), self._square_avg, self._buf
+        ):
+            avg *= self.alpha
+            avg += (1.0 - self.alpha) * grad * grad
+            denom = np.sqrt(avg) + self.eps
+            if self.momentum > 0.0:
+                buf *= self.momentum
+                buf += grad / denom
+                param.data -= self.lr * buf
+            else:
+                param.data -= self.lr * grad / denom
+        return loss

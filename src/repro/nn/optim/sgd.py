@@ -1,0 +1,41 @@
+"""Stochastic gradient descent with (Nesterov) momentum."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.optim.optimizer import Closure, Optimizer
+
+
+class SGD(Optimizer):
+    """SGD with classical or Nesterov momentum.
+
+    Matches the PyTorch update rule: ``v = momentum * v + g`` and
+    ``p -= lr * (g + momentum * v)`` when ``nesterov`` else ``p -= lr * v``.
+    """
+
+    def __init__(self, params, lr: float, momentum: float = 0.0,
+                 nesterov: bool = False):
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"invalid momentum: {momentum}")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = float(momentum)
+        self.nesterov = nesterov
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self, closure: Optional[Closure] = None):
+        loss = closure() if closure is not None else None
+        for (param, grad), velocity in zip(self._gradients(), self._velocity):
+            if self.momentum > 0.0:
+                velocity *= self.momentum
+                velocity += grad
+                update = grad + self.momentum * velocity if self.nesterov \
+                    else velocity
+            else:
+                update = grad
+            param.data -= self.lr * update
+        return loss

@@ -1,0 +1,248 @@
+"""Define-by-run autograd tensor.
+
+A deliberately small engine in the spirit of PyTorch's autograd: every
+operation on :class:`Tensor` records the creating :class:`~repro.nn.function.Function`
+node so that :meth:`Tensor.backward` can run reverse-mode differentiation.
+Placement objectives are scalar, so the engine is optimized for the
+"many parameters, scalar loss" case the paper relies on.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterable, Optional
+
+import numpy as np
+
+_grad_enabled = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Disable graph recording inside the context (like ``torch.no_grad``)."""
+    global _grad_enabled
+    previous = _grad_enabled
+    _grad_enabled = False
+    try:
+        yield
+    finally:
+        _grad_enabled = previous
+
+
+def is_grad_enabled() -> bool:
+    return _grad_enabled
+
+
+def _as_array(value, dtype=None) -> np.ndarray:
+    array = np.asarray(value)
+    if dtype is not None:
+        array = array.astype(dtype, copy=False)
+    if array.dtype == np.float16:
+        array = array.astype(np.float32)
+    if not np.issubdtype(array.dtype, np.floating):
+        array = array.astype(np.float64)
+    return array
+
+
+class Tensor:
+    """A numpy array plus gradient bookkeeping.
+
+    Attributes
+    ----------
+    data:
+        The underlying ``numpy.ndarray``.
+    grad:
+        Accumulated gradient (same shape as ``data``), or ``None``.
+    requires_grad:
+        Whether backward should flow into this tensor.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_creator")
+
+    def __init__(self, data, requires_grad: bool = False, dtype=None):
+        self.data = _as_array(data, dtype)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self._creator = None  # Function node that produced this tensor
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def ndim(self):
+        return self.data.ndim
+
+    @property
+    def size(self):
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data, requires_grad=False)
+
+    def clone(self) -> "Tensor":
+        out = Tensor(self.data.copy(), requires_grad=self.requires_grad)
+        return out
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self):
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({self.data!r}{flag})"
+
+    def __len__(self):
+        return len(self.data)
+
+    # ------------------------------------------------------------------
+    # autograd
+    # ------------------------------------------------------------------
+    def backward(self, grad=None) -> None:
+        """Reverse-mode autodiff from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Upstream gradient.  Defaults to 1 for scalar tensors, matching
+            the usual ``loss.backward()`` idiom.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError(
+                    "backward() without an explicit gradient requires a "
+                    "scalar tensor"
+                )
+            grad = np.ones_like(self.data)
+        grad = _as_array(grad, self.data.dtype)
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+
+        def build(t: Tensor) -> None:
+            if id(t) in visited or t._creator is None:
+                return
+            visited.add(id(t))
+            for parent in t._creator.inputs:
+                build(parent)
+            topo.append(t)
+
+        build(self)
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        if self.requires_grad and self._creator is None:
+            self._accumulate(grad)
+
+        for tensor in reversed(topo):
+            node = tensor._creator
+            upstream = grads.pop(id(tensor), None)
+            if upstream is None:
+                continue
+            input_grads = node.backward(upstream)
+            if not isinstance(input_grads, tuple):
+                input_grads = (input_grads,)
+            if len(input_grads) != len(node.inputs):
+                raise RuntimeError(
+                    f"{type(node).__name__}.backward returned "
+                    f"{len(input_grads)} gradients for {len(node.inputs)} "
+                    "inputs"
+                )
+            for parent, g in zip(node.inputs, input_grads):
+                if g is None or not parent.requires_grad:
+                    continue
+                g = _as_array(g, parent.data.dtype)
+                if g.shape != parent.data.shape:
+                    g = _unbroadcast(g, parent.data.shape)
+                if parent._creator is None:
+                    parent._accumulate(g)
+                else:
+                    key = id(parent)
+                    if key in grads:
+                        grads[key] = grads[key] + g
+                    else:
+                        grads[key] = g
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    # ------------------------------------------------------------------
+    # operators (thin wrappers over repro.nn.functional)
+    # ------------------------------------------------------------------
+    def sum(self) -> "Tensor":
+        from repro.nn import functional as F
+
+        return F.tensor_sum(self)
+
+    def __add__(self, other):
+        from repro.nn import functional as F
+
+        return F.add(self, _wrap(other, self.dtype))
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        from repro.nn import functional as F
+
+        return F.sub(self, _wrap(other, self.dtype))
+
+    def __rsub__(self, other):
+        from repro.nn import functional as F
+
+        return F.sub(_wrap(other, self.dtype), self)
+
+    def __mul__(self, other):
+        from repro.nn import functional as F
+
+        return F.mul(self, _wrap(other, self.dtype))
+
+    __rmul__ = __mul__
+
+    def __neg__(self):
+        from repro.nn import functional as F
+
+        return F.mul(self, _wrap(-1.0, self.dtype))
+
+    def __truediv__(self, other):
+        from repro.nn import functional as F
+
+        return F.div(self, _wrap(other, self.dtype))
+
+
+class Parameter(Tensor):
+    """A trainable tensor (``requires_grad=True`` by default)."""
+
+    __slots__ = ()
+
+    def __init__(self, data, dtype=None):
+        super().__init__(data, requires_grad=True, dtype=dtype)
+
+
+def _wrap(value, dtype) -> Tensor:
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, dtype=dtype)
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` (inverse of numpy broadcasting)."""
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    for axis, dim in enumerate(shape):
+        if dim == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)

@@ -1,0 +1,32 @@
+"""Custom placement operators (the paper's low-level OPs).
+
+Each operator follows the deep-learning-toolkit contract of Section II-B:
+a forward function computing the cost and a backward function computing
+the gradient with respect to cell positions.  Multiple implementation
+strategies per operator reproduce the paper's kernel studies
+(Algorithms 1-4, Figs. 10-12).
+"""
+
+from repro.ops.hpwl import hpwl, hpwl_per_net
+from repro.ops.wa_wirelength import WeightedAverageWirelength
+from repro.ops.lse_wirelength import LogSumExpWirelength
+from repro.ops.density_op import ElectricDensity
+from repro.ops.density_overflow import density_overflow
+from repro.ops.electrostatics import PoissonSolver
+from repro.ops.density_map import gather_field, scatter_density
+from repro.ops import dct
+from repro.ops import fixed_point
+
+__all__ = [
+    "hpwl",
+    "hpwl_per_net",
+    "WeightedAverageWirelength",
+    "LogSumExpWirelength",
+    "ElectricDensity",
+    "PoissonSolver",
+    "scatter_density",
+    "gather_field",
+    "density_overflow",
+    "dct",
+    "fixed_point",
+]

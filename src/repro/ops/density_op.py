@@ -1,0 +1,146 @@
+"""Electrostatic density penalty operator (Sections II-C and III-B).
+
+``ElectricDensity`` is the custom OP computing the density cost ``D`` in
+eq. (2): cells (plus filler cells) are charges, the forward pass scatters
+charge into bins, solves Poisson's equation spectrally and returns the
+potential energy; the backward pass gathers the electric force per cell.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.bins import BinGrid
+from repro.netlist.database import PlacementDB
+from repro.nn.function import Function
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.ops.density_map import gather_field, scatter_density
+from repro.ops.electrostatics import PoissonSolver
+
+SQRT2 = float(np.sqrt(2.0))
+
+
+def stretch_sizes(width: np.ndarray, height: np.ndarray,
+                  grid: BinGrid) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """ePlace cell smoothing: expand small cells to sqrt(2) x bin size.
+
+    Cells narrower than ``sqrt(2) * bin`` in a dimension are stretched to
+    that size, with a density scale preserving total charge (area).
+    Returns ``(stretched_w, stretched_h, scale)``.
+    """
+    sw = np.maximum(width, SQRT2 * grid.bin_w)
+    sh = np.maximum(height, SQRT2 * grid.bin_h)
+    area = width * height
+    stretched_area = sw * sh
+    with np.errstate(invalid="ignore", divide="ignore"):
+        scale = np.where(stretched_area > 0, area / stretched_area, 0.0)
+    return sw, sh, scale
+
+
+class _DensityFunction(Function):
+    """Autograd node: pos (2*N,) -> scalar density penalty."""
+
+    def forward(self, pos: np.ndarray, *, op: "ElectricDensity"):
+        n = pos.shape[0] // 2
+        x = pos[:n]
+        y = pos[n:]
+        idx = op.participant_index
+        if idx.max(initial=-1) >= n:
+            raise ValueError(
+                "position vector too short for the configured fillers"
+            )
+        # density boxes are centered on the cell, using stretched sizes
+        xl = x[idx] + 0.5 * (op.orig_w - op.part_w)
+        yl = y[idx] + 0.5 * (op.orig_h - op.part_h)
+        rho_mov = scatter_density(
+            op.grid, xl, yl, op.part_w, op.part_h, op.part_scale,
+            strategy=op.strategy, dtype=op.dtype,
+        )
+        rho = rho_mov + op.fixed_density
+        solution = op.solver.solve(rho)
+        energy = float((rho_mov * solution.potential).sum())
+        self.save_for_backward(op, xl, yl, solution, n)
+        return np.asarray(energy, dtype=op.dtype)
+
+    def backward(self, grad_output):
+        op, xl, yl, solution, n = self.saved_values
+        idx = op.participant_index
+        force_x = gather_field(
+            op.grid, solution.field_x, xl, yl, op.part_w, op.part_h,
+            op.part_scale, strategy=op.strategy, dtype=op.dtype,
+        )
+        force_y = gather_field(
+            op.grid, solution.field_y, xl, yl, op.part_w, op.part_h,
+            op.part_scale, strategy=op.strategy, dtype=op.dtype,
+        )
+        grad = np.zeros(2 * n, dtype=op.dtype)
+        scale = float(np.asarray(grad_output))
+        # moving along the field decreases the potential energy
+        grad[idx] = -scale * force_x
+        grad[n + idx] = -scale * force_y
+        return (grad,)
+
+
+class ElectricDensity(Module):
+    """Density penalty ``D(pos)`` as a differentiable module.
+
+    Parameters
+    ----------
+    db:
+        Placement database.  Fixed cells are rasterized once into a
+        static density map; movable cells (and fillers) are re-scattered
+        every call.
+    grid:
+        Bin grid of the electrostatic system.
+    num_fillers, filler_width, filler_height:
+        Filler cells appended to the position vector (indices
+        ``db.num_cells ..``), following ePlace's whitespace filling.
+    strategy:
+        Density map strategy, see :mod:`repro.ops.density_map`.
+    dct_impl:
+        DCT family for the Poisson solver, see :mod:`repro.ops.dct`.
+    """
+
+    def __init__(self, db: PlacementDB, grid: BinGrid,
+                 num_fillers: int = 0, filler_width: float = 0.0,
+                 filler_height: float = 0.0, strategy: str = "stamp",
+                 dct_impl: str = "2d", dtype=np.float64):
+        self.grid = grid
+        self.strategy = strategy
+        self.dtype = np.dtype(dtype)
+        self.solver = PoissonSolver(grid, impl=dct_impl)
+        self.num_fillers = int(num_fillers)
+        self.num_cells = db.num_cells
+
+        movable = db.movable_index
+        orig_w = np.concatenate([
+            db.cell_width[movable],
+            np.full(self.num_fillers, float(filler_width)),
+        ])
+        orig_h = np.concatenate([
+            db.cell_height[movable],
+            np.full(self.num_fillers, float(filler_height)),
+        ])
+        self.orig_w = orig_w
+        self.orig_h = orig_h
+        self.part_w, self.part_h, self.part_scale = stretch_sizes(
+            orig_w, orig_h, grid
+        )
+        self.participant_index = np.concatenate([
+            movable,
+            db.num_cells + np.arange(self.num_fillers, dtype=np.int64),
+        ])
+
+        # static map of fixed cells (not stretched; they are real blockages)
+        fixed = db.fixed_index
+        self.fixed_density = scatter_density(
+            grid,
+            db.cell_x[fixed], db.cell_y[fixed],
+            db.cell_width[fixed], db.cell_height[fixed],
+            np.ones(fixed.shape[0]),
+            strategy="naive", dtype=self.dtype,
+        )
+
+    def forward(self, pos: Tensor) -> Tensor:
+        return _DensityFunction.apply(pos, op=self)

@@ -1,0 +1,44 @@
+"""Density overflow metric.
+
+The stopping criterion of global placement: the fraction of movable area
+that exceeds the target density, computed on the *unstretched* cells
+(no smoothing, no fillers) like RePlAce reports it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.bins import BinGrid
+from repro.netlist.database import PlacementDB
+from repro.ops.density_map import scatter_density
+
+
+def density_overflow(db: PlacementDB, grid: BinGrid,
+                     x: np.ndarray | None = None,
+                     y: np.ndarray | None = None,
+                     target_density: float = 1.0) -> float:
+    """Total overflow ratio in [0, ~1].
+
+    ``sum_b max(0, movable_area(b) - target * free_area(b)) / total_movable_area``
+    where ``free_area(b)`` discounts fixed cells in bin ``b``.
+    """
+    cx = db.cell_x if x is None else np.asarray(x)
+    cy = db.cell_y if y is None else np.asarray(y)
+    movable = db.movable_index
+    fixed = db.fixed_index
+
+    mov_map = scatter_density(
+        grid, cx[movable], cy[movable],
+        db.cell_width[movable], db.cell_height[movable],
+        np.ones(movable.shape[0]), strategy="stamp",
+    )
+    fixed_map = scatter_density(
+        grid, cx[fixed], cy[fixed],
+        db.cell_width[fixed], db.cell_height[fixed],
+        np.ones(fixed.shape[0]), strategy="naive",
+    )
+    free = np.maximum(grid.bin_area - fixed_map, 0.0)
+    overflow = np.maximum(mov_map - target_density * free, 0.0).sum()
+    total = db.total_movable_area
+    return float(overflow / total) if total > 0 else 0.0

@@ -1,0 +1,98 @@
+"""Fixed-point accumulation for run-to-run determinism.
+
+The paper's conclusion lists "implementations using fixed-point numbers
+to guarantee run-to-run determinism" as future work: floating-point
+atomics make GPU reductions order-dependent, so two identical runs can
+diverge.  This module implements that idea on the reproduction's
+substrate: scatter/reduction kernels that accumulate in scaled 64-bit
+integers, which are associative and therefore give bit-identical
+results under any summation order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.bins import BinGrid
+from repro.ops.density_map import _MACRO_SPAN, cell_bin_spans
+
+#: fixed-point fractional bits (area resolution = 2^-20 ~ 1e-6)
+FRACTION_BITS = 20
+SCALE = float(1 << FRACTION_BITS)
+
+
+def to_fixed(values: np.ndarray) -> np.ndarray:
+    """Quantize to int64 fixed point (round-to-nearest)."""
+    scaled = np.asarray(values, dtype=np.float64) * SCALE
+    return np.round(scaled).astype(np.int64)
+
+
+def from_fixed(values: np.ndarray) -> np.ndarray:
+    return np.asarray(values, dtype=np.int64).astype(np.float64) / SCALE
+
+
+def deterministic_sum(values: np.ndarray) -> float:
+    """Order-independent sum via fixed-point accumulation."""
+    return float(to_fixed(values).sum() / SCALE)
+
+
+def scatter_density_fixed(grid: BinGrid, xl, yl, wx, wy, weight,
+                          shuffle_seed: int | None = None) -> np.ndarray:
+    """Density map with int64 accumulation.
+
+    ``shuffle_seed`` optionally randomizes the processing order of
+    cells — the result is bit-identical for every order, which is the
+    determinism property the paper is after (floating-point
+    accumulation would differ in the last bits).
+    """
+    xl = np.asarray(xl, dtype=np.float64)
+    yl = np.asarray(yl, dtype=np.float64)
+    wx = np.asarray(wx, dtype=np.float64)
+    wy = np.asarray(wy, dtype=np.float64)
+    weight = np.asarray(weight, dtype=np.float64)
+    n = xl.shape[0]
+    order = np.arange(n)
+    if shuffle_seed is not None:
+        np.random.default_rng(shuffle_seed).shuffle(order)
+
+    acc = np.zeros(grid.shape, dtype=np.int64)
+    region = grid.region
+    for i in order:
+        cxl, cyl = xl[i], yl[i]
+        cxh, cyh = cxl + wx[i], cyl + wy[i]
+        ix0, ix1 = grid.span_x(cxl, cxh)
+        iy0, iy1 = grid.span_y(cyl, cyh)
+        cols = np.arange(ix0, ix1)
+        rows = np.arange(iy0, iy1)
+        lo_x = region.xl + cols * grid.bin_w
+        ovx = np.maximum(
+            np.minimum(cxh, lo_x + grid.bin_w) - np.maximum(cxl, lo_x), 0.0
+        )
+        lo_y = region.yl + rows * grid.bin_h
+        ovy = np.maximum(
+            np.minimum(cyh, lo_y + grid.bin_h) - np.maximum(cyl, lo_y), 0.0
+        )
+        # quantize each contribution before accumulation: integer adds
+        # commute exactly, so the order cannot matter
+        contribution = to_fixed(weight[i] * np.outer(ovx, ovy))
+        acc[ix0:ix1, iy0:iy1] += contribution
+    return from_fixed(acc)
+
+
+def hpwl_fixed(pin_x: np.ndarray, pin_y: np.ndarray, pin_net: np.ndarray,
+               num_nets: int) -> float:
+    """Deterministic HPWL: per-net extents in fixed point, integer sum."""
+    fx = to_fixed(pin_x)
+    fy = to_fixed(pin_y)
+    x_max = np.full(num_nets, np.iinfo(np.int64).min, dtype=np.int64)
+    x_min = np.full(num_nets, np.iinfo(np.int64).max, dtype=np.int64)
+    y_max = x_max.copy()
+    y_min = x_min.copy()
+    np.maximum.at(x_max, pin_net, fx)
+    np.minimum.at(x_min, pin_net, fx)
+    np.maximum.at(y_max, pin_net, fy)
+    np.minimum.at(y_min, pin_net, fy)
+    empty = x_max < x_min
+    lengths = (x_max - x_min) + (y_max - y_min)
+    lengths[empty] = 0
+    return float(lengths.sum() / SCALE)

@@ -1,0 +1,40 @@
+"""Half-perimeter wirelength (HPWL), the placement quality metric.
+
+HPWL is the exact (non-smooth) objective the smooth WA/LSE models
+approximate; all the paper's tables report it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def hpwl_per_net(pin_x: np.ndarray, pin_y: np.ndarray, pin_net: np.ndarray,
+                 num_nets: int) -> np.ndarray:
+    """Per-net HPWL: (max - min) x + (max - min) y over each net's pins.
+
+    Nets with no pins contribute zero.
+    """
+    pin_x = np.asarray(pin_x)
+    pin_y = np.asarray(pin_y)
+    dtype = pin_x.dtype
+    x_max = np.full(num_nets, -np.inf, dtype=dtype)
+    x_min = np.full(num_nets, np.inf, dtype=dtype)
+    y_max = np.full(num_nets, -np.inf, dtype=dtype)
+    y_min = np.full(num_nets, np.inf, dtype=dtype)
+    np.maximum.at(x_max, pin_net, pin_x)
+    np.minimum.at(x_min, pin_net, pin_x)
+    np.maximum.at(y_max, pin_net, pin_y)
+    np.minimum.at(y_min, pin_net, pin_y)
+    lengths = (x_max - x_min) + (y_max - y_min)
+    lengths[~np.isfinite(lengths)] = 0.0  # empty nets
+    return lengths
+
+
+def hpwl(pin_x: np.ndarray, pin_y: np.ndarray, pin_net: np.ndarray,
+         num_nets: int, net_weight: np.ndarray | None = None) -> float:
+    """Total (optionally net-weighted) HPWL."""
+    lengths = hpwl_per_net(pin_x, pin_y, pin_net, num_nets)
+    if net_weight is not None:
+        lengths = lengths * net_weight
+    return float(lengths.sum())

@@ -1,0 +1,24 @@
+"""Global routing substrate (substitute for NCTUgr, Section III-F).
+
+A grid router over routing tiles with directional layer capacities:
+nets are decomposed into 2-pin segments by a rectilinear MST,
+pattern-routed with congestion-aware L shapes, and ripped-up/rerouted
+once through overflowed edges.  Congestion is reported with the DAC 2012
+ACE/RC metrics, and :mod:`repro.route.inflation` implements the cell
+inflation of eq. (19).
+"""
+
+from repro.route.grid import RoutingGrid
+from repro.route.router import GlobalRouter, RoutingResult
+from repro.route.congestion import ace_metrics, routing_congestion
+from repro.route.inflation import apply_inflation, inflation_ratio_map
+
+__all__ = [
+    "RoutingGrid",
+    "GlobalRouter",
+    "RoutingResult",
+    "ace_metrics",
+    "routing_congestion",
+    "inflation_ratio_map",
+    "apply_inflation",
+]

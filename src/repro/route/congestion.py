@@ -1,0 +1,34 @@
+"""DAC 2012 congestion metrics: ACE and the RC score."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.route.grid import RoutingGrid
+
+#: percentiles of most-congested edges averaged by the contest metric
+ACE_PERCENTAGES = (0.5, 1.0, 2.0, 5.0)
+
+
+def ace_metrics(grid: RoutingGrid,
+                percentages=ACE_PERCENTAGES) -> dict[float, float]:
+    """Average Congestion of Edges: mean utilization (in %) of the top
+    x% congested edges, for each x."""
+    utilization = np.concatenate([
+        grid.utilization_h().ravel(), grid.utilization_v().ravel()
+    ])
+    utilization = np.sort(utilization)[::-1]
+    n = utilization.shape[0]
+    out = {}
+    for pct in percentages:
+        k = max(int(np.ceil(n * pct / 100.0)), 1)
+        out[pct] = float(utilization[:k].mean() * 100.0)
+    return out
+
+
+def routing_congestion(grid: RoutingGrid) -> float:
+    """The contest RC score: mean of the ACE values, floored at 100
+    (100 means no overflow anywhere in the measured tail)."""
+    ace = ace_metrics(grid)
+    rc = float(np.mean(list(ace.values())))
+    return max(rc, 100.0)

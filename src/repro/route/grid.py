@@ -1,0 +1,112 @@
+"""Routing grid: tiles with directional edge capacities per layer pool.
+
+Metal layers alternate preferred directions; we pool the horizontal
+layers and the vertical layers into two capacity planes (per-layer
+splitting does not change any congestion metric that aggregates with a
+max over layers, which is all eq. (19) needs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.bins import BinGrid
+from repro.netlist.database import PlacementDB
+
+
+class RoutingGrid:
+    """Tile grid with horizontal/vertical edge capacities and demands.
+
+    Horizontal edges connect tile (i, j) to (i+1, j): array shape
+    ``(nx-1, ny)``.  Vertical edges connect (i, j) to (i, j+1): shape
+    ``(nx, ny-1)``.
+    """
+
+    def __init__(self, db: PlacementDB, num_tiles: int = 32,
+                 num_layers: int = 4, tile_capacity: float = 12.0,
+                 macro_blockage: float = 0.5):
+        self.db = db
+        self.tiles = BinGrid(db.region, num_tiles, num_tiles)
+        self.num_layers = int(num_layers)
+        h_layers = (num_layers + 1) // 2
+        v_layers = num_layers // 2
+        nx, ny = self.tiles.shape
+        self.capacity_h = np.full((nx - 1, ny),
+                                  float(tile_capacity) * h_layers)
+        self.capacity_v = np.full((nx, ny - 1),
+                                  float(tile_capacity) * v_layers)
+        self._block_macros(macro_blockage)
+        self.demand_h = np.zeros_like(self.capacity_h)
+        self.demand_v = np.zeros_like(self.capacity_v)
+
+    def _block_macros(self, blockage: float) -> None:
+        """Reduce capacity under fixed macros by their coverage fraction."""
+        if blockage <= 0:
+            return
+        db = self.db
+        grid = self.tiles
+        coverage = grid.zeros()
+        fixed = db.fixed_index
+        from repro.ops.density_map import scatter_density
+
+        scatter_density(
+            grid, db.cell_x[fixed], db.cell_y[fixed],
+            db.cell_width[fixed], db.cell_height[fixed],
+            np.ones(fixed.shape[0]), strategy="naive", out=coverage,
+        )
+        frac = np.clip(coverage / grid.bin_area, 0.0, 1.0)
+        keep_h = 1.0 - blockage * 0.5 * (frac[:-1, :] + frac[1:, :])
+        keep_v = 1.0 - blockage * 0.5 * (frac[:, :-1] + frac[:, 1:])
+        self.capacity_h *= keep_h
+        self.capacity_v *= keep_v
+
+    # ------------------------------------------------------------------
+    def reset_demand(self) -> None:
+        self.demand_h[:] = 0.0
+        self.demand_v[:] = 0.0
+
+    def tile_of(self, x, y) -> tuple[np.ndarray, np.ndarray]:
+        return self.tiles.bin_index_x(x), self.tiles.bin_index_y(y)
+
+    def utilization_h(self) -> np.ndarray:
+        with np.errstate(divide="ignore", invalid="ignore"):
+            u = np.where(self.capacity_h > 1e-9,
+                         self.demand_h / np.maximum(self.capacity_h, 1e-9),
+                         np.where(self.demand_h > 0, 10.0, 0.0))
+        return u
+
+    def utilization_v(self) -> np.ndarray:
+        with np.errstate(divide="ignore", invalid="ignore"):
+            u = np.where(self.capacity_v > 1e-9,
+                         self.demand_v / np.maximum(self.capacity_v, 1e-9),
+                         np.where(self.demand_v > 0, 10.0, 0.0))
+        return u
+
+    def tile_ratio_map(self) -> np.ndarray:
+        """Per-tile max demand/capacity ratio over directions (eq. 19 input).
+
+        Edge utilizations are averaged onto the adjacent tiles.
+        """
+        nx, ny = self.tiles.shape
+        uh = self.utilization_h()
+        uv = self.utilization_v()
+        tile_h = np.zeros((nx, ny))
+        count_h = np.zeros((nx, ny))
+        tile_h[:-1, :] += uh
+        tile_h[1:, :] += uh
+        count_h[:-1, :] += 1
+        count_h[1:, :] += 1
+        tile_h /= np.maximum(count_h, 1)
+        tile_v = np.zeros((nx, ny))
+        count_v = np.zeros((nx, ny))
+        tile_v[:, :-1] += uv
+        tile_v[:, 1:] += uv
+        count_v[:, :-1] += 1
+        count_v[:, 1:] += 1
+        tile_v /= np.maximum(count_v, 1)
+        return np.maximum(tile_h, tile_v)
+
+    def total_overflow(self) -> float:
+        over_h = np.maximum(self.demand_h - self.capacity_h, 0.0).sum()
+        over_v = np.maximum(self.demand_v - self.capacity_v, 0.0).sum()
+        return float(over_h + over_v)

@@ -1,0 +1,75 @@
+"""Cell inflation for routability (Section III-F, eq. 19)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.bins import BinGrid
+from repro.netlist.database import PlacementDB
+
+
+def inflation_ratio_map(tile_ratio: np.ndarray, exponent: float = 2.5,
+                        max_ratio: float = 2.5) -> np.ndarray:
+    """eq. (19): ratio = min((max_l demand/capacity)^exponent, max_ratio)."""
+    return np.minimum(
+        np.power(np.maximum(tile_ratio, 0.0), exponent), max_ratio
+    )
+
+
+def apply_inflation(db: PlacementDB, tiles: BinGrid,
+                    ratio_map: np.ndarray,
+                    x: np.ndarray | None = None,
+                    y: np.ndarray | None = None,
+                    whitespace_cap: float = 0.10) -> float:
+    """Inflate movable cell widths per the tile inflation ratios.
+
+    Each cell's area grows by the area-weighted mean inflation ratio of
+    the tiles it overlaps (growth only; ratios below 1 are clamped).
+    The total increment is capped at ``whitespace_cap`` of the current
+    whitespace (uniform scale-down of the increments, per the paper).
+
+    Mutates ``db.cell_width`` and returns the area actually added.
+    """
+    from repro.ops.density_map import gather_field, scatter_density
+
+    movable = db.movable_index
+    if movable.size == 0:
+        return 0.0
+    cx = db.cell_x if x is None else np.asarray(x)
+    cy = db.cell_y if y is None else np.asarray(y)
+    w = db.cell_width[movable]
+    h = db.cell_height[movable]
+    area = w * h
+
+    # area-weighted mean ratio over overlapped tiles
+    weighted = gather_field(
+        tiles, np.maximum(ratio_map, 1.0),
+        cx[movable], cy[movable], w, h, np.ones(movable.shape[0]),
+        strategy="stamp",
+    )
+    with np.errstate(invalid="ignore", divide="ignore"):
+        mean_ratio = np.where(area > 0, weighted / np.maximum(area, 1e-12), 1.0)
+    mean_ratio = np.clip(mean_ratio, 1.0, None)
+
+    increment = area * (mean_ratio - 1.0)
+    total_increment = float(increment.sum())
+    if total_increment <= 0.0:
+        return 0.0
+
+    whitespace = (
+        db.region.area - db.total_fixed_area - db.total_movable_area
+    )
+    cap = max(whitespace_cap * max(whitespace, 0.0), 0.0)
+    if total_increment > cap and total_increment > 0:
+        increment *= cap / total_increment
+        total_increment = cap
+
+    new_area = area + increment
+    with np.errstate(invalid="ignore", divide="ignore"):
+        new_w = np.where(h > 0, new_area / h, w)
+    # keep widths on the site grid (round up so the increment survives)
+    site = db.region.site_width
+    new_w = np.maximum(np.ceil(new_w / site - 1e-9) * site, w)
+    added = float(((new_w - w) * h).sum())
+    db.cell_width[movable] = new_w
+    return added

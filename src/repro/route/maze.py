@@ -1,0 +1,97 @@
+"""Maze routing fallback (bounded-box Dijkstra).
+
+NCTUgr escalates from pattern routing to bounded-length maze routing
+for nets the L/Z patterns cannot route cleanly; this module provides
+the same escalation for the router substrate: a Dijkstra search over
+the tile graph inside an expanded bounding box, with the same
+congestion-aware edge costs as the pattern router.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.route.grid import RoutingGrid
+from repro.route.pattern_route import OVERFLOW_PENALTY
+
+
+def _edge_cost(demand: float, capacity: float) -> float:
+    if capacity <= 1e-9:
+        return 1.0 + OVERFLOW_PENALTY * 10.0
+    utilization = (demand + 1.0) / capacity
+    return 1.0 + OVERFLOW_PENALTY * max(0.0, utilization - 1.0)
+
+
+def maze_route_segment(grid: RoutingGrid, x1: int, y1: int,
+                       x2: int, y2: int, margin: int = 3):
+    """Dijkstra shortest congestion-cost path; commits demand.
+
+    The search is restricted to the segment's bounding box expanded by
+    ``margin`` tiles (bounded maze routing).  Returns the list of used
+    edges like :func:`repro.route.pattern_route.route_segment`, or
+    ``None`` if source equals target.
+    """
+    if (x1, y1) == (x2, y2):
+        return []
+    nx, ny = grid.tiles.shape
+    lo_x = max(min(x1, x2) - margin, 0)
+    hi_x = min(max(x1, x2) + margin, nx - 1)
+    lo_y = max(min(y1, y2) - margin, 0)
+    hi_y = min(max(y1, y2) + margin, ny - 1)
+
+    start = (x1, y1)
+    target = (x2, y2)
+    dist: dict[tuple[int, int], float] = {start: 0.0}
+    parent: dict[tuple[int, int], tuple] = {}
+    heap = [(0.0, start)]
+    visited: set[tuple[int, int]] = set()
+    while heap:
+        cost, node = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        if node == target:
+            break
+        cx, cy = node
+        # horizontal edge (cx, cy) <-> (cx + 1, cy) is demand_h[cx, cy]
+        neighbors = []
+        if cx + 1 <= hi_x:
+            neighbors.append(((cx + 1, cy), "h", cx, cy))
+        if cx - 1 >= lo_x:
+            neighbors.append(((cx - 1, cy), "h", cx - 1, cy))
+        if cy + 1 <= hi_y:
+            neighbors.append(((cx, cy + 1), "v", cx, cy))
+        if cy - 1 >= lo_y:
+            neighbors.append(((cx, cy - 1), "v", cx, cy - 1))
+        for nxt, kind, ei, ej in neighbors:
+            if nxt in visited:
+                continue
+            if kind == "h":
+                step = _edge_cost(grid.demand_h[ei, ej],
+                                  grid.capacity_h[ei, ej])
+            else:
+                step = _edge_cost(grid.demand_v[ei, ej],
+                                  grid.capacity_v[ei, ej])
+            new_cost = cost + step
+            if new_cost < dist.get(nxt, np.inf):
+                dist[nxt] = new_cost
+                parent[nxt] = (node, kind, ei, ej)
+                heapq.heappush(heap, (new_cost, nxt))
+
+    if target not in parent and target != start:
+        return None  # unreachable inside the bounded box
+
+    used = []
+    node = target
+    while node != start:
+        prev, kind, ei, ej = parent[node]
+        if kind == "h":
+            grid.demand_h[ei, ej] += 1.0
+        else:
+            grid.demand_v[ei, ej] += 1.0
+        used.append((kind, ei, ej))
+        node = prev
+    used.reverse()
+    return used

@@ -1,0 +1,50 @@
+"""Net decomposition into 2-pin segments via rectilinear MST (Prim)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mst_segments(tx: np.ndarray, ty: np.ndarray) -> list[tuple[int, int]]:
+    """Prim MST over tile coordinates with Manhattan distance.
+
+    Returns index pairs into the (deduplicated) input arrays.  O(d^2),
+    fine for net degrees up to a few dozen.
+    """
+    n = tx.shape[0]
+    if n < 2:
+        return []
+    in_tree = np.zeros(n, dtype=bool)
+    dist = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+    parent = np.full(n, -1, dtype=np.int64)
+    in_tree[0] = True
+    dist[:] = np.abs(tx - tx[0]) + np.abs(ty - ty[0])
+    dist[0] = 0
+    parent[:] = 0
+    edges: list[tuple[int, int]] = []
+    for _ in range(n - 1):
+        candidates = np.where(~in_tree, dist, np.iinfo(np.int64).max)
+        nxt = int(np.argmin(candidates))
+        edges.append((int(parent[nxt]), nxt))
+        in_tree[nxt] = True
+        newdist = np.abs(tx - tx[nxt]) + np.abs(ty - ty[nxt])
+        closer = ~in_tree & (newdist < dist)
+        dist[closer] = newdist[closer]
+        parent[closer] = nxt
+    return edges
+
+
+def decompose_net(tile_x: np.ndarray, tile_y: np.ndarray
+                  ) -> list[tuple[int, int, int, int]]:
+    """Unique-tile MST segments as (x1, y1, x2, y2) tile coordinates."""
+    coords = np.unique(
+        np.stack([tile_x, tile_y], axis=1), axis=0
+    )
+    if coords.shape[0] < 2:
+        return []
+    tx = coords[:, 0]
+    ty = coords[:, 1]
+    return [
+        (int(tx[a]), int(ty[a]), int(tx[b]), int(ty[b]))
+        for a, b in mst_segments(tx, ty)
+    ]

@@ -1,0 +1,69 @@
+"""Congestion-aware L-shape pattern routing for 2-pin segments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.route.grid import RoutingGrid
+
+# overflow cost: cost(e) = 1 + OVERFLOW_PENALTY * max(0, u - 1)
+OVERFLOW_PENALTY = 16.0
+
+
+def _h_edges(x1: int, x2: int, y: int):
+    lo, hi = (x1, x2) if x1 <= x2 else (x2, x1)
+    return [(i, y) for i in range(lo, hi)]
+
+
+def _v_edges(x: int, y1: int, y2: int):
+    lo, hi = (y1, y2) if y1 <= y2 else (y2, y1)
+    return [(x, j) for j in range(lo, hi)]
+
+
+def _edge_cost(demand: np.ndarray, capacity: np.ndarray, edges) -> float:
+    total = 0.0
+    for i, j in edges:
+        cap = capacity[i, j]
+        u = demand[i, j] / cap if cap > 1e-9 else 10.0
+        total += 1.0 + OVERFLOW_PENALTY * max(0.0, u + 1.0 / max(cap, 1e-9) - 1.0)
+    return total
+
+
+def route_segment(grid: RoutingGrid, x1: int, y1: int, x2: int, y2: int):
+    """Route one 2-pin segment with the cheaper of the two L shapes.
+
+    Commits demand and returns the list of used edges as
+    ``("h"|"v", i, j)`` tuples so the caller can rip up later.
+    """
+    if x1 == x2 and y1 == y2:
+        return []
+    # option A: horizontal at y1 then vertical at x2
+    edges_a = (_h_edges(x1, x2, y1), _v_edges(x2, y1, y2))
+    # option B: vertical at x1 then horizontal at y2
+    edges_b = (_h_edges(x1, x2, y2), _v_edges(x1, y1, y2))
+    cost_a = (
+        _edge_cost(grid.demand_h, grid.capacity_h, edges_a[0])
+        + _edge_cost(grid.demand_v, grid.capacity_v, edges_a[1])
+    )
+    cost_b = (
+        _edge_cost(grid.demand_h, grid.capacity_h, edges_b[0])
+        + _edge_cost(grid.demand_v, grid.capacity_v, edges_b[1])
+    )
+    h_edges, v_edges = edges_a if cost_a <= cost_b else edges_b
+    used = []
+    for i, j in h_edges:
+        grid.demand_h[i, j] += 1.0
+        used.append(("h", i, j))
+    for i, j in v_edges:
+        grid.demand_v[i, j] += 1.0
+        used.append(("v", i, j))
+    return used
+
+
+def rip_up(grid: RoutingGrid, edges) -> None:
+    """Remove a previously committed route's demand."""
+    for kind, i, j in edges:
+        if kind == "h":
+            grid.demand_h[i, j] -= 1.0
+        else:
+            grid.demand_v[i, j] -= 1.0

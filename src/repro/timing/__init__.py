@@ -1,0 +1,21 @@
+"""Timing-driven placement extension (Section III-G).
+
+The paper: "timing can be considered by net weighting or additional
+differentiable timing costs in the objective."  This package provides
+the substrate — a lightweight static timing analyzer over the netlist
+(drivers inferred from pin order, wire delay from net HPWL) — and the
+classic criticality-based net-weighting loop on top of it.
+"""
+
+from repro.timing.sta import StaticTimingAnalysis, TimingReport
+from repro.timing.weighting import (
+    criticality_weights,
+    timing_driven_place,
+)
+
+__all__ = [
+    "StaticTimingAnalysis",
+    "TimingReport",
+    "criticality_weights",
+    "timing_driven_place",
+]

@@ -1,0 +1,184 @@
+"""Lightweight static timing analysis over a placed netlist.
+
+A real flow runs full STA with library delays; here we build the
+closest synthetic equivalent that exercises the same code path:
+
+- each net's first pin is its driver (the generator and most Bookshelf
+  netlists follow this convention); the remaining pins are sinks;
+- cell delay is a constant per traversed cell; wire delay per edge is
+  proportional to the Manhattan distance from the driver pin to the
+  sink pin (a linear per-sink model);
+- combinational cycles (possible in synthetic graphs) are broken by
+  ignoring back edges in a DFS order, as timers do for loops.
+
+Arrival times propagate from primary inputs (terminals and undriven
+cells), required times back from primary outputs; slack = required -
+arrival.  Net criticality is the worst sink slack on the net, mapped
+to [0, 1].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netlist.database import PlacementDB
+
+
+@dataclass
+class TimingReport:
+    """Arrival/slack summary for one analysis run."""
+
+    arrival: np.ndarray  # per cell
+    slack: np.ndarray  # per cell
+    net_slack: np.ndarray  # per net (worst sink)
+    critical_path: list[int]  # cell indices, input -> output
+    wns: float  # worst negative slack (or worst slack if all positive)
+    tns: float  # total negative slack
+
+    @property
+    def max_arrival(self) -> float:
+        return float(self.arrival.max()) if self.arrival.size else 0.0
+
+
+class StaticTimingAnalysis:
+    """HPWL-based STA on the placement database.
+
+    Parameters
+    ----------
+    db:
+        The design.  Net direction: first pin in each net drives the rest.
+    cell_delay:
+        Constant propagation delay through a cell.
+    wire_delay_per_unit:
+        Wire delay per unit of net HPWL.
+    clock_period:
+        Required time at every endpoint; ``None`` uses the longest path
+        (zero worst slack).
+    """
+
+    def __init__(self, db: PlacementDB, cell_delay: float = 1.0,
+                 wire_delay_per_unit: float = 0.1,
+                 clock_period: float | None = None):
+        self.db = db
+        self.cell_delay = float(cell_delay)
+        self.wire_delay_per_unit = float(wire_delay_per_unit)
+        self.clock_period = clock_period
+        self._build_graph()
+
+    def _build_graph(self) -> None:
+        """Edges driver-cell -> sink-cell with (net, driver pin, sink pin)."""
+        db = self.db
+        edges_out: list[list[tuple[int, int, int, int]]] = [
+            [] for _ in range(db.num_cells)
+        ]
+        in_degree = np.zeros(db.num_cells, dtype=np.int64)
+        self.net_driver = np.full(db.num_nets, -1, dtype=np.int64)
+        for net in range(db.num_nets):
+            pins = db.net_pins(net)
+            if pins.shape[0] < 2:
+                continue
+            driver_pin = int(pins[0])
+            driver = int(db.pin_cell[driver_pin])
+            self.net_driver[net] = driver
+            for pin in pins[1:]:
+                sink = int(db.pin_cell[pin])
+                if sink == driver:
+                    continue
+                edges_out[driver].append((sink, net, driver_pin, int(pin)))
+                in_degree[sink] += 1
+        self.edges_out = edges_out
+        self._topo_order = self._topological_order(in_degree)
+
+    def _topological_order(self, in_degree: np.ndarray) -> list[int]:
+        """Kahn's algorithm; remaining (cyclic) cells appended — their
+        incoming back edges are ignored during propagation."""
+        db = self.db
+        degree = in_degree.copy()
+        order: list[int] = []
+        stack = [c for c in range(db.num_cells) if degree[c] == 0]
+        seen = np.zeros(db.num_cells, dtype=bool)
+        while stack:
+            cell = stack.pop()
+            seen[cell] = True
+            order.append(cell)
+            for sink, *_ in self.edges_out[cell]:
+                degree[sink] -= 1
+                if degree[sink] == 0 and not seen[sink]:
+                    stack.append(sink)
+        if len(order) < db.num_cells:
+            order.extend(
+                c for c in range(db.num_cells) if not seen[c]
+            )
+        return order
+
+    # ------------------------------------------------------------------
+    def run(self, x: np.ndarray | None = None,
+            y: np.ndarray | None = None) -> TimingReport:
+        """Analyze the placement (stored positions by default)."""
+        db = self.db
+        px, py = db.pin_positions(x, y)
+
+        def edge_delay(driver_pin: int, sink_pin: int) -> float:
+            return self.wire_delay_per_unit * (
+                abs(px[sink_pin] - px[driver_pin])
+                + abs(py[sink_pin] - py[driver_pin])
+            )
+
+        position = {cell: i for i, cell in enumerate(self._topo_order)}
+        arrival = np.zeros(db.num_cells)
+        parent = np.full(db.num_cells, -1, dtype=np.int64)
+        for cell in self._topo_order:
+            base = arrival[cell] + self.cell_delay
+            for sink, net, dpin, spin in self.edges_out[cell]:
+                if position[sink] <= position[cell]:
+                    continue  # back edge of a loop
+                candidate = base + edge_delay(dpin, spin)
+                if candidate > arrival[sink]:
+                    arrival[sink] = candidate
+                    parent[sink] = cell
+
+        period = self.clock_period
+        if period is None:
+            period = float(arrival.max()) if arrival.size else 0.0
+        required = np.full(db.num_cells, period)
+        for cell in reversed(self._topo_order):
+            for sink, net, dpin, spin in self.edges_out[cell]:
+                if position[sink] <= position[cell]:
+                    continue
+                candidate = (
+                    required[sink] - edge_delay(dpin, spin)
+                    - self.cell_delay
+                )
+                if candidate < required[cell]:
+                    required[cell] = candidate
+        slack = required - arrival
+
+        net_slack = np.full(db.num_nets, np.inf)
+        for net in range(db.num_nets):
+            driver = self.net_driver[net]
+            if driver < 0:
+                continue
+            sinks = [
+                edge[0] for edge in self.edges_out[driver]
+                if edge[1] == net
+            ]
+            if sinks:
+                net_slack[net] = min(slack[s] for s in sinks)
+
+        endpoint = int(np.argmax(arrival))
+        path = [endpoint]
+        while parent[path[-1]] >= 0:
+            path.append(int(parent[path[-1]]))
+        path.reverse()
+
+        negative = slack[slack < 0]
+        return TimingReport(
+            arrival=arrival,
+            slack=slack,
+            net_slack=net_slack,
+            critical_path=path,
+            wns=float(slack.min()) if slack.size else 0.0,
+            tns=float(negative.sum()) if negative.size else 0.0,
+        )

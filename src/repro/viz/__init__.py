@@ -1,0 +1,6 @@
+"""Visualization: SVG placement plots and ASCII density maps."""
+
+from repro.viz.svg import placement_svg, write_placement_svg
+from repro.viz.ascii_map import ascii_density_map
+
+__all__ = ["placement_svg", "write_placement_svg", "ascii_density_map"]

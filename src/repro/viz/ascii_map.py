@@ -1,0 +1,40 @@
+"""Terminal-friendly density/congestion map rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+
+_RAMP = " .:-=+*#%@"
+
+
+def ascii_density_map(values: np.ndarray, max_cols: int = 64) -> str:
+    """Render a 2-D map as ASCII art (one char per downsampled bin).
+
+    The map is oriented like the layout: row 0 of the output is the top
+    (highest y).  Values are normalized to the map's maximum.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2:
+        raise ValueError("expected a 2-D map")
+    nx, ny = values.shape
+    # downsample by integer block averaging to fit the terminal
+    step = max(int(np.ceil(nx / max_cols)), 1)
+    tx = nx // step
+    ty = ny // step
+    if tx == 0 or ty == 0:
+        raise ValueError("map too small for the requested width")
+    trimmed = values[:tx * step, :ty * step]
+    blocks = trimmed.reshape(tx, step, ty, step).mean(axis=(1, 3))
+    peak = blocks.max()
+    if peak <= 0:
+        peak = 1.0
+    lines = []
+    for j in reversed(range(ty)):  # top row = highest y
+        chars = []
+        for i in range(tx):
+            level = blocks[i, j] / peak
+            index = min(int(level * (len(_RAMP) - 1) + 0.5),
+                        len(_RAMP) - 1)
+            chars.append(_RAMP[index])
+        lines.append("".join(chars))
+    return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""Dependency-free SVG rendering of placements.
+
+Produces the classic placement plots (movable cells, macros, pads, die
+outline, optionally a congestion heat overlay) without matplotlib.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netlist.database import PlacementDB
+
+_STYLE = {
+    "die": "fill:none;stroke:#222;stroke-width:{sw}",
+    "cell": "fill:#4f81bd;fill-opacity:0.55;stroke:none",
+    "macro_fixed": "fill:#7f7f7f;fill-opacity:0.8;stroke:#333;stroke-width:{sw}",
+    "macro_movable": "fill:#c0504d;fill-opacity:0.7;stroke:#333;stroke-width:{sw}",
+    "pad": "fill:#9bbb59;stroke:none",
+}
+
+
+def _heat_color(value: float) -> str:
+    """0 -> white, 1 -> red through yellow."""
+    v = min(max(value, 0.0), 1.0)
+    if v < 0.5:
+        t = v / 0.5
+        r, g, b = 255, 255, int(255 * (1 - t))
+    else:
+        t = (v - 0.5) / 0.5
+        r, g, b = 255, int(255 * (1 - t)), 0
+    return f"rgb({r},{g},{b})"
+
+
+def placement_svg(db: PlacementDB,
+                  x: np.ndarray | None = None,
+                  y: np.ndarray | None = None,
+                  width: int = 800,
+                  heat: np.ndarray | None = None) -> str:
+    """Render the placement as an SVG string.
+
+    ``heat`` is an optional (nx, ny) map (e.g. density or congestion)
+    drawn under the cells, normalized to its own maximum.
+    """
+    region = db.region
+    cx = db.cell_x if x is None else np.asarray(x)
+    cy = db.cell_y if y is None else np.asarray(y)
+    scale = width / region.width
+    height = int(np.ceil(region.height * scale))
+    stroke = max(width / 1000.0, 0.5)
+
+    def sx(v):
+        return (v - region.xl) * scale
+
+    def sy(v):
+        # SVG y grows downward; flip so yl is at the bottom
+        return height - (v - region.yl) * scale
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect x="0" y="0" width="{width}" height="{height}" '
+        'style="fill:#fafafa"/>',
+    ]
+
+    if heat is not None:
+        heat = np.asarray(heat, dtype=np.float64)
+        peak = heat.max()
+        if peak > 0:
+            nx, ny = heat.shape
+            bw = region.width / nx * scale
+            bh = region.height / ny * scale
+            for i in range(nx):
+                for j in range(ny):
+                    v = heat[i, j] / peak
+                    if v < 0.02:
+                        continue
+                    parts.append(
+                        f'<rect x="{i * bw:.2f}" '
+                        f'y="{height - (j + 1) * bh:.2f}" '
+                        f'width="{bw:.2f}" height="{bh:.2f}" '
+                        f'style="fill:{_heat_color(v)};fill-opacity:0.6"/>'
+                    )
+
+    row_h = region.row_height
+    for i in range(db.num_cells):
+        w = db.cell_width[i]
+        h = db.cell_height[i]
+        if db.terminal[i] or w * h == 0:
+            r = 3 * stroke
+            parts.append(
+                f'<circle cx="{sx(cx[i]):.2f}" cy="{sy(cy[i]):.2f}" '
+                f'r="{r:.2f}" style="{_STYLE["pad"]}"/>'
+            )
+            continue
+        if not db.movable[i]:
+            style = _STYLE["macro_fixed"].format(sw=stroke)
+        elif h > row_h + 1e-9:
+            style = _STYLE["macro_movable"].format(sw=stroke)
+        else:
+            style = _STYLE["cell"]
+        parts.append(
+            f'<rect x="{sx(cx[i]):.2f}" y="{sy(cy[i] + h):.2f}" '
+            f'width="{w * scale:.2f}" height="{h * scale:.2f}" '
+            f'style="{style}"/>'
+        )
+
+    parts.append(
+        f'<rect x="0" y="0" width="{width}" height="{height}" '
+        f'style="{_STYLE["die"].format(sw=2 * stroke)}"/>'
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def write_placement_svg(db: PlacementDB, path: str,
+                        x: np.ndarray | None = None,
+                        y: np.ndarray | None = None,
+                        width: int = 800,
+                        heat: np.ndarray | None = None) -> str:
+    """Write :func:`placement_svg` output to ``path``; returns the path."""
+    svg = placement_svg(db, x, y, width=width, heat=heat)
+    with open(path, "w") as handle:
+        handle.write(svg)
+    return path

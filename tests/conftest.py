@@ -1,0 +1,87 @@
+"""Shared fixtures: small deterministic designs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.benchgen import CircuitSpec, generate
+from repro.geometry import BinGrid, PlacementRegion
+from repro.netlist import CellKind, Netlist
+
+
+@pytest.fixture
+def region():
+    return PlacementRegion(0.0, 0.0, 32.0, 32.0, row_height=1.0,
+                           site_width=1.0)
+
+
+@pytest.fixture
+def small_db(region):
+    """A 40-cell random design with pads, suitable for gradient checks."""
+    rng = np.random.default_rng(1)
+    netlist = Netlist("small")
+    n = 40
+    for i in range(n):
+        netlist.add_cell(f"c{i}", 1.0 + float(rng.integers(0, 3)), 1.0,
+                         CellKind.MOVABLE,
+                         x=float(rng.uniform(2, 26)),
+                         y=float(rng.integers(2, 28)))
+    netlist.add_cell("pad0", 0.0, 0.0, CellKind.TERMINAL, x=0.0, y=16.0)
+    netlist.add_cell("pad1", 0.0, 0.0, CellKind.TERMINAL, x=32.0, y=16.0)
+    for e in range(30):
+        degree = int(rng.integers(2, 6))
+        cells = rng.choice(n, size=degree, replace=False)
+        pins = [
+            (int(c), float(rng.uniform(0, 1)), float(rng.uniform(0, 1)))
+            for c in cells
+        ]
+        if e % 7 == 0:
+            pins.append((n + e % 2, 0.0, 0.0))
+        netlist.add_net(f"e{e}", pins)
+    return netlist.compile(region)
+
+
+@pytest.fixture
+def blocked_db(region):
+    """A design with a fixed macro blockage in the middle."""
+    rng = np.random.default_rng(3)
+    netlist = Netlist("blocked")
+    n = 30
+    for i in range(n):
+        netlist.add_cell(f"c{i}", 2.0, 1.0, CellKind.MOVABLE,
+                         x=float(rng.uniform(1, 28)),
+                         y=float(rng.integers(1, 30)))
+    netlist.add_cell("macro", 8.0, 8.0, CellKind.FIXED, x=12.0, y=12.0)
+    for e in range(20):
+        cells = rng.choice(n, size=int(rng.integers(2, 5)), replace=False)
+        netlist.add_net(
+            f"e{e}", [(int(c), 1.0, 0.5) for c in cells]
+        )
+    return netlist.compile(region)
+
+
+@pytest.fixture
+def tiny_design():
+    """A generated ~300-cell circuit (integration-scale)."""
+    return generate(CircuitSpec(
+        name="tiny", num_cells=300, num_ios=16, utilization=0.6,
+        macro_area_fraction=0.04, num_macros=2, seed=11,
+    ))
+
+
+@pytest.fixture
+def grid(region):
+    return BinGrid(region, 16, 16)
+
+
+def make_chain_db(num_cells: int = 5, spacing: float = 4.0):
+    """Cells in a horizontal chain: c0 - c1 - ... - c_{k-1}."""
+    region = PlacementRegion(0, 0, max(spacing * (num_cells + 2), 16), 16)
+    netlist = Netlist("chain")
+    for i in range(num_cells):
+        netlist.add_cell(f"c{i}", 1.0, 1.0, CellKind.MOVABLE,
+                         x=1.0 + i * spacing, y=8.0)
+    for i in range(num_cells - 1):
+        netlist.add_net(f"n{i}", [(i, 0.5, 0.5), (i + 1, 0.5, 0.5)])
+    return netlist.compile(region)

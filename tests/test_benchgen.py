@@ -1,0 +1,131 @@
+"""Tests for the synthetic benchmark generator and suites."""
+
+import numpy as np
+import pytest
+
+from repro.benchgen import (
+    CircuitSpec,
+    dac2012_suite,
+    generate,
+    industrial_suite,
+    ispd2005_suite,
+    load_design,
+    tiny_suite,
+)
+from repro.netlist import validate_db
+
+
+class TestGenerator:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return generate(CircuitSpec(
+            name="gen", num_cells=500, num_ios=32, utilization=0.65,
+            macro_area_fraction=0.08, num_macros=4, seed=17,
+        ))
+
+    def test_valid_database(self, db):
+        validate_db(db)
+
+    def test_cell_count(self, db):
+        assert db.num_movable == 500
+
+    def test_utilization_close_to_spec(self, db):
+        assert db.utilization == pytest.approx(0.65, abs=0.08)
+
+    def test_macros_are_fixed_blocks(self, db):
+        fixed = [i for i in db.fixed_index if db.cell_area[i] > 0]
+        assert len(fixed) == 4
+        for i in fixed:
+            assert db.region.contains(
+                db.cell_x[i], db.cell_y[i],
+                db.cell_width[i], db.cell_height[i],
+            )
+
+    def test_macro_area_fraction(self, db):
+        assert db.total_fixed_area == pytest.approx(
+            0.08 * db.region.area, rel=0.35
+        )
+
+    def test_ios_on_periphery(self, db):
+        pads = np.flatnonzero(db.terminal)
+        assert pads.shape[0] == 32
+        on_edge = (
+            (db.cell_x[pads] == db.region.xl)
+            | (db.cell_x[pads] == db.region.xh)
+            | (db.cell_y[pads] == db.region.yl)
+            | (db.cell_y[pads] == db.region.yh)
+        )
+        assert on_edge.all()
+
+    def test_net_degrees_realistic(self, db):
+        degrees = db.net_degree
+        assert degrees.min() >= 2
+        assert degrees.max() <= 26  # max_degree + possible pad/macro pin
+        assert 2.5 < degrees.mean() < 6.0
+
+    def test_deterministic(self):
+        spec = CircuitSpec(name="det", num_cells=100, seed=3)
+        a = generate(spec)
+        b = generate(spec)
+        np.testing.assert_allclose(a.cell_x, b.cell_x)
+        np.testing.assert_array_equal(a.pin_net, b.pin_net)
+
+    def test_seeds_differ(self):
+        a = generate(CircuitSpec(name="s1", num_cells=100, seed=1))
+        b = generate(CircuitSpec(name="s2", num_cells=100, seed=2))
+        assert not np.allclose(a.cell_x, b.cell_x)
+
+    def test_locality_shortens_placed_wirelength(self):
+        """Clustered netlists place to lower HPWL than random ones: a
+        real placer can exploit the generator's Rent-style locality."""
+        from repro.core import GlobalPlacer, PlacementParams
+
+        hpwl = {}
+        for name, locality in (("loc", 0.95), ("rand", 0.0)):
+            db = generate(CircuitSpec(name=name, num_cells=150, seed=5,
+                                      num_ios=0, locality=locality))
+            params = PlacementParams(max_global_iters=120, seed=5)
+            result = GlobalPlacer(db, params).place()
+            hpwl[name] = result.hpwl / db.num_pins
+        assert hpwl["loc"] < hpwl["rand"]
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            CircuitSpec(name="bad", num_cells=1)
+        with pytest.raises(ValueError):
+            CircuitSpec(name="bad", num_cells=10, utilization=1.5)
+        with pytest.raises(ValueError):
+            CircuitSpec(name="bad", num_cells=10,
+                        width_probs=(0.5, 0.1, 0.1, 0.1, 0.1))
+
+
+class TestSuites:
+    def test_ispd_suite_names_and_sizes(self):
+        suite = ispd2005_suite()
+        names = [s.name for s in suite]
+        assert names[0] == "adaptec1"
+        assert "bigblue4" in names
+        sizes = {s.name: s.num_cells for s in suite}
+        # relative ordering matches the paper's table
+        assert sizes["bigblue4"] > sizes["bigblue3"] > sizes["adaptec1"]
+
+    def test_industrial_scalability_design(self):
+        suite = industrial_suite()
+        sizes = {s.name: s.num_cells for s in suite}
+        assert sizes["design6"] > 4 * sizes["design1"]
+
+    def test_dac2012_suite(self):
+        assert len(dac2012_suite()) == 10
+
+    def test_tiny_suite_loads(self):
+        for spec in tiny_suite():
+            db = generate(spec)
+            validate_db(db)
+
+    def test_load_design_by_name(self):
+        db = load_design("tiny1")
+        assert db.name == "tiny1"
+
+    def test_load_design_unknown(self):
+        with pytest.raises(KeyError):
+            load_design("nonexistent99")

@@ -1,0 +1,121 @@
+"""Tests for Bookshelf reading and writing."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.benchgen import CircuitSpec, generate
+from repro.bookshelf import read_aux, read_bookshelf, write_bookshelf
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate(CircuitSpec(name="bs", num_cells=150, num_ios=8,
+                                macro_area_fraction=0.05, num_macros=2,
+                                seed=23))
+
+
+@pytest.fixture(scope="module")
+def roundtrip(db, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("bookshelf")
+    aux = write_bookshelf(db, str(directory))
+    return aux, read_bookshelf(aux)
+
+
+class TestWriter:
+    def test_all_files_written(self, roundtrip):
+        aux, _ = roundtrip
+        base = os.path.dirname(aux)
+        for ext in ("aux", "nodes", "nets", "pl", "scl", "wts"):
+            assert os.path.exists(os.path.join(base, f"bs.{ext}"))
+
+    def test_aux_lists_files(self, roundtrip):
+        aux, _ = roundtrip
+        mapping = read_aux(aux)
+        assert set(mapping) == {"nodes", "nets", "pl", "scl", "wts"}
+
+
+class TestRoundTrip:
+    def test_counts_preserved(self, db, roundtrip):
+        _, db2 = roundtrip
+        assert db2.num_cells == db.num_cells
+        assert db2.num_nets == db.num_nets
+        assert db2.num_pins == db.num_pins
+
+    def test_positions_preserved(self, db, roundtrip):
+        _, db2 = roundtrip
+        np.testing.assert_allclose(db2.cell_x, db.cell_x, atol=1e-5)
+        np.testing.assert_allclose(db2.cell_y, db.cell_y, atol=1e-5)
+
+    def test_sizes_preserved(self, db, roundtrip):
+        _, db2 = roundtrip
+        np.testing.assert_allclose(db2.cell_width, db.cell_width)
+
+    def test_kinds_preserved(self, db, roundtrip):
+        _, db2 = roundtrip
+        np.testing.assert_array_equal(db2.movable, db.movable)
+        np.testing.assert_array_equal(db2.terminal, db.terminal)
+
+    def test_hpwl_preserved(self, db, roundtrip):
+        _, db2 = roundtrip
+        assert db2.hpwl() == pytest.approx(db.hpwl(), rel=1e-5)
+
+    def test_region_preserved(self, db, roundtrip):
+        _, db2 = roundtrip
+        assert db2.region.width == pytest.approx(db.region.width)
+        assert db2.region.num_rows == db.region.num_rows
+
+    def test_net_weights_preserved(self, db, roundtrip):
+        _, db2 = roundtrip
+        np.testing.assert_allclose(db2.net_weight, db.net_weight)
+
+    def test_double_roundtrip_stable(self, roundtrip, tmp_path):
+        _, db2 = roundtrip
+        aux = write_bookshelf(db2, str(tmp_path))
+        db3 = read_bookshelf(aux)
+        np.testing.assert_allclose(db3.cell_x, db2.cell_x, atol=1e-5)
+        assert db3.hpwl() == pytest.approx(db2.hpwl(), rel=1e-6)
+
+
+class TestReaderRobustness:
+    def test_missing_file_entry(self, tmp_path):
+        aux = tmp_path / "bad.aux"
+        aux.write_text("RowBasedPlacement : x.nodes x.pl\n")
+        with pytest.raises(ValueError, match="missing"):
+            read_bookshelf(str(aux))
+
+    def test_malformed_aux(self, tmp_path):
+        aux = tmp_path / "bad.aux"
+        aux.write_text("no colon here\n")
+        with pytest.raises(ValueError):
+            read_aux(str(aux))
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        (tmp_path / "d.nodes").write_text(
+            "UCLA nodes 1.0\n# comment\n\nNumNodes : 2\nNumTerminals : 0\n"
+            "  a 1 1\n  b 2 1\n"
+        )
+        (tmp_path / "d.nets").write_text(
+            "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\n"
+            "NetDegree : 2  n0\n  a B : 0 0\n  b B : 0 0\n"
+        )
+        (tmp_path / "d.pl").write_text(
+            "UCLA pl 1.0\n  a 1 1 : N\n  b 4 2 : N\n"
+        )
+        (tmp_path / "d.scl").write_text(
+            "UCLA scl 1.0\nNumRows : 2\n"
+            "CoreRow Horizontal\n  Coordinate : 0\n  Height : 1\n"
+            "  Sitewidth : 1\n  SubrowOrigin : 0  NumSites : 8\nEnd\n"
+            "CoreRow Horizontal\n  Coordinate : 1\n  Height : 1\n"
+            "  Sitewidth : 1\n  SubrowOrigin : 0  NumSites : 8\nEnd\n"
+        )
+        (tmp_path / "d.aux").write_text(
+            "RowBasedPlacement : d.nodes d.nets d.pl d.scl\n"
+        )
+        db = read_bookshelf(str(tmp_path / "d.aux"))
+        assert db.num_cells == 2
+        assert db.num_nets == 1
+        assert db.region.num_rows == 2
+        # pin offsets converted from center to corner convention
+        assert db.pin_offset_x[0] == pytest.approx(0.5)

@@ -1,0 +1,167 @@
+"""Tests for params, gamma annealing, density weight, initialization."""
+
+import numpy as np
+import pytest
+
+from repro.core.density_weight import DensityWeight
+from repro.core.gamma import GammaScheduler
+from repro.core.initial_place import (
+    compute_fillers,
+    random_center_init,
+    uniform_filler_init,
+)
+from repro.core.params import PlacementParams
+
+
+class TestParams:
+    def test_defaults_valid(self):
+        params = PlacementParams()
+        assert params.np_dtype() == np.float64
+
+    def test_float32(self):
+        assert PlacementParams(dtype="float32").np_dtype() == np.float32
+
+    def test_bad_dtype(self):
+        with pytest.raises(ValueError):
+            PlacementParams(dtype="float16").np_dtype()
+
+    def test_resolve_num_bins_power_of_two(self):
+        params = PlacementParams()
+        for n in (100, 1000, 40000):
+            bins = params.resolve_num_bins(n)
+            assert bins & (bins - 1) == 0
+            assert 16 <= bins <= 512
+
+    def test_resolve_num_bins_grows_with_size(self):
+        params = PlacementParams()
+        assert params.resolve_num_bins(100000) > params.resolve_num_bins(500)
+
+    def test_explicit_num_bins_wins(self):
+        assert PlacementParams(num_bins=48).resolve_num_bins(10**6) == 48
+
+    def test_with_overrides(self):
+        base = PlacementParams()
+        other = base.with_overrides(dtype="float32", seed=9)
+        assert other.dtype == "float32"
+        assert other.seed == 9
+        assert base.dtype == "float64"
+
+
+class TestGamma:
+    def test_monotone_in_overflow(self, grid):
+        schedule = GammaScheduler(grid)
+        values = [schedule(o) for o in (1.0, 0.5, 0.2, 0.1, 0.0)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_endpoints(self, grid):
+        schedule = GammaScheduler(grid, gamma_factor=4.0)
+        base = 4.0 * 0.5 * (grid.bin_w + grid.bin_h)
+        assert schedule(1.0) == pytest.approx(10.0 * base)
+        assert schedule(0.1) == pytest.approx(0.1 * base)
+
+    def test_clamps_out_of_range(self, grid):
+        schedule = GammaScheduler(grid)
+        assert schedule(2.0) == schedule(1.0)
+        assert schedule(-1.0) == schedule(0.0)
+
+
+class TestDensityWeight:
+    def test_initialize_balances_gradients(self):
+        weight = DensityWeight()
+        wl_grad = np.array([1.0, -1.0, 2.0])
+        d_grad = np.array([0.5, 0.5, 1.0])
+        assert weight.initialize(wl_grad, d_grad) == pytest.approx(2.0)
+
+    def test_initialize_zero_density_grad(self):
+        weight = DensityWeight()
+        assert weight.initialize(np.ones(3), np.zeros(3)) == 1.0
+
+    def test_grows_when_hpwl_improves(self):
+        weight = DensityWeight(tcad_tweak=False, ref_delta_hpwl=100.0)
+        weight.initialize(np.ones(2), np.ones(2))
+        weight.update(1000.0)
+        before = weight.value
+        weight.update(900.0)  # HPWL improved -> mu = mu_max
+        assert weight.value == pytest.approx(before * 1.05)
+
+    def test_slows_when_hpwl_degrades(self):
+        weight = DensityWeight(tcad_tweak=False, ref_delta_hpwl=100.0)
+        weight.initialize(np.ones(2), np.ones(2))
+        weight.update(1000.0)
+        before = weight.value
+        weight.update(1100.0)  # p = 1 -> mu = max(mu_min, mu_max^0) = 1
+        assert weight.value == pytest.approx(before * 1.0)
+
+    def test_mu_floor(self):
+        weight = DensityWeight(tcad_tweak=False, ref_delta_hpwl=1.0)
+        weight.initialize(np.ones(2), np.ones(2))
+        weight.update(0.0)
+        before = weight.value
+        weight.update(1e9)  # enormous degradation -> mu = mu_min
+        assert weight.value == pytest.approx(before * 0.95)
+
+    def test_tcad_tweak_reduces_mu(self):
+        plain = DensityWeight(tcad_tweak=False, ref_delta_hpwl=100.0)
+        tweaked = DensityWeight(tcad_tweak=True, ref_delta_hpwl=100.0)
+        for w in (plain, tweaked):
+            w.initialize(np.ones(2), np.ones(2))
+            for k in range(30):
+                w.update(1000.0 - k)  # always improving
+        assert tweaked.value < plain.value
+
+    def test_tcad_tweak_floor_098(self):
+        weight = DensityWeight(tcad_tweak=True)
+        weight._iteration = 10 ** 6  # 0.9999^1e6 << 0.98
+        weight.value = 1.0
+        weight._last_hpwl = 100.0
+        weight.update(50.0)
+        assert weight.value == pytest.approx(1.05 * 0.98)
+
+
+class TestInitialPlace:
+    def test_center_with_noise(self, small_db):
+        rng = np.random.default_rng(0)
+        x, y = random_center_init(small_db, 0.001, rng)
+        movable = small_db.movable_index
+        cx, cy = small_db.region.center
+        centers_x = x[movable] + 0.5 * small_db.cell_width[movable]
+        assert np.abs(centers_x - cx).max() < 0.05 * small_db.region.width
+
+    def test_noise_scale(self, small_db):
+        rng = np.random.default_rng(0)
+        x1, _ = random_center_init(small_db, 0.001, rng)
+        rng = np.random.default_rng(0)
+        x2, _ = random_center_init(small_db, 0.1, rng)
+        movable = small_db.movable_index
+        assert np.std(x2[movable]) > np.std(x1[movable])
+
+    def test_fixed_untouched(self, small_db):
+        x, y = random_center_init(small_db)
+        fixed = small_db.fixed_index
+        np.testing.assert_array_equal(x[fixed], small_db.cell_x[fixed])
+
+    def test_inside_region(self, small_db):
+        x, y = random_center_init(small_db, 0.2)
+        movable = small_db.movable_index
+        assert small_db.region.contains(
+            x[movable], y[movable],
+            small_db.cell_width[movable], small_db.cell_height[movable],
+        ).all()
+
+    def test_filler_count_covers_whitespace(self, small_db):
+        count, fw, fh = compute_fillers(small_db, target_density=1.0)
+        free = small_db.region.area - small_db.total_fixed_area
+        filled = small_db.total_movable_area + count * fw * fh
+        assert filled <= free
+        assert filled > 0.9 * free
+
+    def test_no_fillers_when_full(self, small_db):
+        # target density below utilization -> no fillers
+        count, _, _ = compute_fillers(small_db, target_density=0.01)
+        assert count == 0
+
+    def test_filler_positions_inside(self, small_db):
+        rng = np.random.default_rng(0)
+        fx, fy = uniform_filler_init(100, small_db, 2.0, 1.0, rng)
+        assert (fx >= small_db.region.xl).all()
+        assert (fx + 2.0 <= small_db.region.xh).all()

@@ -1,0 +1,158 @@
+"""Tests for detailed placement passes."""
+
+import numpy as np
+import pytest
+
+from repro.dp import DetailedPlacer, IncrementalHpwl, detailed_place
+from repro.dp.global_swap import _optimal_position, global_swap
+from repro.dp.independent_set import (
+    _independent_groups,
+    independent_set_matching,
+)
+from repro.dp.local_reorder import local_reorder
+from repro.lg import check_legal, legalize
+
+
+@pytest.fixture(scope="module")
+def legal_design():
+    from repro.benchgen import CircuitSpec, generate
+
+    db = generate(CircuitSpec(name="dp", num_cells=250, num_ios=12,
+                              utilization=0.55, seed=21,
+                              macro_area_fraction=0.05, num_macros=2))
+    x, y = legalize(db)
+    db.set_positions(x, y)
+    return db
+
+
+class TestIncrementalHpwl:
+    def test_total_matches_db(self, legal_design):
+        db = legal_design
+        state = IncrementalHpwl(db, db.cell_x, db.cell_y)
+        assert state.total_hpwl() == pytest.approx(db.hpwl())
+
+    def test_delta_matches_recompute(self, legal_design):
+        db = legal_design
+        state = IncrementalHpwl(db, db.cell_x, db.cell_y)
+        cell = int(db.movable_index[0])
+        new_x = db.cell_x[cell] + 3.0
+        delta = state.delta([cell], [new_x], [db.cell_y[cell]])
+        x = db.cell_x.copy()
+        x[cell] = new_x
+        assert delta == pytest.approx(db.hpwl(x, db.cell_y) - db.hpwl())
+
+    def test_apply_updates_pins(self, legal_design):
+        db = legal_design
+        state = IncrementalHpwl(db, db.cell_x, db.cell_y)
+        cell = int(db.movable_index[3])
+        state.apply([cell], [db.cell_x[cell] + 2.0], [db.cell_y[cell]])
+        pins = db.cell_pins(cell)
+        np.testing.assert_allclose(
+            state._pin_x[pins],
+            state.x[cell] + db.pin_offset_x[pins],
+        )
+
+    def test_delta_then_apply_consistent(self, legal_design):
+        db = legal_design
+        state = IncrementalHpwl(db, db.cell_x, db.cell_y)
+        cell = int(db.movable_index[5])
+        before = state.total_hpwl()
+        delta = state.delta([cell], [state.x[cell] + 4.0], [state.y[cell]])
+        state.apply([cell], [state.x[cell] + 4.0], [state.y[cell]])
+        assert state.total_hpwl() == pytest.approx(before + delta)
+
+    def test_multi_cell_delta(self, legal_design):
+        db = legal_design
+        state = IncrementalHpwl(db, db.cell_x, db.cell_y)
+        a, b = (int(c) for c in db.movable_index[:2])
+        # swapping positions: delta computed jointly
+        delta = state.delta(
+            [a, b], [state.x[b], state.x[a]], [state.y[b], state.y[a]]
+        )
+        x = db.cell_x.copy()
+        y = db.cell_y.copy()
+        x[a], x[b] = x[b], x[a]
+        y[a], y[b] = y[b], y[a]
+        assert delta == pytest.approx(db.hpwl(x, y) - db.hpwl())
+
+
+class TestPasses:
+    def test_global_swap_improves_and_stays_legal(self, legal_design):
+        db = legal_design
+        state = IncrementalHpwl(db, db.cell_x, db.cell_y)
+        before = state.total_hpwl()
+        accepted = global_swap(db, state)
+        assert state.total_hpwl() <= before
+        assert check_legal(db, state.x, state.y).legal
+        assert accepted >= 0
+
+    def test_local_reorder_improves_and_stays_legal(self, legal_design):
+        db = legal_design
+        state = IncrementalHpwl(db, db.cell_x, db.cell_y)
+        before = state.total_hpwl()
+        local_reorder(db, state)
+        assert state.total_hpwl() <= before
+        assert check_legal(db, state.x, state.y).legal
+
+    def test_ism_improves_and_stays_legal(self, legal_design):
+        db = legal_design
+        state = IncrementalHpwl(db, db.cell_x, db.cell_y)
+        before = state.total_hpwl()
+        independent_set_matching(db, state)
+        assert state.total_hpwl() <= before
+        assert check_legal(db, state.x, state.y).legal
+
+    def test_optimal_position_pulls_toward_neighbors(self, legal_design):
+        db = legal_design
+        state = IncrementalHpwl(db, db.cell_x, db.cell_y)
+        # pick a movable cell with at least one pin
+        for cell in db.movable_index:
+            if db.cell_pins(int(cell)).size > 0:
+                break
+        ox, oy = _optimal_position(db, state, int(cell))
+        assert db.region.xl - 1 <= ox <= db.region.xh + 1
+        assert db.region.yl - 1 <= oy <= db.region.yh + 1
+
+    def test_independent_groups_are_net_disjoint(self, legal_design):
+        db = legal_design
+        groups = _independent_groups(db, db.movable_index, group_size=8)
+        for group in groups:
+            nets: set[int] = set()
+            for cell in group:
+                cell_nets = {
+                    int(db.pin_net[p]) for p in db.cell_pins(int(cell))
+                }
+                assert not (nets & cell_nets)
+                nets |= cell_nets
+
+
+class TestDetailedPlacer:
+    def test_improves_hpwl_and_legal(self, legal_design):
+        db = legal_design
+        x, y, stats = detailed_place(db, db.cell_x, db.cell_y, passes=2)
+        assert stats.hpwl_after <= stats.hpwl_before
+        assert check_legal(db, x, y).legal
+
+    def test_stats_recorded(self, legal_design):
+        db = legal_design
+        _, _, stats = detailed_place(db, db.cell_x, db.cell_y, passes=1)
+        assert len(stats.swaps) == 1
+        assert len(stats.reorders) == 1
+        assert len(stats.matchings) == 1
+
+    def test_early_stop_when_converged(self):
+        """A design with no improving move stops after one pass."""
+        from repro.lg import legalize
+        from tests.conftest import make_chain_db
+
+        db = make_chain_db(num_cells=4, spacing=3.0)
+        x, y = legalize(db)
+        placer = DetailedPlacer(db, passes=10)
+        _, _, stats = placer.run(x, y)
+        assert len(stats.swaps) <= 2
+
+    def test_each_pass_monotone(self, legal_design):
+        db = legal_design
+        placer = DetailedPlacer(db, passes=3)
+        _, _, stats = placer.run(db.cell_x, db.cell_y)
+        assert stats.hpwl_after <= stats.hpwl_before

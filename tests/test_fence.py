@@ -1,0 +1,143 @@
+"""Tests for the fence-region extension (multiple electric fields)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fence import (
+    FenceRegion,
+    MultiRegionDensity,
+    fence_clamp_bounds,
+)
+from repro.geometry import PlacementRegion
+from repro.netlist import CellKind, Netlist
+from repro.nn import Parameter, Tensor
+
+
+@pytest.fixture
+def fenced_db():
+    region = PlacementRegion(0, 0, 32, 32)
+    netlist = Netlist("fenced")
+    for i in range(12):
+        # stack each group inside its own fence
+        netlist.add_cell(f"c{i}", 2.0, 1.0, CellKind.MOVABLE,
+                         x=6.0 if i < 6 else 25.0, y=15.0)
+    netlist.add_net("n0", [(0, 0, 0), (6, 0, 0)])
+    db = netlist.compile(region)
+    left = FenceRegion("left", 0, 0, 14, 32, cells=list(range(6)))
+    right = FenceRegion("right", 18, 0, 32, 32, cells=list(range(6, 12)))
+    return db, [left, right]
+
+
+class TestMultiRegionDensity:
+    def test_energy_positive_when_stacked(self, fenced_db):
+        db, fences = fenced_db
+        op = MultiRegionDensity(db, fences, num_bins=16)
+        pos = Tensor(np.concatenate([db.cell_x, db.cell_y]))
+        assert op(pos).item() > 0
+
+    def test_fields_are_independent(self, fenced_db):
+        """The left fence's forces don't change when the right fence's
+        cells move — each region has its own electric field."""
+        db, fences = fenced_db
+        op = MultiRegionDensity(db, fences, num_bins=16)
+        x = db.cell_x.copy()
+        y = db.cell_y.copy()
+        grads = []
+        for right_x in (20.0, 28.0):
+            x[6:] = right_x
+            p = Parameter(np.concatenate([x, y]))
+            op(p).backward()
+            grads.append(p.grad[:6].copy())
+        np.testing.assert_allclose(grads[0], grads[1], atol=1e-12)
+
+    def test_gradient_pushes_apart_within_fence(self, fenced_db):
+        db, fences = fenced_db
+        op = MultiRegionDensity(db, fences, num_bins=16)
+        x = db.cell_x.copy()
+        y = db.cell_y.copy()
+        x[6] = 24.0
+        x[7] = 25.0
+        y[6] = y[7] = 15.0
+        p = Parameter(np.concatenate([x, y]))
+        op(p).backward()
+        assert p.grad[6] > 0  # pushed left (descent = -grad)
+        assert p.grad[7] < 0  # pushed right
+
+    def test_duplicate_assignment_rejected(self, fenced_db):
+        db, fences = fenced_db
+        fences[1].cells.append(0)  # already in the left fence
+        with pytest.raises(ValueError, match="multiple"):
+            MultiRegionDensity(db, fences)
+
+    def test_fixed_cell_in_fence_rejected(self):
+        region = PlacementRegion(0, 0, 16, 16)
+        netlist = Netlist("bad")
+        netlist.add_cell("m", 2.0, 1.0, CellKind.MOVABLE)
+        netlist.add_cell("f", 2.0, 2.0, CellKind.FIXED, x=8, y=8)
+        netlist.add_net("n", [(0, 0, 0), (1, 0, 0)])
+        db = netlist.compile(region)
+        fence = FenceRegion("f0", 0, 0, 8, 8, cells=[1])
+        with pytest.raises(ValueError, match="non-movable"):
+            MultiRegionDensity(db, [fence])
+
+    def test_unassigned_cells_get_default_field(self, fenced_db):
+        db, fences = fenced_db
+        # only fence the first 6 cells; the rest use the core field
+        op = MultiRegionDensity(db, fences[:1], num_bins=16)
+        assert len(op.systems) == 2
+        default = op.systems[-1]
+        assert set(default.cells.tolist()) == set(range(6, 12))
+
+
+class TestFenceClampBounds:
+    def test_bounds_confine_to_fence(self, fenced_db):
+        db, fences = fenced_db
+        lo, hi = fence_clamp_bounds(db, fences)
+        n = db.num_cells
+        # cell 0 belongs to the left fence [0, 14]
+        assert lo[0] == 0.0
+        assert hi[0] == pytest.approx(14.0 - db.cell_width[0])
+        # cell 6 belongs to the right fence [18, 32]
+        assert lo[6] == 18.0
+        assert hi[6] == pytest.approx(32.0 - db.cell_width[6])
+
+    def test_clamping_moves_cells_inside(self, fenced_db):
+        db, fences = fenced_db
+        lo, hi = fence_clamp_bounds(db, fences)
+        pos = np.concatenate([db.cell_x, db.cell_y])  # all at x=15
+        clamped = np.minimum(np.maximum(pos, lo), hi)
+        n = db.num_cells
+        assert (clamped[:6] + db.cell_width[:6] <= 14.0 + 1e-9).all()
+        assert (clamped[6:12] >= 18.0 - 1e-9).all()
+
+    def test_spreading_with_fences_end_to_end(self, fenced_db):
+        """A small gradient loop separates both piles inside their fences."""
+        from repro.nn.optim import NesterovLineSearch
+
+        db, fences = fenced_db
+        op = MultiRegionDensity(db, fences, num_bins=16)
+        lo, hi = fence_clamp_bounds(db, fences)
+        pos = np.concatenate([db.cell_x, db.cell_y])
+        pos = np.minimum(np.maximum(pos, lo), hi)
+        rng = np.random.default_rng(0)
+        pos += rng.normal(0, 0.05, pos.shape)
+        pos = np.minimum(np.maximum(pos, lo), hi)
+        p = Parameter(pos)
+        opt = NesterovLineSearch([p], lr=1.0)
+
+        def closure():
+            p.zero_grad()
+            out = op(p)
+            out.backward()
+            return out
+
+        first = closure().item()
+        for _ in range(25):
+            opt.step(closure)
+            opt.project(lambda a: np.minimum(np.maximum(a, lo), hi))
+        final = closure().item()
+        assert final < first
+        n = db.num_cells
+        x = p.data[:n]
+        assert (x[:6] + db.cell_width[:6] <= 14.0 + 1e-6).all()
+        assert (x[6:12] >= 18.0 - 1e-6).all()

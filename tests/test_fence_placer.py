@@ -1,0 +1,84 @@
+"""Tests for fence-aware global placement (fences in GlobalPlacer)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FenceRegion, GlobalPlacer, PlacementParams
+from repro.geometry import PlacementRegion
+from repro.netlist import CellKind, Netlist
+
+
+@pytest.fixture
+def fenced_design():
+    region = PlacementRegion(0, 0, 48, 48)
+    netlist = Netlist("fgp")
+    rng = np.random.default_rng(3)
+    for i in range(80):
+        netlist.add_cell(f"c{i}", float(rng.integers(1, 4)), 1.0,
+                         CellKind.MOVABLE, x=24.0, y=24.0)
+    for e in range(80):
+        a = int(rng.integers(80))
+        b = int(rng.integers(80))
+        if a == b:
+            b = (b + 1) % 80
+        netlist.add_net(f"n{e}", [(a, 0.5, 0.5), (b, 0.5, 0.5)])
+    db = netlist.compile(region)
+    fences = [
+        FenceRegion("L", 2, 2, 20, 46, cells=list(range(40))),
+        FenceRegion("R", 28, 2, 46, 46, cells=list(range(40, 80))),
+    ]
+    return db, fences
+
+
+class TestFencedGlobalPlacer:
+    @pytest.fixture(scope="class")
+    def placed(self):
+        # class-scoped: run the fenced GP once
+        region = PlacementRegion(0, 0, 48, 48)
+        netlist = Netlist("fgp")
+        rng = np.random.default_rng(3)
+        for i in range(80):
+            netlist.add_cell(f"c{i}", float(rng.integers(1, 4)), 1.0,
+                             CellKind.MOVABLE, x=24.0, y=24.0)
+        for e in range(80):
+            a = int(rng.integers(80))
+            b = int(rng.integers(80))
+            if a == b:
+                b = (b + 1) % 80
+            netlist.add_net(f"n{e}", [(a, 0.5, 0.5), (b, 0.5, 0.5)])
+        db = netlist.compile(region)
+        fences = [
+            FenceRegion("L", 2, 2, 20, 46, cells=list(range(40))),
+            FenceRegion("R", 28, 2, 46, 46, cells=list(range(40, 80))),
+        ]
+        placer = GlobalPlacer(
+            db, PlacementParams(max_global_iters=150, min_global_iters=5),
+            fences=fences,
+        )
+        return db, fences, placer.place()
+
+    def test_cells_stay_in_fences(self, placed):
+        db, fences, result = placed
+        x = result.x
+        left, right = fences
+        assert (x[:40] >= left.xl - 1e-6).all()
+        assert (x[:40] + db.cell_width[:40] <= left.xh + 1e-6).all()
+        assert (x[40:] >= right.xl - 1e-6).all()
+        assert (x[40:] + db.cell_width[40:] <= right.xh + 1e-6).all()
+
+    def test_spreads_within_fences(self, placed):
+        db, fences, result = placed
+        assert result.overflow < 0.25
+
+    def test_fillers_disabled_with_fences(self, fenced_design):
+        db, fences = fenced_design
+        placer = GlobalPlacer(db, PlacementParams(use_fillers=True),
+                              fences=fences)
+        assert placer.num_fillers == 0
+
+    def test_initial_positions_projected_into_fences(self, fenced_design):
+        db, fences = fenced_design
+        placer = GlobalPlacer(db, PlacementParams(), fences=fences)
+        x, y = placer._positions()
+        left = fences[0]
+        assert (x[:40] + db.cell_width[:40] <= left.xh + 1e-6).all()

@@ -1,0 +1,139 @@
+"""Tests for geometry: boxes, region, bin grid."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    BinGrid,
+    PlacementRegion,
+    clamp,
+    overlap_1d,
+    rect_overlap_area,
+)
+
+
+class TestBoxes:
+    def test_overlap_1d_positive(self):
+        assert overlap_1d(0.0, 2.0, 1.0, 3.0) == 1.0
+
+    def test_overlap_1d_disjoint_is_zero(self):
+        assert overlap_1d(0.0, 1.0, 2.0, 3.0) == 0.0
+
+    def test_overlap_1d_containment(self):
+        assert overlap_1d(0.0, 10.0, 2.0, 3.0) == 1.0
+
+    def test_overlap_1d_vectorized(self):
+        al = np.array([0.0, 0.0, 5.0])
+        out = overlap_1d(al, al + 2.0, 1.0, 3.0)
+        np.testing.assert_allclose(out, [1.0, 1.0, 0.0])
+
+    def test_rect_overlap_area(self):
+        assert rect_overlap_area(0, 0, 2, 2, 1, 1, 3, 3) == 1.0
+
+    def test_rect_overlap_touching_is_zero(self):
+        assert rect_overlap_area(0, 0, 1, 1, 1, 0, 2, 1) == 0.0
+
+    def test_clamp(self):
+        np.testing.assert_allclose(
+            clamp(np.array([-1.0, 0.5, 2.0]), 0.0, 1.0), [0.0, 0.5, 1.0]
+        )
+
+
+class TestRegion:
+    def test_basic_properties(self, region):
+        assert region.width == 32.0
+        assert region.num_rows == 32
+        assert region.num_sites_per_row == 32
+        assert region.center == (16.0, 16.0)
+        assert region.area == 1024.0
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            PlacementRegion(0, 0, 0, 10)
+
+    def test_bad_row_height_rejected(self):
+        with pytest.raises(ValueError):
+            PlacementRegion(0, 0, 10, 10, row_height=0)
+
+    def test_rows_tile_the_region(self, region):
+        rows = region.rows()
+        assert len(rows) == 32
+        assert rows[0].y == 0.0
+        assert rows[-1].y == 31.0
+        assert rows[0].x_end == 32.0
+
+    def test_row_index_and_back(self, region):
+        idx = region.row_index(np.array([0.0, 1.5, 31.9]))
+        np.testing.assert_array_equal(idx, [0, 1, 31])
+        np.testing.assert_allclose(region.row_y(idx), [0.0, 1.0, 31.0])
+
+    def test_row_index_clipped(self, region):
+        assert region.row_index(-5.0) == 0
+        assert region.row_index(100.0) == 31
+
+    def test_snap_x(self, region):
+        np.testing.assert_allclose(
+            region.snap_x(np.array([0.4, 0.6, 31.7])), [0.0, 1.0, 32.0]
+        )
+
+    def test_clamp_cells(self, region):
+        x, y = region.clamp_cells(
+            np.array([-2.0, 30.0]), np.array([-1.0, 31.5]),
+            np.array([2.0, 4.0]), np.array([1.0, 1.0]),
+        )
+        np.testing.assert_allclose(x, [0.0, 28.0])
+        np.testing.assert_allclose(y, [0.0, 31.0])
+
+    def test_contains(self, region):
+        assert region.contains(0.0, 0.0, 32.0, 32.0)
+        assert not region.contains(31.0, 0.0, 2.0, 1.0)
+
+    def test_non_unit_rows(self):
+        r = PlacementRegion(0, 0, 100, 120, row_height=12.0, site_width=2.0)
+        assert r.num_rows == 10
+        assert r.num_sites_per_row == 50
+
+
+class TestBinGrid:
+    def test_shape_and_sizes(self, grid):
+        assert grid.shape == (16, 16)
+        assert grid.bin_w == 2.0
+        assert grid.bin_area == 4.0
+
+    def test_invalid_grid(self, region):
+        with pytest.raises(ValueError):
+            BinGrid(region, 0, 4)
+
+    def test_edges_and_centers(self, grid):
+        assert grid.x_edges()[0] == 0.0
+        assert grid.x_edges()[-1] == 32.0
+        assert grid.x_centers()[0] == 1.0
+
+    def test_bin_index(self, grid):
+        np.testing.assert_array_equal(
+            grid.bin_index_x(np.array([0.0, 1.9, 2.0, 31.9])), [0, 0, 1, 15]
+        )
+
+    def test_bin_index_clipped(self, grid):
+        assert grid.bin_index_x(-3.0) == 0
+        assert grid.bin_index_x(99.0) == 15
+
+    def test_span_covers_cell(self, grid):
+        lo, hi = grid.span_x(np.array([1.0]), np.array([5.0]))
+        assert lo[0] == 0 and hi[0] == 3  # bins [0,2), [2,4), [4,6)
+
+    def test_span_of_point_is_one_bin(self, grid):
+        lo, hi = grid.span_x(np.array([2.0]), np.array([2.0]))
+        assert hi[0] - lo[0] == 1
+
+    def test_span_aligned_boundary(self, grid):
+        lo, hi = grid.span_x(np.array([2.0]), np.array([4.0]))
+        assert lo[0] == 1 and hi[0] == 2
+
+    def test_zeros_shape(self, grid):
+        assert grid.zeros().shape == (16, 16)
+
+    def test_anisotropic_grid(self, region):
+        g = BinGrid(region, 8, 16)
+        assert g.bin_w == 4.0
+        assert g.bin_h == 2.0

@@ -1,0 +1,194 @@
+"""Tests for the global placement loop and the objective module."""
+
+import numpy as np
+import pytest
+
+from repro.core import GlobalPlacer, PlacementParams
+from repro.core.objective import PlacementObjective
+from repro.geometry import BinGrid
+from repro.nn import Parameter
+from repro.ops.density_op import ElectricDensity
+from repro.ops.wa_wirelength import WeightedAverageWirelength
+
+
+class TestObjective:
+    def test_combines_wl_and_density(self, small_db):
+        grid = BinGrid(small_db.region, 16, 16)
+        objective = PlacementObjective(
+            WeightedAverageWirelength(small_db, gamma=0.5),
+            ElectricDensity(small_db, grid),
+        )
+        objective.density_weight = 2.0
+        pos = Parameter(np.concatenate([small_db.cell_x, small_db.cell_y]))
+        total = objective(pos)
+        assert total.item() == pytest.approx(
+            objective.last_wirelength + 2.0 * objective.last_density
+        )
+
+    def test_gradient_flows_from_both_terms(self, small_db):
+        grid = BinGrid(small_db.region, 16, 16)
+        objective = PlacementObjective(
+            WeightedAverageWirelength(small_db, gamma=0.5),
+            ElectricDensity(small_db, grid),
+        )
+        objective.density_weight = 1.0
+        pos = Parameter(np.concatenate([small_db.cell_x, small_db.cell_y]))
+        objective(pos).backward()
+        grad_both = pos.grad.copy()
+        pos.zero_grad()
+        objective.density_weight = 0.0
+        objective(pos).backward()
+        assert not np.allclose(grad_both, pos.grad)
+
+    def test_gamma_passthrough(self, small_db):
+        grid = BinGrid(small_db.region, 16, 16)
+        objective = PlacementObjective(
+            WeightedAverageWirelength(small_db, gamma=0.5),
+            ElectricDensity(small_db, grid),
+        )
+        objective.gamma = 2.5
+        assert objective.wirelength.gamma == 2.5
+
+
+@pytest.fixture(scope="module")
+def placed(request):
+    """One shared small GP run (expensive)."""
+    from repro.benchgen import CircuitSpec, generate
+
+    db = generate(CircuitSpec(name="gp", num_cells=250, num_ios=12,
+                              utilization=0.6, seed=5))
+    params = PlacementParams(max_global_iters=250, seed=5)
+    placer = GlobalPlacer(db, params)
+    initial_hpwl = placer.hpwl()
+    initial_overflow = placer.overflow()
+    result = placer.place()
+    return db, placer, result, initial_hpwl, initial_overflow
+
+
+class TestGlobalPlacer:
+    def test_overflow_reduced(self, placed):
+        _, _, result, _, initial_overflow = placed
+        assert result.overflow < initial_overflow
+        assert result.overflow <= 0.12
+
+    def test_converged_flag(self, placed):
+        _, _, result, _, _ = placed
+        assert result.converged
+
+    def test_positions_inside_region(self, placed):
+        db, _, result, _, _ = placed
+        movable = db.movable_index
+        assert db.region.contains(
+            result.x[movable], result.y[movable],
+            db.cell_width[movable], db.cell_height[movable],
+        ).all()
+
+    def test_fixed_cells_never_move(self, placed):
+        db, _, result, _, _ = placed
+        fixed = db.fixed_index
+        np.testing.assert_allclose(result.x[fixed], db.cell_x[fixed])
+        np.testing.assert_allclose(result.y[fixed], db.cell_y[fixed])
+
+    def test_traces_recorded(self, placed):
+        _, _, result, _, _ = placed
+        assert len(result.hpwl_trace) == result.iterations
+        assert len(result.overflow_trace) == result.iterations
+
+    def test_overflow_trace_trends_down(self, placed):
+        _, _, result, _, _ = placed
+        trace = result.overflow_trace
+        head = np.mean(trace[: max(len(trace) // 5, 1)])
+        tail = np.mean(trace[-max(len(trace) // 5, 1):])
+        assert tail < head
+
+    def test_write_back(self, placed):
+        db, placer, result, _, _ = placed
+        placer.write_back()
+        movable = db.movable_index
+        np.testing.assert_allclose(db.cell_x[movable], result.x[movable])
+
+    def test_set_positions_roundtrip(self, placed):
+        db, placer, result, _, _ = placed
+        x = result.x.copy()
+        y = result.y.copy()
+        placer.set_positions(x, y)
+        nx, ny = placer._positions()
+        movable = db.movable_index
+        np.testing.assert_allclose(nx[movable], x[movable], atol=1e-9)
+
+    def test_hpwl_spreading_tradeoff(self, placed):
+        """Spreading from the center costs HPWL (it grows from init)."""
+        _, _, result, initial_hpwl, _ = placed
+        assert result.hpwl > initial_hpwl
+
+
+class TestGlobalPlacerConfigs:
+    def make_db(self):
+        from repro.benchgen import CircuitSpec, generate
+
+        return generate(CircuitSpec(name="cfg", num_cells=150,
+                                    num_ios=8, utilization=0.55, seed=9))
+
+    def test_no_fillers_mode(self):
+        db = self.make_db()
+        params = PlacementParams(use_fillers=False, max_global_iters=30)
+        placer = GlobalPlacer(db, params)
+        assert placer.num_fillers == 0
+        placer.place(max_iters=5)
+
+    def test_lse_wirelength_mode(self):
+        db = self.make_db()
+        params = PlacementParams(wirelength="lse", max_global_iters=30)
+        result = GlobalPlacer(db, params).place(max_iters=10)
+        assert np.isfinite(result.hpwl)
+
+    def test_bad_wirelength_rejected(self):
+        db = self.make_db()
+        with pytest.raises(ValueError):
+            GlobalPlacer(db, PlacementParams(wirelength="steiner"))
+
+    def test_bad_optimizer_rejected(self):
+        db = self.make_db()
+        placer = GlobalPlacer(
+            db, PlacementParams(optimizer="lbfgs")
+        )
+        with pytest.raises(ValueError):
+            placer.place(max_iters=1)
+
+    @pytest.mark.parametrize("optimizer", ["adam", "sgd", "rmsprop", "cg"])
+    def test_alternative_solvers_run(self, optimizer):
+        db = self.make_db()
+        params = PlacementParams(
+            optimizer=optimizer, max_global_iters=20,
+            learning_rate=0.01, lr_decay=0.99, min_global_iters=1,
+        )
+        result = GlobalPlacer(db, params).place(max_iters=20)
+        assert np.isfinite(result.hpwl)
+
+    def test_float32_runs(self):
+        db = self.make_db()
+        params = PlacementParams(dtype="float32", max_global_iters=30)
+        result = GlobalPlacer(db, params).place(max_iters=10)
+        assert np.isfinite(result.hpwl)
+
+    def test_seed_reproducibility(self):
+        results = []
+        for _ in range(2):
+            db = self.make_db()
+            params = PlacementParams(max_global_iters=15, seed=3)
+            results.append(GlobalPlacer(db, params).place(max_iters=15).hpwl)
+        assert results[0] == pytest.approx(results[1], rel=1e-12)
+
+    def test_lambda_period_slows_updates(self):
+        db = self.make_db()
+        params = PlacementParams(max_global_iters=12, min_global_iters=1)
+        fast = GlobalPlacer(db, params)
+        fast.place(max_iters=12)
+        lam_fast = fast.objective.density_weight
+
+        db2 = self.make_db()
+        slow = GlobalPlacer(db2, params)
+        slow.lambda_period = 5
+        slow.place(max_iters=12)
+        lam_slow = slow.objective.density_weight
+        assert lam_slow < lam_fast

@@ -1,0 +1,191 @@
+"""Tests for legalization: rows, Tetris, Abacus, checker."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import PlacementRegion
+from repro.lg import abacus_legalize, check_legal, legalize, tetris_legalize
+from repro.lg.rows import build_row_segments
+from repro.netlist import CellKind, Netlist
+
+
+class TestRowSegments:
+    def test_open_region_one_segment_per_row(self, small_db):
+        segments = build_row_segments(small_db)
+        assert len(segments) == small_db.region.num_rows
+        assert all(len(row) == 1 for row in segments)
+        assert segments[0][0].width == small_db.region.width
+
+    def test_macro_splits_rows(self, blocked_db):
+        segments = build_row_segments(blocked_db)
+        # macro occupies x [12, 20], rows 12..19
+        for row in range(12, 20):
+            assert len(segments[row]) == 2
+            left, right = segments[row]
+            assert left.end == pytest.approx(12.0)
+            assert right.start == pytest.approx(20.0)
+        assert len(segments[0]) == 1
+
+    def test_zero_area_terminals_ignored(self, small_db):
+        # small_db has zero-size pads at the boundary
+        segments = build_row_segments(small_db)
+        assert all(len(row) == 1 for row in segments)
+
+
+class TestTetris:
+    def test_produces_legal_placement(self, tiny_design):
+        db = tiny_design
+        x, y, rows = tetris_legalize(db)
+        report = check_legal(db, x, y)
+        assert report.legal, report.messages
+
+    def test_row_assignment_consistent(self, tiny_design):
+        db = tiny_design
+        x, y, rows = tetris_legalize(db)
+        movable = db.movable_index
+        expected_y = db.region.yl + rows[movable] * db.region.row_height
+        np.testing.assert_allclose(y[movable], expected_y)
+
+    def test_fixed_cells_untouched(self, blocked_db):
+        x, y, _ = tetris_legalize(blocked_db)
+        fixed = blocked_db.fixed_index
+        np.testing.assert_allclose(x[fixed], blocked_db.cell_x[fixed])
+
+    def test_avoids_macro(self, blocked_db):
+        db = blocked_db
+        # pile every movable cell onto the macro
+        px, py = db.positions()
+        movable = db.movable_index
+        px[movable] = 14.0
+        py[movable] = 14.0
+        x, y, _ = tetris_legalize(db, px, py)
+        report = check_legal(db, x, y)
+        assert report.legal, report.messages
+
+    def test_overfull_design_raises(self):
+        region = PlacementRegion(0, 0, 4, 2)
+        netlist = Netlist("full")
+        for i in range(5):  # 5 * 2 = 10 > 8 sites
+            netlist.add_cell(f"c{i}", 2.0, 1.0, CellKind.MOVABLE, x=0, y=0)
+        netlist.add_net("n", [(0, 0, 0), (1, 0, 0)])
+        db = netlist.compile(region)
+        with pytest.raises(RuntimeError):
+            tetris_legalize(db)
+
+    def test_multirow_movable_rejected(self):
+        region = PlacementRegion(0, 0, 16, 16)
+        netlist = Netlist("tall")
+        netlist.add_cell("t", 2.0, 3.0, CellKind.MOVABLE, x=1, y=1)
+        netlist.add_net("n", [(0, 0, 0)])
+        db = netlist.compile(region)
+        with pytest.raises(NotImplementedError):
+            tetris_legalize(db)
+
+    def test_displacement_is_bounded(self, tiny_design):
+        """Cells should land near their global positions."""
+        db = tiny_design
+        x, y, _ = tetris_legalize(db)
+        movable = db.movable_index
+        disp = np.abs(x[movable] - db.cell_x[movable]) + \
+            np.abs(y[movable] - db.cell_y[movable])
+        assert np.median(disp) < 6.0 * db.region.row_height
+
+
+class TestAbacus:
+    def test_keeps_legal(self, tiny_design):
+        db = tiny_design
+        lx, ly, rows = tetris_legalize(db)
+        x, y = abacus_legalize(db, lx, ly, rows)
+        report = check_legal(db, x, y)
+        assert report.legal, report.messages
+
+    def test_reduces_displacement(self, tiny_design):
+        db = tiny_design
+        desired_x = db.cell_x.copy()
+        lx, ly, rows = tetris_legalize(db)
+        ax, ay = abacus_legalize(db, lx, ly, rows, desired_x=desired_x)
+        movable = db.movable_index
+        before = np.abs(lx[movable] - desired_x[movable]).sum()
+        after = np.abs(ax[movable] - desired_x[movable]).sum()
+        assert after <= before + 1e-6
+
+    def test_respects_macro_segments(self, blocked_db):
+        db = blocked_db
+        px, py = db.positions()
+        movable = db.movable_index
+        px[movable] = 14.0
+        py[movable] = 14.0
+        lx, ly, rows = tetris_legalize(db, px, py)
+        x, y = abacus_legalize(db, lx, ly, rows, desired_x=px)
+        assert check_legal(db, x, y).legal
+
+    def test_preserves_order_within_segment(self, tiny_design):
+        """Abacus clustering never reorders cells within a segment."""
+        db = tiny_design
+        lx, ly, rows = tetris_legalize(db)
+        ax, ay = abacus_legalize(db, lx, ly, rows)
+        movable = db.movable_index
+        for row in np.unique(rows[movable]):
+            cells = movable[rows[movable] == row]
+            before = cells[np.argsort(lx[cells], kind="stable")]
+            after = cells[np.argsort(ax[cells], kind="stable")]
+            np.testing.assert_array_equal(before, after)
+
+
+class TestLegalizeOrchestrator:
+    def test_full_legalize(self, tiny_design):
+        db = tiny_design
+        x, y = legalize(db)
+        assert check_legal(db, x, y).legal
+
+    def test_skip_refine(self, tiny_design):
+        db = tiny_design
+        x, y = legalize(db, refine=False)
+        assert check_legal(db, x, y).legal
+
+    def test_refine_no_worse_hpwl(self, tiny_design):
+        db = tiny_design
+        x0, y0 = legalize(db, refine=False)
+        x1, y1 = legalize(db, refine=True)
+        assert db.hpwl(x1, y1) <= db.hpwl(x0, y0) * 1.05
+
+
+class TestChecker:
+    def test_detects_overlap(self, small_db):
+        x, y = legalize(small_db)
+        x[small_db.movable_index[1]] = x[small_db.movable_index[0]]
+        y[small_db.movable_index[1]] = y[small_db.movable_index[0]]
+        report = check_legal(small_db, x, y)
+        assert not report.legal
+        assert report.overlaps >= 1
+
+    def test_detects_outside(self, small_db):
+        x, y = legalize(small_db)
+        x[small_db.movable_index[0]] = -10.0
+        assert check_legal(small_db, x, y).outside == 1
+
+    def test_detects_off_row(self, small_db):
+        x, y = legalize(small_db)
+        y[small_db.movable_index[0]] += 0.5
+        assert check_legal(small_db, x, y).off_row == 1
+
+    def test_detects_off_site(self, small_db):
+        x, y = legalize(small_db)
+        x[small_db.movable_index[0]] += 0.25
+        report = check_legal(small_db, x, y)
+        assert report.off_site == 1
+
+    def test_site_check_optional(self, small_db):
+        x, y = legalize(small_db)
+        x[small_db.movable_index[0]] += 0.25
+        # might create an overlap; only check the off_site field
+        report = check_legal(small_db, x, y, check_sites=False)
+        assert report.off_site == 0
+
+    def test_macro_overlap_detected(self, blocked_db):
+        x, y = legalize(blocked_db)
+        cell = blocked_db.movable_index[0]
+        x[cell] = 14.0
+        y[cell] = 14.0  # inside the macro
+        report = check_legal(blocked_db, x, y)
+        assert report.overlaps >= 1

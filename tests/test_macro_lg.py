@@ -1,0 +1,113 @@
+"""Tests for movable-macro legalization and the mixed-size flow."""
+
+import numpy as np
+import pytest
+
+from repro.benchgen import CircuitSpec, generate
+from repro.geometry import PlacementRegion
+from repro.lg import check_legal, legalize
+from repro.lg.macro_legalize import legalize_macros, movable_macro_index
+from repro.netlist import CellKind, Netlist
+
+
+@pytest.fixture
+def mixed_db():
+    return generate(CircuitSpec(
+        name="mixed", num_cells=250, num_ios=12, utilization=0.55,
+        macro_area_fraction=0.08, num_macros=3, movable_macros=True,
+        seed=29,
+    ))
+
+
+class TestMacroLegalize:
+    def test_macro_index_detection(self, mixed_db):
+        macros = movable_macro_index(mixed_db)
+        assert macros.size == 3
+        assert (mixed_db.cell_height[macros] >
+                mixed_db.region.row_height).all()
+
+    def test_no_macros_is_noop(self, small_db):
+        x0, y0 = small_db.positions()
+        x, y, macros = legalize_macros(small_db)
+        assert macros.size == 0
+        np.testing.assert_allclose(x, x0)
+
+    def test_macros_snap_to_grid(self, mixed_db):
+        x, y, macros = legalize_macros(mixed_db)
+        region = mixed_db.region
+        rel_x = (x[macros] - region.xl) / region.site_width
+        rel_y = (y[macros] - region.yl) / region.row_height
+        np.testing.assert_allclose(rel_x, np.round(rel_x), atol=1e-9)
+        np.testing.assert_allclose(rel_y, np.round(rel_y), atol=1e-9)
+
+    def test_macros_inside_region(self, mixed_db):
+        x, y, macros = legalize_macros(mixed_db)
+        assert mixed_db.region.contains(
+            x[macros], y[macros],
+            mixed_db.cell_width[macros], mixed_db.cell_height[macros],
+        ).all()
+
+    def test_overlapping_macros_separated(self):
+        region = PlacementRegion(0, 0, 32, 32)
+        netlist = Netlist("mm")
+        netlist.add_cell("m0", 6, 6, CellKind.MOVABLE, x=10, y=10)
+        netlist.add_cell("m1", 6, 6, CellKind.MOVABLE, x=11, y=11)
+        netlist.add_net("n", [(0, 0, 0), (1, 0, 0)])
+        db = netlist.compile(region)
+        x, y, macros = legalize_macros(db)
+        from repro.geometry.boxes import rect_overlap_area
+
+        overlap = rect_overlap_area(
+            x[0], y[0], x[0] + 6, y[0] + 6,
+            x[1], y[1], x[1] + 6, y[1] + 6,
+        )
+        assert overlap == 0.0
+
+    def test_avoids_fixed_macros(self):
+        region = PlacementRegion(0, 0, 32, 32)
+        netlist = Netlist("mf")
+        netlist.add_cell("mov", 6, 6, CellKind.MOVABLE, x=13, y=13)
+        netlist.add_cell("fix", 8, 8, CellKind.FIXED, x=12, y=12)
+        netlist.add_net("n", [(0, 0, 0), (1, 0, 0)])
+        db = netlist.compile(region)
+        x, y, _ = legalize_macros(db)
+        from repro.geometry.boxes import rect_overlap_area
+
+        assert rect_overlap_area(
+            x[0], y[0], x[0] + 6, y[0] + 6, 12, 12, 20, 20
+        ) == 0.0
+
+    def test_impossible_fit_raises(self):
+        region = PlacementRegion(0, 0, 8, 8)
+        netlist = Netlist("big")
+        netlist.add_cell("fix", 8, 8, CellKind.FIXED, x=0, y=0)
+        netlist.add_cell("mov", 4, 4, CellKind.MOVABLE, x=2, y=2)
+        netlist.add_net("n", [(0, 0, 0), (1, 0, 0)])
+        db = netlist.compile(region)
+        with pytest.raises(RuntimeError):
+            legalize_macros(db)
+
+
+class TestMixedSizeFlow:
+    def test_full_legalize_with_macros(self, mixed_db):
+        x, y = legalize(mixed_db)
+        report = check_legal(mixed_db, x, y, check_sites=True)
+        # macros are row/site aligned by construction; std cells legal
+        assert report.overlaps == 0, report.messages
+        assert report.outside == 0
+
+    def test_std_cells_avoid_legalized_macros(self, mixed_db):
+        x, y = legalize(mixed_db)
+        report = check_legal(mixed_db, x, y)
+        assert report.legal, report.messages
+
+    def test_end_to_end_mixed_flow(self, mixed_db):
+        from repro.core import DreamPlacer, PlacementParams
+
+        result = DreamPlacer(
+            mixed_db,
+            PlacementParams(max_global_iters=120, detailed_passes=1,
+                            min_global_iters=1),
+        ).run()
+        assert result.legality.legal, result.legality.messages
+        assert result.hpwl_final > 0

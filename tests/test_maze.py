@@ -1,0 +1,65 @@
+"""Tests for the bounded maze-routing fallback."""
+
+import numpy as np
+import pytest
+
+from repro.route import GlobalRouter, RoutingGrid
+from repro.route.maze import maze_route_segment
+from repro.route.pattern_route import route_segment
+
+
+class TestMazeRoute:
+    def test_straight_path_when_clear(self, tiny_design):
+        grid = RoutingGrid(tiny_design, num_tiles=12, macro_blockage=0.0)
+        used = maze_route_segment(grid, 1, 1, 5, 1)
+        assert len(used) == 4
+        assert all(kind == "h" for kind, _, _ in used)
+        assert grid.demand_h.sum() == 4.0
+
+    def test_same_tile_empty(self, tiny_design):
+        grid = RoutingGrid(tiny_design, num_tiles=12)
+        assert maze_route_segment(grid, 3, 3, 3, 3) == []
+
+    def test_path_length_is_manhattan_when_uncongested(self, tiny_design):
+        grid = RoutingGrid(tiny_design, num_tiles=12, macro_blockage=0.0)
+        used = maze_route_segment(grid, 2, 2, 6, 5)
+        assert len(used) == (6 - 2) + (5 - 2)
+
+    def test_detours_around_congestion(self, tiny_design):
+        grid = RoutingGrid(tiny_design, num_tiles=12, macro_blockage=0.0)
+        # saturate the straight corridor at y=2
+        grid.demand_h[:, 2] = grid.capacity_h[:, 2] * 3
+        used = maze_route_segment(grid, 1, 2, 6, 2, margin=3)
+        # the maze should leave row 2 (some vertical edges used)
+        assert any(kind == "v" for kind, _, _ in used)
+
+    def test_commits_and_ripup_consistent(self, tiny_design):
+        from repro.route.pattern_route import rip_up
+
+        grid = RoutingGrid(tiny_design, num_tiles=12, macro_blockage=0.0)
+        used = maze_route_segment(grid, 0, 0, 4, 4)
+        rip_up(grid, used)
+        assert grid.demand_h.sum() == 0.0
+        assert grid.demand_v.sum() == 0.0
+
+    def test_maze_rrr_helps_in_mild_congestion(self, tiny_design):
+        """With calibrated (mildly tight) capacities, maze escalation
+        resolves at least as much overflow as pattern-only rerouting."""
+        from repro.route.router import calibrate_capacity
+
+        capacity = calibrate_capacity(tiny_design, num_tiles=12)
+        pattern_only = GlobalRouter(tiny_design, num_tiles=12,
+                                    tile_capacity=capacity,
+                                    use_maze=False, rrr_rounds=2)
+        with_maze = GlobalRouter(tiny_design, num_tiles=12,
+                                 tile_capacity=capacity,
+                                 use_maze=True, rrr_rounds=2)
+        a = pattern_only.route()
+        b = with_maze.route()
+        assert b.total_overflow <= a.total_overflow + 1e-9
+
+    def test_margin_zero_still_connects_in_box(self, tiny_design):
+        grid = RoutingGrid(tiny_design, num_tiles=12, macro_blockage=0.0)
+        used = maze_route_segment(grid, 2, 2, 4, 4, margin=0)
+        assert used is not None
+        assert len(used) == 4

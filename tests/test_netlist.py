@@ -1,0 +1,157 @@
+"""Tests for the netlist builder, database, and validation."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import PlacementRegion
+from repro.netlist import CellKind, Netlist, validate_db
+
+
+@pytest.fixture
+def simple():
+    netlist = Netlist("simple")
+    netlist.add_cell("a", 2.0, 1.0, CellKind.MOVABLE, x=1.0, y=1.0)
+    netlist.add_cell("b", 1.0, 1.0, CellKind.MOVABLE, x=5.0, y=2.0)
+    netlist.add_cell("blk", 3.0, 3.0, CellKind.FIXED, x=8.0, y=8.0)
+    netlist.add_cell("pad", 0.0, 0.0, CellKind.TERMINAL, x=0.0, y=0.0)
+    netlist.add_net("n1", [("a", 0.5, 0.5), ("b", 0.5, 0.5)])
+    netlist.add_net("n2", [("a", 1.5, 0.5), ("pad", 0.0, 0.0)], weight=2.0)
+    netlist.add_net("n3", [("b", 0.0, 0.0), ("blk", 1.0, 1.0), ("a", 0.0, 0.0)])
+    return netlist
+
+
+class TestNetlistBuilder:
+    def test_counts(self, simple):
+        assert simple.num_cells == 4
+        assert simple.num_nets == 3
+        assert simple.num_pins == 7
+
+    def test_duplicate_cell_rejected(self, simple):
+        with pytest.raises(ValueError):
+            simple.add_cell("a", 1.0, 1.0)
+
+    def test_duplicate_net_rejected(self, simple):
+        with pytest.raises(ValueError):
+            simple.add_net("n1", [("a", 0, 0), ("b", 0, 0)])
+
+    def test_negative_size_rejected(self, simple):
+        with pytest.raises(ValueError):
+            simple.add_cell("neg", -1.0, 1.0)
+
+    def test_unknown_cell_in_net(self, simple):
+        with pytest.raises(KeyError):
+            simple.add_net("bad", [("zzz", 0, 0)])
+
+    def test_cell_index_out_of_range(self, simple):
+        with pytest.raises(IndexError):
+            simple.add_net("bad", [(99, 0, 0)])
+
+    def test_cell_id_lookup(self, simple):
+        assert simple.cell_id("b") == 1
+        assert simple.cell_name(1) == "b"
+
+    def test_set_position(self, simple):
+        simple.set_position("a", 3.0, 4.0)
+        db = simple.compile(PlacementRegion(0, 0, 16, 16))
+        assert db.cell_x[0] == 3.0
+
+
+class TestPlacementDB:
+    @pytest.fixture
+    def db(self, simple):
+        return simple.compile(PlacementRegion(0, 0, 16, 16))
+
+    def test_sizes(self, db):
+        assert db.num_cells == 4
+        assert db.num_nets == 3
+        assert db.num_pins == 7
+        assert db.num_movable == 2
+
+    def test_masks(self, db):
+        np.testing.assert_array_equal(db.movable, [True, True, False, False])
+        np.testing.assert_array_equal(db.terminal, [False, False, False, True])
+
+    def test_areas(self, db):
+        assert db.total_movable_area == 3.0
+        assert db.total_fixed_area == 9.0
+        assert db.utilization == pytest.approx(3.0 / (256.0 - 9.0))
+
+    def test_net_degree(self, db):
+        np.testing.assert_array_equal(db.net_degree, [2, 2, 3])
+
+    def test_net_pins_round_trip(self, db):
+        for net in range(db.num_nets):
+            for pin in db.net_pins(net):
+                assert db.pin_net[pin] == net
+
+    def test_cell_pins_round_trip(self, db):
+        for cell in range(db.num_cells):
+            for pin in db.cell_pins(cell):
+                assert db.pin_cell[pin] == cell
+
+    def test_pin_positions(self, db):
+        px, py = db.pin_positions()
+        pin = db.net_pins(0)[0]
+        cell = db.pin_cell[pin]
+        assert px[pin] == db.cell_x[cell] + db.pin_offset_x[pin]
+
+    def test_hpwl_manual(self, db):
+        # n1: a pin at (1.5, 1.5), b pin at (5.5, 2.5) -> 4 + 1 = 5
+        # n2 (w=2): a pin at (2.5, 1.5), pad at (0, 0) -> 2*(2.5+1.5) = 8
+        # n3: (5,2), (9,9), (1,1) -> 8 + 8 = 16
+        assert db.hpwl() == pytest.approx(5.0 + 8.0 + 16.0)
+
+    def test_hpwl_with_override_positions(self, db):
+        x, y = db.positions()
+        y[1] += 3.0  # cell b becomes the y-max of net n1 (+3); n3 absorbs it
+        assert db.hpwl(x, y) == pytest.approx(db.hpwl() + 3.0)
+
+    def test_centers(self, db):
+        cx, cy = db.centers()
+        assert cx[0] == db.cell_x[0] + 1.0
+
+    def test_set_positions_copies(self, db):
+        x, y = db.positions()
+        db.set_positions(x, y)
+        x[0] = 99.0
+        assert db.cell_x[0] != 99.0
+
+    def test_clone_independent(self, db):
+        clone = db.clone()
+        clone.cell_x[0] = 42.0
+        assert db.cell_x[0] != 42.0
+
+    def test_repr(self, db):
+        assert "cells=4" in repr(db)
+
+
+class TestValidate:
+    def test_valid_passes(self, simple):
+        validate_db(simple.compile(PlacementRegion(0, 0, 16, 16)))
+
+    def test_check_inside_catches_outside(self, simple):
+        db = simple.compile(PlacementRegion(0, 0, 16, 16))
+        db.cell_x[0] = 100.0
+        with pytest.raises(ValueError, match="outside"):
+            validate_db(db, check_inside=True)
+
+    def test_bad_pin_net_caught(self, simple):
+        db = simple.compile(PlacementRegion(0, 0, 16, 16))
+        db.pin_net = db.pin_net.copy()
+        db.pin_net[0] = 77
+        with pytest.raises(ValueError):
+            validate_db(db)
+
+    def test_movable_terminal_caught(self, simple):
+        db = simple.compile(PlacementRegion(0, 0, 16, 16))
+        db.terminal = db.terminal.copy()
+        db.terminal[0] = True
+        with pytest.raises(ValueError, match="terminal"):
+            validate_db(db)
+
+    def test_negative_weight_caught(self, simple):
+        db = simple.compile(PlacementRegion(0, 0, 16, 16))
+        db.net_weight = db.net_weight.copy()
+        db.net_weight[0] = -1.0
+        with pytest.raises(ValueError, match="weight"):
+            validate_db(db)

@@ -1,0 +1,120 @@
+"""Tests for Module containers and the custom Function API."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Function, Module, Parameter, Tensor
+
+
+class _Scale(Function):
+    def forward(self, a, *, factor=2.0):
+        self.save_for_backward(factor)
+        return a * factor
+
+    def backward(self, grad_output):
+        (factor,) = self.saved_values
+        return (grad_output * factor,)
+
+
+class TestFunctionAPI:
+    def test_forward_value(self):
+        out = _Scale.apply(Tensor([1.0, 2.0]), factor=3.0)
+        np.testing.assert_allclose(out.numpy(), [3.0, 6.0])
+
+    def test_backward_through_custom_op(self):
+        p = Parameter([1.0, 2.0])
+        _Scale.apply(p, factor=3.0).sum().backward()
+        np.testing.assert_allclose(p.grad, [3.0, 3.0])
+
+    def test_no_tape_for_constant_input(self):
+        out = _Scale.apply(Tensor([1.0]))
+        assert out._creator is None
+
+    def test_mixed_tensor_and_plain_inputs(self):
+        class _AddConst(Function):
+            def forward(self, a, c):
+                return a + c
+
+            def backward(self, grad_output):
+                return (grad_output,)
+
+        p = Parameter([1.0])
+        out = _AddConst.apply(p, 5.0)
+        assert out.numpy()[0] == 6.0
+        out.sum().backward()
+        assert p.grad[0] == 1.0
+
+    def test_wrong_grad_count_raises(self):
+        class _Bad(Function):
+            def forward(self, a, b):
+                return a + b
+
+            def backward(self, grad_output):
+                return (grad_output,)  # should be two
+
+        p = Parameter([1.0])
+        q = Parameter([2.0])
+        out = _Bad.apply(p, q)
+        with pytest.raises(RuntimeError):
+            out.sum().backward()
+
+
+class TestModule:
+    def test_parameters_discovered(self):
+        class M(Module):
+            def __init__(self):
+                self.a = Parameter([1.0])
+                self.b = Parameter([2.0])
+
+        assert len(list(M().parameters())) == 2
+
+    def test_nested_modules(self):
+        class Inner(Module):
+            def __init__(self):
+                self.w = Parameter([1.0])
+
+        class Outer(Module):
+            def __init__(self):
+                self.inner = Inner()
+                self.v = Parameter([2.0])
+
+        assert len(list(Outer().parameters())) == 2
+
+    def test_parameters_in_lists(self):
+        class M(Module):
+            def __init__(self):
+                self.items = [Parameter([1.0]), Parameter([2.0])]
+
+        assert len(list(M().parameters())) == 2
+
+    def test_shared_parameter_yielded_once(self):
+        shared = Parameter([1.0])
+
+        class M(Module):
+            def __init__(self):
+                self.a = shared
+                self.b = shared
+
+        assert len(list(M().parameters())) == 1
+
+    def test_zero_grad(self):
+        class M(Module):
+            def __init__(self):
+                self.w = Parameter([1.0])
+
+        m = M()
+        m.w.sum().backward()
+        m.zero_grad()
+        assert m.w.grad is None
+
+    def test_call_dispatches_to_forward(self):
+        class Doubler(Module):
+            def forward(self, t):
+                return t * 2.0
+
+        out = Doubler()(Tensor([2.0]))
+        assert out.numpy()[0] == 4.0
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(Tensor([1.0]))

@@ -1,0 +1,222 @@
+"""Tests for the optimizer zoo on analytic functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter, Tensor
+from repro.nn import functional as F
+from repro.nn.optim import (
+    SGD,
+    Adam,
+    ConjugateGradient,
+    ExponentialLR,
+    NesterovLineSearch,
+    RMSProp,
+)
+
+
+def quadratic_closure(p, scale):
+    """f(p) = sum(scale * p^2) with backward."""
+
+    def closure():
+        p.zero_grad()
+        loss = F.tensor_sum(F.square(p) * Tensor(scale))
+        loss.backward()
+        return loss
+
+    return closure
+
+
+def run_to_convergence(optimizer, closure, steps):
+    loss = None
+    for _ in range(steps):
+        loss = optimizer.step(closure)
+        if loss is None:
+            loss = closure()
+    return loss.item()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Parameter([5.0, -3.0])
+        opt = SGD([p], lr=0.1)
+        final = run_to_convergence(opt, quadratic_closure(p, [1.0, 2.0]), 200)
+        assert final < 1e-6
+
+    def test_momentum_accelerates(self):
+        losses = {}
+        for momentum in (0.0, 0.9):
+            p = Parameter([5.0, -3.0])
+            opt = SGD([p], lr=0.02, momentum=momentum)
+            losses[momentum] = run_to_convergence(
+                opt, quadratic_closure(p, [1.0, 2.0]), 50
+            )
+        assert losses[0.9] < losses[0.0]
+
+    def test_nesterov_flag_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter([1.0])], lr=0.1, nesterov=True)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter([1.0])], lr=0.1, momentum=1.5)
+
+    def test_step_without_grad_raises(self):
+        p = Parameter([1.0])
+        opt = SGD([p], lr=0.1)
+        with pytest.raises(RuntimeError):
+            opt.step()
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter([5.0, -3.0])
+        opt = Adam([p], lr=0.3)
+        final = run_to_convergence(opt, quadratic_closure(p, [1.0, 10.0]), 300)
+        assert final < 1e-4
+
+    def test_bias_correction_first_step_magnitude(self):
+        # with bias correction the very first step has magnitude ~lr
+        p = Parameter([1.0])
+        opt = Adam([p], lr=0.1)
+        closure = quadratic_closure(p, [1.0])
+        opt.step(closure)
+        assert abs(1.0 - p.data[0]) == pytest.approx(0.1, rel=1e-3)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter([1.0])], betas=(1.2, 0.9))
+
+
+class TestRMSProp:
+    def test_converges_on_quadratic(self):
+        p = Parameter([4.0])
+        opt = RMSProp([p], lr=0.05)
+        final = run_to_convergence(opt, quadratic_closure(p, [1.0]), 400)
+        assert final < 1e-3
+
+    def test_momentum_variant_runs(self):
+        p = Parameter([4.0])
+        opt = RMSProp([p], lr=0.02, momentum=0.5)
+        final = run_to_convergence(opt, quadratic_closure(p, [1.0]), 400)
+        assert final < 1e-2
+
+
+class TestNesterovLineSearch:
+    def test_requires_closure(self):
+        opt = NesterovLineSearch([Parameter([1.0])])
+        with pytest.raises(ValueError):
+            opt.step()
+
+    def test_converges_on_quadratic(self):
+        p = Parameter([5.0, -3.0, 2.0])
+        opt = NesterovLineSearch([p], lr=0.5)
+        final = run_to_convergence(
+            opt, quadratic_closure(p, [1.0, 4.0, 0.5]), 120
+        )
+        assert final < 1e-6
+
+    def test_lipschitz_step_adapts_to_scale(self):
+        # a much stiffer problem should still converge (smaller steps)
+        p = Parameter([1.0])
+        opt = NesterovLineSearch([p], lr=1.0)
+        final = run_to_convergence(opt, quadratic_closure(p, [500.0]), 150)
+        assert final < 1e-4
+
+    def test_project_keeps_state_consistent(self):
+        p = Parameter([5.0])
+        opt = NesterovLineSearch([p], lr=0.5)
+        closure = quadratic_closure(p, [1.0])
+        opt.step(closure)
+        opt.project(lambda a: np.clip(a, 0.5, 10.0))
+        assert p.data[0] >= 0.5
+        np.testing.assert_allclose(opt._v, p.data)
+
+    def test_rebind_resets_state(self):
+        p = Parameter([5.0])
+        opt = NesterovLineSearch([p], lr=0.5)
+        opt.step(quadratic_closure(p, [1.0]))
+        opt.rebind()
+        assert opt._v is None
+        opt.step(quadratic_closure(p, [1.0]))  # still works
+
+    def test_rosenbrock_descends(self):
+        # non-quadratic sanity: f = (1-x)^2 + 5(y - x^2)^2
+        p = Parameter([-1.0, 1.0])
+
+        def closure():
+            p.zero_grad()
+            x, y = p.data
+            loss = (1 - x) ** 2 + 5.0 * (y - x * x) ** 2
+            grad = np.array([
+                -2 * (1 - x) - 20.0 * (y - x * x) * x,
+                10.0 * (y - x * x),
+            ])
+            p.grad = grad
+            return Tensor(loss)
+
+        first = closure().item()
+        opt = NesterovLineSearch([p], lr=0.1)
+        for _ in range(100):
+            last = opt.step(closure).item()
+        assert last < first
+
+
+class TestConjugateGradient:
+    def test_requires_closure(self):
+        with pytest.raises(ValueError):
+            ConjugateGradient([Parameter([1.0])]).step()
+
+    def test_converges_on_quadratic(self):
+        p = Parameter([5.0, -3.0])
+        opt = ConjugateGradient([p], lr=0.4)
+        final = run_to_convergence(opt, quadratic_closure(p, [1.0, 3.0]), 80)
+        assert final < 1e-6
+
+    def test_monotone_descent_with_armijo(self):
+        p = Parameter([5.0])
+        closure = quadratic_closure(p, [2.0])
+        opt = ConjugateGradient([p], lr=1.0)
+        prev = closure().item()
+        for _ in range(10):
+            loss = opt.step(closure).item()
+            assert loss <= prev + 1e-12
+            prev = loss
+
+
+class TestExponentialLR:
+    def test_decay_schedule(self):
+        p = Parameter([1.0])
+        opt = SGD([p], lr=1.0)
+        sched = ExponentialLR(opt, gamma=0.5)
+        sched.step()
+        assert opt.lr == pytest.approx(0.5)
+        sched.step()
+        assert opt.lr == pytest.approx(0.25)
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            ExponentialLR(SGD([Parameter([1.0])], lr=1.0), gamma=1.5)
+
+
+class TestOptimizerBase:
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_invalid_lr_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter([1.0])], lr=-1.0)
+
+    def test_zero_grad_clears_all(self):
+        p = Parameter([1.0])
+        opt = SGD([p], lr=0.1)
+        p.sum().backward()
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_base_project_applies_to_params(self):
+        p = Parameter([5.0])
+        opt = SGD([p], lr=0.1)
+        opt.project(lambda a: np.clip(a, 0.0, 2.0))
+        assert p.data[0] == 2.0

@@ -1,0 +1,161 @@
+"""Tests for the autograd tensor."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, Parameter, no_grad
+from repro.nn import functional as F
+
+
+class TestTensorBasics:
+    def test_wraps_array(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3,)
+        assert t.dtype == np.float64
+
+    def test_dtype_override(self):
+        t = Tensor([1.0, 2.0], dtype=np.float32)
+        assert t.dtype == np.float32
+
+    def test_int_input_promoted_to_float(self):
+        t = Tensor([1, 2, 3])
+        assert np.issubdtype(t.dtype, np.floating)
+
+    def test_item_scalar(self):
+        assert Tensor(3.5).item() == 3.5
+
+    def test_item_nonscalar_raises(self):
+        with pytest.raises(Exception):
+            Tensor([1.0, 2.0]).item()
+
+    def test_parameter_requires_grad(self):
+        p = Parameter([1.0, 2.0])
+        assert p.requires_grad
+
+    def test_detach_drops_grad(self):
+        p = Parameter([1.0])
+        assert not p.detach().requires_grad
+
+    def test_clone_independent(self):
+        p = Parameter([1.0, 2.0])
+        q = p.clone()
+        q.data[0] = 9.0
+        assert p.data[0] == 1.0
+
+    def test_len(self):
+        assert len(Tensor([1.0, 2.0, 3.0])) == 3
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(Parameter([1.0]))
+
+
+class TestBackward:
+    def test_sum_gradient_is_ones(self):
+        p = Parameter([1.0, 2.0, 3.0])
+        p.sum().backward()
+        np.testing.assert_allclose(p.grad, np.ones(3))
+
+    def test_chain_rule_through_mul(self):
+        p = Parameter([2.0, 3.0])
+        (p * p).sum().backward()
+        np.testing.assert_allclose(p.grad, [4.0, 6.0])
+
+    def test_add_broadcast_scalar(self):
+        p = Parameter([1.0, 2.0])
+        (p + 1.0).sum().backward()
+        np.testing.assert_allclose(p.grad, [1.0, 1.0])
+
+    def test_sub_gradients(self):
+        a = Parameter([5.0])
+        b = Parameter([3.0])
+        (a - b).sum().backward()
+        assert a.grad[0] == 1.0
+        assert b.grad[0] == -1.0
+
+    def test_rsub(self):
+        p = Parameter([3.0])
+        (10.0 - p).sum().backward()
+        assert p.grad[0] == -1.0
+
+    def test_div_gradients(self):
+        a = Parameter([6.0])
+        b = Parameter([2.0])
+        (a / b).sum().backward()
+        assert a.grad[0] == pytest.approx(0.5)
+        assert b.grad[0] == pytest.approx(-1.5)
+
+    def test_neg(self):
+        p = Parameter([4.0])
+        (-p).sum().backward()
+        assert p.grad[0] == -1.0
+
+    def test_grad_accumulates_across_backwards(self):
+        p = Parameter([1.0])
+        p.sum().backward()
+        p.sum().backward()
+        assert p.grad[0] == 2.0
+
+    def test_zero_grad(self):
+        p = Parameter([1.0])
+        p.sum().backward()
+        p.zero_grad()
+        assert p.grad is None
+
+    def test_shared_subexpression_accumulates(self):
+        p = Parameter([2.0])
+        y = p * 3.0
+        z = (y + y).sum()
+        z.backward()
+        assert p.grad[0] == pytest.approx(6.0)
+
+    def test_backward_nonscalar_requires_grad_arg(self):
+        p = Parameter([1.0, 2.0])
+        out = p * 2.0
+        with pytest.raises(RuntimeError):
+            out.backward()
+
+    def test_backward_explicit_grad(self):
+        p = Parameter([1.0, 2.0])
+        (p * 2.0).backward(np.array([1.0, 10.0]))
+        np.testing.assert_allclose(p.grad, [2.0, 20.0])
+
+    def test_no_grad_context(self):
+        p = Parameter([1.0])
+        with no_grad():
+            out = p * 2.0
+        assert out._creator is None
+        assert not out.requires_grad
+
+    def test_no_grad_restores(self):
+        p = Parameter([1.0])
+        with no_grad():
+            pass
+        out = p * 2.0
+        assert out.requires_grad
+
+    def test_constant_inputs_get_no_grad(self):
+        p = Parameter([1.0])
+        c = Tensor([5.0])
+        (p * c).sum().backward()
+        assert c.grad is None
+
+
+class TestFunctional:
+    def test_abs_gradient_signs(self):
+        p = Parameter([-2.0, 3.0])
+        F.absolute(p).sum().backward()
+        np.testing.assert_allclose(p.grad, [-1.0, 1.0])
+
+    def test_square(self):
+        p = Parameter([3.0])
+        F.square(p).sum().backward()
+        assert p.grad[0] == 6.0
+
+    def test_square_matches_mul(self):
+        p = Parameter([1.5, -2.5])
+        np.testing.assert_allclose(
+            F.square(p).numpy(), (p * p).numpy()
+        )
+
+    def test_tensor_sum_value(self):
+        assert F.tensor_sum(Tensor([1.0, 2.0, 3.0])).item() == 6.0

@@ -1,0 +1,147 @@
+"""Tests for the STA substrate and timing-driven net weighting."""
+
+import numpy as np
+import pytest
+
+from repro.core import PlacementParams
+from repro.geometry import PlacementRegion
+from repro.netlist import CellKind, Netlist
+from repro.timing import (
+    StaticTimingAnalysis,
+    criticality_weights,
+    timing_driven_place,
+)
+
+
+def chain_with_positions(positions, spacing_net=None):
+    """c0 -> c1 -> ... chain at given x positions (driver = first pin)."""
+    region = PlacementRegion(0, 0, 64, 16)
+    netlist = Netlist("chain")
+    for i, x in enumerate(positions):
+        netlist.add_cell(f"c{i}", 1.0, 1.0, CellKind.MOVABLE, x=x, y=8.0)
+    for i in range(len(positions) - 1):
+        netlist.add_net(f"n{i}", [(i, 0.5, 0.5), (i + 1, 0.5, 0.5)])
+    return netlist.compile(region)
+
+
+class TestSTA:
+    def test_chain_arrival_times(self):
+        db = chain_with_positions([0.0, 10.0, 20.0])
+        sta = StaticTimingAnalysis(db, cell_delay=1.0,
+                                   wire_delay_per_unit=0.1)
+        report = sta.run()
+        # c0: 0; c1: 1 + 0.1*10 = 2; c2: 2 + 1 + 0.1*10 = 4
+        np.testing.assert_allclose(report.arrival, [0.0, 2.0, 4.0])
+
+    def test_critical_path_follows_chain(self):
+        db = chain_with_positions([0.0, 10.0, 20.0, 30.0])
+        report = StaticTimingAnalysis(db).run()
+        assert report.critical_path == [0, 1, 2, 3]
+
+    def test_zero_wns_without_clock(self):
+        db = chain_with_positions([0.0, 5.0, 15.0])
+        report = StaticTimingAnalysis(db).run()
+        assert report.wns == pytest.approx(0.0, abs=1e-9)
+        assert report.tns == pytest.approx(0.0, abs=1e-9)
+
+    def test_tight_clock_creates_negative_slack(self):
+        db = chain_with_positions([0.0, 10.0, 20.0])
+        report = StaticTimingAnalysis(db, clock_period=1.0).run()
+        assert report.wns < 0
+        assert report.tns < 0
+
+    def test_wire_delay_scales_with_placement(self):
+        near = chain_with_positions([0.0, 1.0, 2.0])
+        far = chain_with_positions([0.0, 20.0, 40.0])
+        assert StaticTimingAnalysis(far).run().max_arrival > \
+            StaticTimingAnalysis(near).run().max_arrival
+
+    def test_positions_override(self):
+        db = chain_with_positions([0.0, 10.0, 20.0])
+        sta = StaticTimingAnalysis(db)
+        x, y = db.positions()
+        x[2] = 50.0
+        assert sta.run(x, y).max_arrival > sta.run().max_arrival
+
+    def test_branching_takes_worst_path(self):
+        region = PlacementRegion(0, 0, 64, 16)
+        netlist = Netlist("branch")
+        netlist.add_cell("src", 1, 1, CellKind.MOVABLE, x=0, y=8)
+        netlist.add_cell("near", 1, 1, CellKind.MOVABLE, x=2, y=8)
+        # the far branch detours vertically, so its total wire is longer
+        netlist.add_cell("far", 1, 1, CellKind.MOVABLE, x=40, y=2)
+        netlist.add_cell("out", 1, 1, CellKind.MOVABLE, x=44, y=8)
+        netlist.add_net("a", [(0, 0, 0), (1, 0, 0), (2, 0, 0)])
+        netlist.add_net("b", [(1, 0, 0), (3, 0, 0)])
+        netlist.add_net("c", [(2, 0, 0), (3, 0, 0)])
+        db = netlist.compile(region)
+        report = StaticTimingAnalysis(db).run()
+        assert report.critical_path[-1] == 3
+        assert 2 in report.critical_path  # through the far branch
+
+    def test_cycles_handled(self):
+        region = PlacementRegion(0, 0, 32, 16)
+        netlist = Netlist("loop")
+        netlist.add_cell("a", 1, 1, CellKind.MOVABLE, x=1, y=8)
+        netlist.add_cell("b", 1, 1, CellKind.MOVABLE, x=5, y=8)
+        netlist.add_net("ab", [(0, 0, 0), (1, 0, 0)])
+        netlist.add_net("ba", [(1, 0, 0), (0, 0, 0)])  # back edge
+        db = netlist.compile(region)
+        report = StaticTimingAnalysis(db).run()
+        assert np.isfinite(report.arrival).all()
+
+    def test_net_slack_finite_for_driven_nets(self):
+        db = chain_with_positions([0.0, 10.0, 20.0])
+        report = StaticTimingAnalysis(db).run()
+        assert np.isfinite(report.net_slack).all()
+
+
+class TestNetWeighting:
+    def test_critical_nets_weighted_up(self):
+        """A non-critical stub net gets a lower weight than path nets."""
+        region = PlacementRegion(0, 0, 64, 16)
+        netlist = Netlist("stub")
+        netlist.add_cell("src", 1, 1, CellKind.MOVABLE, x=0, y=8)
+        netlist.add_cell("mid", 1, 1, CellKind.MOVABLE, x=30, y=8)
+        netlist.add_cell("end", 1, 1, CellKind.MOVABLE, x=60, y=8)
+        netlist.add_cell("stub", 1, 1, CellKind.MOVABLE, x=1, y=8)
+        netlist.add_net("long1", [(0, 0, 0), (1, 0, 0)])
+        netlist.add_net("long2", [(1, 0, 0), (2, 0, 0)])
+        netlist.add_net("stubnet", [(0, 0, 0), (3, 0, 0)])
+        db = netlist.compile(region)
+        report = StaticTimingAnalysis(db).run()
+        weights = criticality_weights(report, db.net_weight.copy())
+        assert weights[0] > weights[2]
+        assert weights[1] > weights[2]
+
+    def test_mean_weight_preserved(self):
+        db = chain_with_positions([0.0, 10.0, 25.0, 26.0])
+        report = StaticTimingAnalysis(db).run()
+        weights = criticality_weights(report, db.net_weight.copy())
+        assert weights.mean() == pytest.approx(1.0)
+
+    def test_max_weight_bounds_multiplier(self):
+        db = chain_with_positions([0.0, 30.0, 31.0])
+        report = StaticTimingAnalysis(db).run()
+        base = db.net_weight.copy()
+        weights = criticality_weights(report, base, max_weight=4.0)
+        # before renormalization the multiplier is at most max_weight
+        assert weights.max() / weights.min() <= 4.0 + 1e-9
+
+
+class TestTimingDrivenFlow:
+    def test_reduces_critical_delay(self, tiny_design):
+        db = tiny_design
+        params = PlacementParams(max_global_iters=150, detailed=False)
+        result = timing_driven_place(db, params, rounds=2)
+        assert result.max_arrival <= result.initial_max_arrival * 1.02
+        assert result.rounds == 2
+        assert len(result.reports) == 3
+
+    def test_restores_original_weights(self, tiny_design):
+        db = tiny_design
+        before = db.net_weight.copy()
+        params = PlacementParams(max_global_iters=60, detailed=False,
+                                 min_global_iters=1)
+        timing_driven_place(db, params, rounds=1)
+        np.testing.assert_allclose(db.net_weight, before)
