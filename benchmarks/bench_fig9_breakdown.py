@@ -9,7 +9,6 @@ wirelength (paper: 73.4% vs 26.5%).
 import tempfile
 import time
 
-import numpy as np
 import pytest
 
 from _support import get_design, once, print_header, print_row, record
@@ -54,30 +53,40 @@ def test_fig9b_forward_backward_split(benchmark):
     objective = placer.objective
     pos = placer.pos
 
-    def time_op(op):
+    def run_op(op):
         pos.zero_grad()
-        start = time.perf_counter()
-        out = op(pos)
-        out.backward()
-        return time.perf_counter() - start
+        op(pos).backward()
 
-    # warm up, then measure each operator's forward+backward
-    time_op(objective.wirelength)
-    time_op(objective.density)
-    wl = np.mean([time_op(objective.wirelength) for _ in range(5)])
-    density = np.mean([time_op(objective.density) for _ in range(5)])
-    once(benchmark, lambda: time_op(objective.density))
+    # warm up, then measure via the op-level profiler (the same hooks
+    # `repro place --profile` reports)
+    run_op(objective.wirelength)
+    run_op(objective.density)
+    from repro.perf import Profiler
 
+    with Profiler() as prof:
+        for _ in range(5):
+            run_op(objective.wirelength)
+            run_op(objective.density)
+    once(benchmark, lambda: run_op(objective.density))
+
+    stats = prof.as_dict()
+    wl = sum(s["self_seconds"] for name, s in stats.items()
+             if name.startswith("wl."))
+    density = sum(s["self_seconds"] for name, s in stats.items()
+                  if name.startswith("density."))
     total = wl + density
     print_header(
         "Fig. 9(b) analog: one GP forward+backward pass (bigblue4)",
         ["op", "share"],
     )
-    print_row(["wirelength", f"{wl / total:.1%}"])
-    print_row(["density", f"{density / total:.1%}"])
+    for name, s in sorted(stats.items(), key=lambda kv: -kv[1]["self_seconds"]):
+        print_row([name, f"{s['self_seconds'] / total:.1%}"])
+    print_row(["wirelength (all)", f"{wl / total:.1%}"])
+    print_row(["density (all)", f"{density / total:.1%}"])
     print("-- paper: density 73.4%, wirelength 26.5%")
     record("fig9_breakdown", {
         "part": "fwd_bwd", "wirelength_share": wl / total,
         "density_share": density / total,
+        "ops": {name: s["self_seconds"] for name, s in stats.items()},
     })
     assert density > wl

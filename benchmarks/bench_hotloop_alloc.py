@@ -1,0 +1,105 @@
+"""Hot-loop pooling micro-benchmark: per-iteration time and allocations.
+
+Runs the merged-strategy GP step (Nesterov step + projection + HPWL +
+overflow, exactly the loop body of ``GlobalPlacer.place``) with
+``workspace_pooling`` off and on, and reports per-iteration wall time
+plus tracemalloc allocation counts.  The pooled configuration must be
+at least ~1.3x faster per iteration and allocation-free in steady state
+(small bookkeeping aside).
+"""
+
+import time
+import tracemalloc
+
+from _support import get_design, once, print_header, print_row, record
+from repro.core import GlobalPlacer, PlacementParams
+
+DESIGNS = ["adaptec1", "bigblue1"]
+WARMUP = 5
+ITERS = 40
+ALLOC_ITERS = 3
+
+
+def _gp_loop(db, pooling: bool):
+    """A primed GP loop: returns one-iteration callable matching place()."""
+    params = PlacementParams(workspace_pooling=pooling,
+                             wirelength_strategy="merged")
+    placer = GlobalPlacer(db, params)
+    overflow = placer.overflow()
+    placer.objective.gamma = placer.gamma_schedule(overflow)
+    weight = placer._init_density_weight()
+    placer.objective.density_weight = weight.value
+    optimizer, _ = placer._build_optimizer()
+
+    def closure():
+        placer.pos.zero_grad()
+        obj = placer.objective(placer.pos)
+        obj.backward()
+        return obj
+
+    def iteration():
+        optimizer.step(closure)
+        optimizer.project(placer._clamp)
+        placer.hpwl()
+        placer.overflow()
+
+    return iteration
+
+
+def _measure(db, pooling: bool):
+    iteration = _gp_loop(db, pooling)
+    for _ in range(WARMUP):
+        iteration()
+    start = time.perf_counter()
+    for _ in range(ITERS):
+        iteration()
+    per_iter = (time.perf_counter() - start) / ITERS
+    # allocation counters over a few steady-state iterations
+    tracemalloc.start()
+    iteration()  # settle tracemalloc's own bookkeeping
+    base = tracemalloc.get_traced_memory()[0]
+    tracemalloc.reset_peak()
+    for _ in range(ALLOC_ITERS):
+        iteration()
+    current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    alloc_peak = max(peak - base, 0) / ALLOC_ITERS
+    return per_iter, alloc_peak
+
+
+def test_hotloop_alloc(benchmark):
+    print_header(
+        "Hot-loop pooling: merged-strategy GP step, before/after",
+        ["design", "off ms/it", "on ms/it", "speedup",
+         "off peak KB/it", "on peak KB/it"],
+    )
+    speedups = []
+    rows = []
+    for name in DESIGNS:
+        db = get_design(name)
+        t_off, a_off = _measure(db, pooling=False)
+        t_on, a_on = _measure(db, pooling=True)
+        speedups.append(t_off / t_on)
+        rows.append((name, t_off, t_on, a_off, a_on))
+        print_row([
+            name, f"{t_off * 1e3:.2f}", f"{t_on * 1e3:.2f}",
+            f"{t_off / t_on:.2f}x",
+            f"{a_off / 1024:.0f}", f"{a_on / 1024:.0f}",
+        ])
+        record("hotloop_alloc", {
+            "design": name,
+            "ms_per_iter_unpooled": t_off * 1e3,
+            "ms_per_iter_pooled": t_on * 1e3,
+            "speedup": t_off / t_on,
+            "peak_alloc_unpooled": a_off,
+            "peak_alloc_pooled": a_on,
+        })
+    mean_speedup = sum(speedups) / len(speedups)
+    print(f"-- mean speedup {mean_speedup:.2f}x (target >= 1.3x)")
+    db = get_design(DESIGNS[0])
+    iteration = _gp_loop(db, pooling=True)
+    once(benchmark, iteration)
+    assert mean_speedup >= 1.3
+    # pooled steady state allocates far less than the unpooled baseline
+    for name, _, _, a_off, a_on in rows:
+        assert a_on < 0.5 * a_off, (name, a_on, a_off)

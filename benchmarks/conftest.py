@@ -3,4 +3,12 @@
 import sys
 import os
 
+import pytest
+
 sys.path.insert(0, os.path.dirname(__file__))
+
+
+def pytest_collection_modifyitems(items):
+    """Mark every benchmark so ``-m 'not bench'`` deselects the suite."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)

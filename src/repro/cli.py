@@ -50,7 +50,14 @@ def _cmd_place(args) -> int:
         verbose=args.verbose,
     )
     print(f"placing {db} ...")
-    result = DreamPlacer(db, params).run()
+    if args.profile or args.profile_alloc:
+        from repro.perf import Profiler
+
+        with Profiler(trace_alloc=args.profile_alloc) as prof:
+            result = DreamPlacer(db, params).run()
+        print(prof.table(title="per-op breakdown (Fig. 9 style)"))
+    else:
+        result = DreamPlacer(db, params).run()
     print(f"HPWL     : {result.hpwl_final:,.0f} "
           f"(GP {result.hpwl_global:,.0f}, LG {result.hpwl_legal:,.0f})")
     print(f"overflow : {result.overflow:.4f} after {result.iterations} iters")
@@ -170,6 +177,11 @@ def build_parser() -> argparse.ArgumentParser:
     place.add_argument("--no-lg", action="store_true",
                        help="skip legalization (GP only)")
     place.add_argument("--verbose", action="store_true")
+    place.add_argument("--profile", action="store_true",
+                       help="print a per-op runtime breakdown after the run")
+    place.add_argument("--profile-alloc", action="store_true",
+                       help="with --profile, also trace per-op allocations "
+                            "(tracemalloc; much slower)")
     place.add_argument("--output", help="write result as Bookshelf here")
     place.add_argument("--svg", help="write a placement plot here")
     place.set_defaults(func=_cmd_place)

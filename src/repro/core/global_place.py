@@ -33,9 +33,11 @@ from repro.nn.optim import (
 )
 from repro.nn.tensor import Parameter
 from repro.ops.density_op import ElectricDensity
-from repro.ops.density_overflow import density_overflow
+from repro.ops.density_overflow import density_overflow, fixed_free_area
 from repro.ops.lse_wirelength import LogSumExpWirelength
 from repro.ops.wa_wirelength import WeightedAverageWirelength
+from repro.perf.profiler import profiled
+from repro.perf.workspace import NullWorkspace, Workspace
 
 
 @dataclass
@@ -136,6 +138,11 @@ class GlobalPlacer:
     def _build_ops(self) -> None:
         params = self.params
         dtype = params.np_dtype()
+        pooled = params.workspace_pooling
+        # one workspace shared by every op of this placer: kernels use
+        # disjoint buffer-name prefixes, so pools never alias
+        self.ws = Workspace() if pooled else NullWorkspace()
+        self._free_area = None  # lazy fixed-cell free-area map (overflow)
         if self.wirelength_factory is not None:
             wl_op = self.wirelength_factory(
                 self.db, self.gamma_schedule(1.0), dtype
@@ -144,10 +151,12 @@ class GlobalPlacer:
             wl_op = WeightedAverageWirelength(
                 self.db, gamma=self.gamma_schedule(1.0),
                 strategy=params.wirelength_strategy, dtype=dtype,
+                pooled=pooled, workspace=self.ws,
             )
         elif params.wirelength == "lse":
             wl_op = LogSumExpWirelength(
                 self.db, gamma=self.gamma_schedule(1.0), dtype=dtype,
+                pooled=pooled, workspace=self.ws,
             )
         else:
             raise ValueError(f"unknown wirelength model {params.wirelength!r}")
@@ -168,6 +177,7 @@ class GlobalPlacer:
                 strategy=params.density_strategy,
                 dct_impl=params.dct_impl,
                 dtype=dtype,
+                pooled=pooled, workspace=self.ws,
             )
         self.objective = PlacementObjective(wl_op, density_op)
 
@@ -206,14 +216,21 @@ class GlobalPlacer:
         )
 
     def hpwl(self) -> float:
-        x, y = self._positions()
-        return self.db.hpwl(x, y)
+        with profiled("gp.hpwl"):
+            x, y = self._positions()
+            return self.db.hpwl(x, y)
 
     def overflow(self) -> float:
-        x, y = self._positions()
-        return density_overflow(
-            self.db, self.grid, x, y, self.params.target_density
-        )
+        with profiled("gp.overflow"):
+            if self._free_area is None:
+                # fixed cells never move: rasterize them once
+                self._free_area = fixed_free_area(self.db, self.grid)
+            x, y = self._positions()
+            return density_overflow(
+                self.db, self.grid, x, y, self.params.target_density,
+                free_area=self._free_area,
+                workspace=self.ws if self.params.workspace_pooling else None,
+            )
 
     def _init_density_weight(self) -> DensityWeight:
         weight = DensityWeight(
@@ -263,10 +280,11 @@ class GlobalPlacer:
         converged = False
         iteration = 0
         for iteration in range(1, max_iters + 1):
-            optimizer.step(closure)
-            optimizer.project(self._clamp)
-            if scheduler is not None:
-                scheduler.step()
+            with profiled("gp.step"):
+                optimizer.step(closure)
+                optimizer.project(self._clamp)
+                if scheduler is not None:
+                    scheduler.step()
 
             hpwl = self.hpwl()
             overflow = self.overflow()

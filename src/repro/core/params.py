@@ -19,6 +19,10 @@ class PlacementParams:
     # -- numerics ------------------------------------------------------
     dtype: str = "float64"  # "float32" or "float64" (the paper's sweeps)
     seed: int = 0
+    #: run the GP hot-loop kernels on persistent workspace buffers
+    #: (zero steady-state allocations); False restores the original
+    #: allocate-per-call kernels (the pooling benchmarks' baseline)
+    workspace_pooling: bool = True
 
     # -- density system ------------------------------------------------
     target_density: float = 1.0

@@ -57,13 +57,14 @@ class Tensor:
         Whether backward should flow into this tensor.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_creator")
+    __slots__ = ("data", "grad", "requires_grad", "_creator", "_grad_buf")
 
     def __init__(self, data, requires_grad: bool = False, dtype=None):
         self.data = _as_array(data, dtype)
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad)
         self._creator = None  # Function node that produced this tensor
+        self._grad_buf: Optional[np.ndarray] = None  # persistent grad store
 
     # ------------------------------------------------------------------
     # basic properties
@@ -175,8 +176,18 @@ class Tensor:
                         grads[key] = g
 
     def _accumulate(self, grad: np.ndarray) -> None:
+        # gradients accumulate into a persistent per-tensor buffer so the
+        # training loop performs no per-iteration gradient allocations
+        # (zero_grad only clears the reference, keeping the buffer)
         if self.grad is None:
-            self.grad = grad.copy()
+            buf = self._grad_buf
+            if (buf is None or buf.shape != grad.shape
+                    or buf.dtype != grad.dtype):
+                buf = self._grad_buf = np.empty_like(grad)
+            np.copyto(buf, grad)
+            self.grad = buf
+        elif self.grad is self._grad_buf:
+            self.grad += grad
         else:
             self.grad = self.grad + grad
 

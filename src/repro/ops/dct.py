@@ -18,11 +18,28 @@ operate along the last axis.  The composite 2-D transforms used by the
 Poisson solver (eq. 9) are :func:`dct2d`, :func:`idct2d`,
 :func:`idxst_idct` (sine along axis 0) and :func:`idct_idxst` (sine
 along axis 1).
+
+Performance notes: all pre/post-processing constants (twiddle factors,
+wraparound index maps, sign vectors) are cached per transform size, so
+repeated calls on the same grid — the Poisson solver calls these every
+GP iteration — only pay for the FFT itself; and every FFT runs on real
+input (``rfft``/``rfft2``/``irfft2``) with the missing half-spectrum
+reconstructed from Hermitian symmetry, halving the transform work.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+# (kind, sizes) -> precomputed twiddles / index maps / sign vectors
+_PLAN_CACHE: dict = {}
+
+
+def _plan(key, build):
+    plan = _PLAN_CACHE.get(key)
+    if plan is None:
+        plan = _PLAN_CACHE[key] = build()
+    return plan
 
 __all__ = [
     "dct_naive", "idct_naive", "idxst_naive",
@@ -75,32 +92,36 @@ def idxst_naive(x: np.ndarray) -> np.ndarray:
 # 2N-point FFT implementations (baseline "DCT-2N" of Fig. 11)
 # ---------------------------------------------------------------------------
 def dct_2n(x: np.ndarray) -> np.ndarray:
-    """DCT via a 2N-point FFT of the mirrored sequence."""
+    """DCT via a 2N-point real FFT of the mirrored sequence."""
     x = np.asarray(x)
     n = x.shape[-1]
+    twiddle = _plan(
+        ("dct_2n", n),
+        lambda: np.exp(-1j * np.pi * np.arange(n) / (2 * n)),
+    )
     mirrored = np.concatenate([x, x[..., ::-1]], axis=-1)
-    spectrum = np.fft.fft(mirrored, axis=-1)[..., :n]
-    k = np.arange(n)
-    twiddle = np.exp(-1j * np.pi * k / (2 * n))
+    spectrum = np.fft.rfft(mirrored, axis=-1)[..., :n]
     return 0.5 * np.real(spectrum * twiddle).astype(x.dtype)
 
 
 def idct_2n(x: np.ndarray) -> np.ndarray:
-    """IDCT via a 2N-point FFT.
+    """IDCT via a 2N-point real inverse FFT.
 
-    Builds the Hermitian 2N-point spectrum ``V_k = x_k e^{j pi k / 2N}``
-    (``V_N = 0``, ``V_{2N-k} = conj(V_k)``); the first N samples of its
-    inverse FFT times N are exactly definition (7b).
+    The 2N-point spectrum ``V_k = x_k e^{j pi k / 2N}`` (``V_N = 0``,
+    ``V_{2N-k} = conj(V_k)``) is Hermitian by construction, so only its
+    one-sided half is materialized and ``irfft`` reconstructs the rest;
+    the first N samples times N are exactly definition (7b).
     """
     x = np.asarray(x)
     n = x.shape[-1]
-    k = np.arange(n)
-    twiddle = np.exp(1j * np.pi * k / (2 * n))
-    spectrum = np.zeros(x.shape[:-1] + (2 * n,), dtype=np.complex128)
+    twiddle = _plan(
+        ("idct_2n", n),
+        lambda: np.exp(1j * np.pi * np.arange(n) / (2 * n)),
+    )
+    spectrum = np.zeros(x.shape[:-1] + (n + 1,), dtype=np.complex128)
     spectrum[..., :n] = x * twiddle
-    spectrum[..., n + 1:] = np.conj((x * twiddle)[..., 1:])[..., ::-1]
-    full = np.fft.ifft(spectrum, axis=-1)
-    return (np.real(full[..., :n]) * n).astype(x.dtype)
+    full = np.fft.irfft(spectrum, n=2 * n, axis=-1)
+    return (full[..., :n] * n).astype(x.dtype)
 
 
 # ---------------------------------------------------------------------------
@@ -122,8 +143,10 @@ def dct_n(x: np.ndarray) -> np.ndarray:
     reordered[..., :half] = x[..., 0::2]
     reordered[..., half:] = x[..., ::-1][..., 0::2]
     spectrum = np.fft.rfft(reordered, axis=-1)  # one-sided, length n//2+1
-    k = np.arange(n)
-    twiddle = np.exp(-1j * np.pi * k / (2 * n))
+    twiddle = _plan(
+        ("dct_n", n),
+        lambda: np.exp(-1j * np.pi * np.arange(n) / (2 * n)),
+    )
     out = np.empty_like(x)
     out[..., :half + 1] = np.real(
         spectrum * twiddle[:half + 1]
@@ -141,8 +164,10 @@ def idct_n(x: np.ndarray) -> np.ndarray:
     n = x.shape[-1]
     _check_even(n)
     half = n // 2
-    k = np.arange(half + 1)
-    twiddle = np.exp(1j * np.pi * k / (2 * n))
+    twiddle = _plan(
+        ("idct_n", n),
+        lambda: np.exp(1j * np.pi * np.arange(half + 1) / (2 * n)),
+    )
     # x'_t = (x_t - j x_{N-t}) e^{j pi t / 2N}, with x_N = 0
     upper = np.zeros(x.shape[:-1] + (half + 1,), dtype=np.complex128)
     upper[..., 0] = x[..., 0]
@@ -161,8 +186,11 @@ def idxst_n(x: np.ndarray) -> np.ndarray:
     n = x.shape[-1]
     flipped = np.zeros_like(x)
     flipped[..., 1:] = x[..., :0:-1]  # y_n = x_{N-n}, y_0 = x_N = 0
-    signs = np.where(np.arange(n) % 2 == 0, 1.0, -1.0).astype(x.dtype)
-    return idct_n(flipped) * signs
+    signs = _plan(
+        ("signs", n),
+        lambda: np.where(np.arange(n) % 2 == 0, 1.0, -1.0),
+    )
+    return (idct_n(flipped) * signs).astype(x.dtype)
 
 
 # ---------------------------------------------------------------------------
@@ -179,8 +207,23 @@ def _flip_zero(x: np.ndarray, axis: int) -> np.ndarray:
     return out
 
 
+def _dct2d_plan(n1: int, n2: int):
+    """Postprocess constants for :func:`dct2d_fft2` on an n1 x n2 grid."""
+    w1 = np.exp(-1j * np.pi * np.arange(n1)[:, None] / (2 * n1))
+    w2 = np.exp(-1j * np.pi * np.arange(n2)[None, :] / (2 * n2))
+    # wraparound flip along axis 0: row k -> (N1 - k) mod N1
+    wrap1 = np.concatenate([[0], np.arange(n1 - 1, 0, -1)])
+    return w1, np.conj(w1), w2, wrap1
+
+
 def dct2d_fft2(x: np.ndarray) -> np.ndarray:
-    """2-D DCT via one 2-D FFT (Algorithm 4, 2D_DCT)."""
+    """2-D DCT via one 2-D real FFT (Algorithm 4, 2D_DCT).
+
+    The reordered input is real, so only the one-sided ``rfft2``
+    spectrum is computed; output columns beyond the Nyquist column
+    follow from ``T[k1, k2] = conj(T[k1, N2-k2])`` where ``T`` is the
+    axis-0-symmetrized spectrum of eq. (11).
+    """
     x = np.asarray(x)
     n1, n2 = x.shape
     _check_even(n1)
@@ -192,36 +235,54 @@ def dct2d_fft2(x: np.ndarray) -> np.ndarray:
     pre[h1:, :h2] = x[::-1, :][0::2, 0::2]
     pre[:h1, h2:] = x[:, ::-1][0::2, 0::2]
     pre[h1:, h2:] = x[::-1, ::-1][0::2, 0::2]
-    spectrum = np.fft.fft2(pre)
-    # eq. (11) postprocess
-    k1 = np.arange(n1)[:, None]
-    k2 = np.arange(n2)[None, :]
-    w1 = np.exp(-1j * np.pi * k1 / (2 * n1))
-    w2 = np.exp(-1j * np.pi * k2 / (2 * n2))
-    # x''((N1 - n1) mod N1, n2): wraparound flip along axis 0
-    shifted = np.concatenate([spectrum[0:1, :], spectrum[:0:-1, :]], axis=0)
-    out = 0.5 * np.real(w2 * (w1 * spectrum + np.conj(w1) * shifted))
+    spectrum = np.fft.rfft2(pre)  # (n1, h2 + 1)
+    # eq. (11) postprocess on the half spectrum
+    w1, w1c, w2, wrap1 = _plan(("dct2d", n1, n2), lambda: _dct2d_plan(n1, n2))
+    half = w1 * spectrum + w1c * spectrum[wrap1, :]
+    out = np.empty((n1, n2), dtype=np.float64)
+    out[:, :h2 + 1] = 0.5 * np.real(w2[:, :h2 + 1] * half)
+    out[:, h2 + 1:] = 0.5 * np.real(
+        w2[:, h2 + 1:] * np.conj(half[:, h2 - 1:0:-1])
+    )
     return out.astype(x.dtype)
 
 
+def _idct2d_plan(n1: int, n2: int):
+    """Preprocess constants for :func:`idct2d_fft2` on an n1 x n2 grid."""
+    w1 = np.exp(1j * np.pi * np.arange(n1)[:, None] / (2 * n1))
+    w2 = np.exp(1j * np.pi * np.arange(n2)[None, :] / (2 * n2))
+    h2 = n2 // 2
+    # index maps picking P[(-k1) % N1, (-k2) % N2] for k2 = 0 .. N2/2
+    wrap1 = np.concatenate([[0], np.arange(n1 - 1, 0, -1)])
+    wrap2 = np.concatenate([[0], np.arange(n2 - 1, h2 - 1, -1)])
+    return w1 * w2, wrap1[:, None], wrap2[None, :]
+
+
 def idct2d_fft2(x: np.ndarray) -> np.ndarray:
-    """2-D IDCT via one 2-D inverse FFT (Algorithm 4, 2D_IDCT)."""
+    """2-D IDCT via one 2-D real inverse FFT (Algorithm 4, 2D_IDCT).
+
+    Only the real part of the inverse FFT is used, which equals the
+    inverse FFT of the Hermitian part ``H = (P + conj(P(-k))) / 2`` of
+    the preprocessed spectrum ``P`` — so ``irfft2`` on the one-sided
+    ``H`` does half the transform work.
+    """
     x = np.asarray(x)
     n1, n2 = x.shape
     _check_even(n1)
     _check_even(n2)
-    k1 = np.arange(n1)[:, None]
-    k2 = np.arange(n2)[None, :]
-    w1 = np.exp(1j * np.pi * k1 / (2 * n1))
-    w2 = np.exp(1j * np.pi * k2 / (2 * n2))
+    w12, wrap1, wrap2 = _plan(
+        ("idct2d", n1, n2), lambda: _idct2d_plan(n1, n2)
+    )
     both = _flip_zero(_flip_zero(x, 0), 1)  # x(N1-n1, N2-n2)
     row = _flip_zero(x, 0)  # x(N1-n1, n2)
     col = _flip_zero(x, 1)  # x(n1, N2-n2)
-    pre = w1 * w2 * ((x - both) - 1j * (row + col))
-    signal = np.real(np.fft.ifft2(pre))
+    pre = w12 * ((x - both) - 1j * (row + col))
+    h2 = n2 // 2
+    hermitian = 0.5 * (pre[:, :h2 + 1] + np.conj(pre[wrap1, wrap2]))
+    signal = np.fft.irfft2(hermitian, s=(n1, n2))
     # eq. (13): undo the 2-D even/odd reordering
     out = np.empty_like(x)
-    h1, h2 = n1 // 2, n2 // 2
+    h1 = n1 // 2
     out[0::2, 0::2] = signal[:h1, :h2]
     out[1::2, 0::2] = signal[::-1, :][:h1, :h2]
     out[0::2, 1::2] = signal[:, ::-1][:h1, :h2]
@@ -254,7 +315,10 @@ def idxst_idct(x: np.ndarray, impl: str = "2d") -> np.ndarray:
     x = np.asarray(x)
     pre = _flip_zero(x, 0)
     out = idct2d(pre, impl=impl)
-    signs = np.where(np.arange(x.shape[0]) % 2 == 0, 1.0, -1.0)
+    signs = _plan(
+        ("signs", x.shape[0]),
+        lambda: np.where(np.arange(x.shape[0]) % 2 == 0, 1.0, -1.0),
+    )
     return out * signs[:, None]
 
 
@@ -263,5 +327,8 @@ def idct_idxst(x: np.ndarray, impl: str = "2d") -> np.ndarray:
     x = np.asarray(x)
     pre = _flip_zero(x, 1)
     out = idct2d(pre, impl=impl)
-    signs = np.where(np.arange(x.shape[1]) % 2 == 0, 1.0, -1.0)
+    signs = _plan(
+        ("signs", x.shape[1]),
+        lambda: np.where(np.arange(x.shape[1]) % 2 == 0, 1.0, -1.0),
+    )
     return out * signs[None, :]

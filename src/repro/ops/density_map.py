@@ -22,9 +22,12 @@ overlap weights.  Three strategies reproduce the paper's kernel study
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.geometry.bins import BinGrid
+from repro.perf.workspace import Workspace
 
 STRATEGIES = ("naive", "sorted", "stamp")
 
@@ -144,8 +147,167 @@ def scatter_density(grid: BinGrid, xl, yl, wx, wy, weight,
 
 
 # ---------------------------------------------------------------------------
-# gather (electric force / potential)
+# pooled flat-contribution kernels (zero steady-state allocations)
+#
+# Instead of looping over (dx, dy) offsets with boolean-mask passes, the
+# pooled path enumerates every (cell, bin) overlap pair as one flat
+# contribution: ``counts[i] = sx[i] * sy[i]`` pairs per cell, laid out
+# cell-major so per-cell segment reductions are a single ``reduceat``.
+# The plan (flat bin index + overlap-area weight per pair) is built once
+# per iteration in workspace buffers and shared by the density scatter
+# (forward) and both force gathers (backward) — the seed strategies
+# recompute the overlaps three times per iteration.  Arbitrary spans are
+# handled uniformly, so macros need no separate naive pass.
 # ---------------------------------------------------------------------------
+@dataclass
+class FlatOverlapPlan:
+    """Per-(cell, bin) contribution plan living in workspace buffers.
+
+    Valid until the owning workspace rebuilds the same-named buffers;
+    consumers must finish with it before the next ``build_overlap_plan``
+    call on the same workspace/prefix.
+    """
+
+    flat_index: np.ndarray  # (total,) int64, bin index into map.ravel()
+    coefficient: np.ndarray  # (total,) weight * overlap_x * overlap_y
+    starts: np.ndarray  # (n + 1,) int64 cell segment starts (cell-major)
+    num_cells: int
+
+
+def _span_1d_pooled(lo_arr, hi_arr, origin, step, nbins, idx0, span, tf):
+    """span_x/span_y on workspace buffers: first bin + count per cell."""
+    np.subtract(lo_arr, origin, out=tf)
+    tf /= step
+    np.floor(tf, out=tf)
+    np.clip(tf, 0, nbins - 1, out=tf)
+    np.copyto(idx0, tf, casting="unsafe")
+    np.subtract(hi_arr, origin, out=tf)
+    tf /= step
+    tf -= 1e-9
+    np.floor(tf, out=tf)
+    np.clip(tf, 0, nbins - 1, out=tf)
+    np.copyto(span, tf, casting="unsafe")
+    span += 1
+    span -= idx0
+    np.maximum(span, 1, out=span)
+
+
+def _overlap_1d_pooled(idx_flat, lo_g, hi_g, origin, step, fa, fb):
+    """overlap = max(min(hi, lo_bin + step) - max(lo, lo_bin), 0).
+
+    ``lo_g``/``hi_g`` hold the gathered cell edges; the result is
+    written over ``hi_g`` (``fa``/``fb`` are scratch).
+    """
+    np.multiply(idx_flat, step, out=fa)
+    fa += origin
+    np.maximum(lo_g, fa, out=fb)
+    fa += step
+    np.minimum(hi_g, fa, out=hi_g)
+    hi_g -= fb
+    np.maximum(hi_g, 0.0, out=hi_g)
+    return hi_g
+
+
+def build_overlap_plan(grid: BinGrid, xl, yl, xh, yh, weight,
+                       ws: Workspace, prefix: str = "dm") -> FlatOverlapPlan:
+    """Build the flat (cell, bin) contribution plan in ``ws`` buffers.
+
+    All inputs must already be arrays of the working dtype; ``xh``/``yh``
+    are the high edges (``xl + w``).  No allocations in steady state.
+    """
+    n = xl.shape[0]
+    dtype = xl.dtype
+    tf = ws.acquire(prefix + ".tf", n, dtype)
+    ix0 = ws.acquire(prefix + ".ix0", n, np.int64)
+    sx = ws.acquire(prefix + ".sx", n, np.int64)
+    iy0 = ws.acquire(prefix + ".iy0", n, np.int64)
+    sy = ws.acquire(prefix + ".sy", n, np.int64)
+    _span_1d_pooled(xl, xh, grid.region.xl, grid.bin_w, grid.nx,
+                    ix0, sx, tf)
+    _span_1d_pooled(yl, yh, grid.region.yl, grid.bin_h, grid.ny,
+                    iy0, sy, tf)
+    counts = ws.acquire(prefix + ".counts", n, np.int64)
+    np.multiply(sx, sy, out=counts)
+    starts = ws.acquire(prefix + ".starts", n + 1, np.int64)
+    starts[0] = 0
+    np.cumsum(counts, out=starts[1:])
+    total = int(starts[n])
+    # group id per flat slot: mark segment boundaries, prefix-sum.
+    # counts >= 1 always (span_* guarantees one bin), so boundaries are
+    # distinct and the scatter-of-ones is exact.
+    grp = ws.acquire_flat(prefix + ".grp", total, np.int64)
+    grp.fill(0)
+    grp[starts[1:-1]] = 1
+    np.cumsum(grp, out=grp)
+    # within-cell offset -> (dx, dy) via divmod by the y-span
+    offs = ws.acquire_flat(prefix + ".offs", total, np.int64)
+    np.take(starts, grp, out=offs, mode="clip")
+    np.subtract(ws.arange(total), offs, out=offs)
+    syg = ws.acquire_flat(prefix + ".syg", total, np.int64)
+    np.take(sy, grp, out=syg, mode="clip")
+    col = ws.acquire_flat(prefix + ".col", total, np.int64)
+    np.floor_divide(offs, syg, out=col)  # col = dx for now
+    np.remainder(offs, syg, out=offs)    # offs now holds dy
+    row = syg  # syg consumed; reuse as the row buffer
+    np.take(iy0, grp, out=row, mode="clip")
+    row += offs
+    tmp = offs  # dy consumed; reuse as the ix0 gather
+    np.take(ix0, grp, out=tmp, mode="clip")
+    col += tmp
+    # overlap coefficient = weight * overlap_x * overlap_y
+    ga = ws.acquire_flat(prefix + ".ga", total, dtype)
+    gb = ws.acquire_flat(prefix + ".gb", total, dtype)
+    gc = ws.acquire_flat(prefix + ".gc", total, dtype)
+    sa = ws.acquire_flat(prefix + ".sa", total, dtype)
+    sb = ws.acquire_flat(prefix + ".sb", total, dtype)
+    np.take(xl, grp, out=ga, mode="clip")
+    np.take(xh, grp, out=gb, mode="clip")
+    ov = _overlap_1d_pooled(col, ga, gb, grid.region.xl, grid.bin_w,
+                            sa, sb)
+    np.take(yl, grp, out=ga, mode="clip")
+    np.take(yh, grp, out=gc, mode="clip")
+    ovy = _overlap_1d_pooled(row, ga, gc, grid.region.yl, grid.bin_h,
+                             sa, sb)
+    ov *= ovy
+    np.take(weight, grp, out=ga, mode="clip")
+    ov *= ga
+    # flat map index: col * ny + row (in place over col)
+    col *= grid.ny
+    col += row
+    return FlatOverlapPlan(flat_index=col, coefficient=ov,
+                           starts=starts, num_cells=n)
+
+
+def scatter_density_pooled(grid: BinGrid, plan: FlatOverlapPlan,
+                           ws: Workspace, name: str = "dm.rho",
+                           dtype=np.float64) -> np.ndarray:
+    """Accumulate the plan's contributions into a pooled bin map."""
+    out = ws.acquire(name, grid.shape, dtype)
+    out.fill(0)
+    np.add.at(out.reshape(-1), plan.flat_index, plan.coefficient)
+    return out
+
+
+def gather_field_pooled(plan: FlatOverlapPlan, field: np.ndarray,
+                        ws: Workspace, name: str = "dm.force") -> np.ndarray:
+    """Per-cell overlap-weighted sum of a bin field, reusing the plan.
+
+    The forward's plan already holds the overlap coefficients, so the
+    backward gathers are a flat ``take`` + one segment reduction —
+    overlaps are not recomputed per axis as in the seed strategies.
+    """
+    dtype = plan.coefficient.dtype
+    total = plan.flat_index.shape[0]
+    if field.dtype != dtype:
+        cast = ws.acquire(name + ".cast", field.shape, dtype)
+        np.copyto(cast, field)
+        field = cast
+    val = ws.acquire_flat(name + ".val", total, dtype)
+    np.take(field.reshape(-1), plan.flat_index, out=val, mode="clip")
+    val *= plan.coefficient
+    out = ws.acquire(name, plan.num_cells, dtype)
+    np.add.reduceat(val, plan.starts[:-1], out=out)
+    return out
 def _gather_naive_subset(grid, field, xl, yl, wx, wy, weight, index, out):
     for i in index:
         cxl, cyl = xl[i], yl[i]

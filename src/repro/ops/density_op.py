@@ -4,6 +4,14 @@
 eq. (2): cells (plus filler cells) are charges, the forward pass scatters
 charge into bins, solves Poisson's equation spectrally and returns the
 potential energy; the backward pass gathers the electric force per cell.
+
+With ``pooled=True`` (default) the scatter/gather pipeline runs on
+persistent workspace buffers: the forward builds one flat
+(cell, bin) overlap plan per iteration and the backward reuses its
+overlap coefficients for both force gathers, so overlaps are computed
+once instead of three times and no large temporaries are allocated in
+steady state.  ``pooled=False`` keeps the original per-call strategies
+(the "before" configuration of the pooling benchmarks).
 """
 
 from __future__ import annotations
@@ -15,8 +23,16 @@ from repro.netlist.database import PlacementDB
 from repro.nn.function import Function
 from repro.nn.module import Module
 from repro.nn.tensor import Tensor
-from repro.ops.density_map import gather_field, scatter_density
+from repro.ops.density_map import (
+    build_overlap_plan,
+    gather_field,
+    gather_field_pooled,
+    scatter_density,
+    scatter_density_pooled,
+)
 from repro.ops.electrostatics import PoissonSolver
+from repro.perf.profiler import profiled
+from repro.perf.workspace import NullWorkspace, Workspace
 
 SQRT2 = float(np.sqrt(2.0))
 
@@ -42,44 +58,92 @@ class _DensityFunction(Function):
     """Autograd node: pos (2*N,) -> scalar density penalty."""
 
     def forward(self, pos: np.ndarray, *, op: "ElectricDensity"):
-        n = pos.shape[0] // 2
-        x = pos[:n]
-        y = pos[n:]
-        idx = op.participant_index
-        if idx.max(initial=-1) >= n:
-            raise ValueError(
-                "position vector too short for the configured fillers"
-            )
-        # density boxes are centered on the cell, using stretched sizes
-        xl = x[idx] + 0.5 * (op.orig_w - op.part_w)
-        yl = y[idx] + 0.5 * (op.orig_h - op.part_h)
-        rho_mov = scatter_density(
-            op.grid, xl, yl, op.part_w, op.part_h, op.part_scale,
-            strategy=op.strategy, dtype=op.dtype,
-        )
-        rho = rho_mov + op.fixed_density
-        solution = op.solver.solve(rho)
-        energy = float((rho_mov * solution.potential).sum())
-        self.save_for_backward(op, xl, yl, solution, n)
+        with profiled("density.forward"):
+            n = pos.shape[0] // 2
+            idx = op.participant_index
+            if idx.max(initial=-1) >= n:
+                raise ValueError(
+                    "position vector too short for the configured fillers"
+                )
+            if op.pooled:
+                return self._forward_pooled(pos, op, n, idx)
+            x = pos[:n]
+            y = pos[n:]
+            # density boxes are centered on the cell, using stretched sizes
+            xl = x[idx] + op.off_x
+            yl = y[idx] + op.off_y
+            with profiled("density.scatter"):
+                rho_mov = scatter_density(
+                    op.grid, xl, yl, op.part_w, op.part_h, op.part_scale,
+                    strategy=op.strategy, dtype=op.dtype,
+                )
+            rho = rho_mov + op.fixed_density
+            with profiled("density.solve"):
+                solution = op.solver.solve(rho)
+            energy = float((rho_mov * solution.potential).sum())
+            self.save_for_backward(op, xl, yl, solution, n, None)
+            return np.asarray(energy, dtype=op.dtype)
+
+    def _forward_pooled(self, pos, op, n, idx):
+        ws = op.ws
+        m = idx.shape[0]
+        pos = pos.astype(op.dtype, copy=False)
+        xl = ws.acquire("den.xl", m, op.dtype)
+        yl = ws.acquire("den.yl", m, op.dtype)
+        xh = ws.acquire("den.xh", m, op.dtype)
+        yh = ws.acquire("den.yh", m, op.dtype)
+        np.take(pos[:n], idx, out=xl, mode="clip")
+        xl += op.off_x
+        np.take(pos[n:], idx, out=yl, mode="clip")
+        yl += op.off_y
+        np.add(xl, op.part_w, out=xh)
+        np.add(yl, op.part_h, out=yh)
+        with profiled("density.scatter"):
+            plan = build_overlap_plan(op.grid, xl, yl, xh, yh,
+                                      op.part_scale, ws, "den")
+            rho_mov = scatter_density_pooled(op.grid, plan, ws, "den.rho",
+                                             op.dtype)
+        rho = ws.acquire("den.rho_total", op.grid.shape, op.dtype)
+        np.add(rho_mov, op.fixed_density, out=rho)
+        with profiled("density.solve"):
+            solution = op.solver.solve(rho)
+        # rho consumed by the solve; reuse it for the energy product
+        np.multiply(rho_mov, solution.potential, out=rho)
+        energy = float(rho.sum())
+        self.save_for_backward(op, None, None, solution, n, plan)
         return np.asarray(energy, dtype=op.dtype)
 
     def backward(self, grad_output):
-        op, xl, yl, solution, n = self.saved_values
-        idx = op.participant_index
-        force_x = gather_field(
-            op.grid, solution.field_x, xl, yl, op.part_w, op.part_h,
-            op.part_scale, strategy=op.strategy, dtype=op.dtype,
-        )
-        force_y = gather_field(
-            op.grid, solution.field_y, xl, yl, op.part_w, op.part_h,
-            op.part_scale, strategy=op.strategy, dtype=op.dtype,
-        )
-        grad = np.zeros(2 * n, dtype=op.dtype)
-        scale = float(np.asarray(grad_output))
-        # moving along the field decreases the potential energy
-        grad[idx] = -scale * force_x
-        grad[n + idx] = -scale * force_y
-        return (grad,)
+        with profiled("density.backward"):
+            op, xl, yl, solution, n, plan = self.saved_values
+            idx = op.participant_index
+            scale = float(np.asarray(grad_output))
+            if op.pooled:
+                ws = op.ws
+                grad = ws.acquire("den.grad", 2 * n, op.dtype)
+                grad.fill(0)
+                # moving along the field decreases the potential energy
+                force = gather_field_pooled(plan, solution.field_x, ws,
+                                            "den.force")
+                force *= -scale
+                grad[idx] = force
+                force = gather_field_pooled(plan, solution.field_y, ws,
+                                            "den.force")
+                force *= -scale
+                grad[n + idx] = force
+                return (grad,)
+            force_x = gather_field(
+                op.grid, solution.field_x, xl, yl, op.part_w, op.part_h,
+                op.part_scale, strategy=op.strategy, dtype=op.dtype,
+            )
+            force_y = gather_field(
+                op.grid, solution.field_y, xl, yl, op.part_w, op.part_h,
+                op.part_scale, strategy=op.strategy, dtype=op.dtype,
+            )
+            grad = np.zeros(2 * n, dtype=op.dtype)
+            grad[idx] = -scale * force_x
+            grad[n + idx] = -scale * force_y
+            return (grad,)
 
 
 class ElectricDensity(Module):
@@ -97,19 +161,30 @@ class ElectricDensity(Module):
         Filler cells appended to the position vector (indices
         ``db.num_cells ..``), following ePlace's whitespace filling.
     strategy:
-        Density map strategy, see :mod:`repro.ops.density_map`.
+        Density map strategy, see :mod:`repro.ops.density_map` (used by
+        the unpooled path; the pooled path always runs the flat
+        contribution kernels).
     dct_impl:
         DCT family for the Poisson solver, see :mod:`repro.ops.dct`.
+    pooled:
+        Use the allocation-free workspace dataflow (default).
+    workspace:
+        Optional externally owned :class:`Workspace`.
     """
 
     def __init__(self, db: PlacementDB, grid: BinGrid,
                  num_fillers: int = 0, filler_width: float = 0.0,
                  filler_height: float = 0.0, strategy: str = "stamp",
-                 dct_impl: str = "2d", dtype=np.float64):
+                 dct_impl: str = "2d", dtype=np.float64,
+                 pooled: bool = True, workspace: Workspace | None = None):
         self.grid = grid
         self.strategy = strategy
         self.dtype = np.dtype(dtype)
-        self.solver = PoissonSolver(grid, impl=dct_impl)
+        self.pooled = bool(pooled)
+        self.ws = workspace if workspace is not None else (
+            Workspace() if pooled else NullWorkspace()
+        )
+        self.solver = PoissonSolver(grid, impl=dct_impl, workspace=self.ws)
         self.num_fillers = int(num_fillers)
         self.num_cells = db.num_cells
 
@@ -124,9 +199,13 @@ class ElectricDensity(Module):
         ])
         self.orig_w = orig_w
         self.orig_h = orig_h
-        self.part_w, self.part_h, self.part_scale = stretch_sizes(
-            orig_w, orig_h, grid
-        )
+        part_w, part_h, part_scale = stretch_sizes(orig_w, orig_h, grid)
+        self.part_w = part_w.astype(self.dtype)
+        self.part_h = part_h.astype(self.dtype)
+        self.part_scale = part_scale.astype(self.dtype)
+        # hoisted centering offsets: box low edge = pos + (w - sw) / 2
+        self.off_x = (0.5 * (orig_w - part_w)).astype(self.dtype)
+        self.off_y = (0.5 * (orig_h - part_h)).astype(self.dtype)
         self.participant_index = np.concatenate([
             movable,
             db.num_cells + np.arange(self.num_fillers, dtype=np.int64),

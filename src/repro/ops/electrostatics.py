@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.geometry.bins import BinGrid
 from repro.ops import dct as _dct
+from repro.perf.workspace import Workspace
 
 
 @dataclass
@@ -36,9 +37,11 @@ class PoissonSolver:
     "2n", or "naive"), reproducing the Fig. 11 comparison.
     """
 
-    def __init__(self, grid: BinGrid, impl: str = "2d"):
+    def __init__(self, grid: BinGrid, impl: str = "2d",
+                 workspace: Workspace | None = None):
         self.grid = grid
         self.impl = impl
+        self.ws = workspace if workspace is not None else Workspace()
         nx, ny = grid.nx, grid.ny
         # w_u per layout unit: basis cos(pi*u*(i+0.5)/nx) has spatial
         # frequency pi*u/(nx*bin_w) = pi*u/region_width
@@ -53,6 +56,8 @@ class PoissonSolver:
         # alpha_v / M^2) together with the half-DC convention of the
         # inverse transform; see ops/dct.py
         self._scale = (2.0 / nx) * (2.0 / ny)
+        # precombined spectral kernel: one in-place multiply per solve
+        self._kernel = self._scale * self._inv_denom
 
     def solve(self, rho: np.ndarray) -> FieldSolution:
         """Solve ``laplacian(psi) = -rho`` and return psi and xi = -grad psi."""
@@ -61,9 +66,12 @@ class PoissonSolver:
                 f"density map shape {rho.shape} != grid {self.grid.shape}"
             )
         coeff = _dct.dct2d(np.asarray(rho, dtype=np.float64), impl=self.impl)
-        coeff *= self._scale * self._inv_denom
+        coeff *= self._kernel
         coeff[0, 0] = 0.0
         psi = _dct.idct2d(coeff, impl=self.impl)
-        xi_x = _dct.idxst_idct(coeff * self._wu, impl=self.impl)
-        xi_y = _dct.idct_idxst(coeff * self._wv, impl=self.impl)
+        buf = self.ws.acquire("psn.spectral", coeff.shape, coeff.dtype)
+        np.multiply(coeff, self._wu, out=buf)
+        xi_x = _dct.idxst_idct(buf, impl=self.impl)
+        np.multiply(coeff, self._wv, out=buf)
+        xi_y = _dct.idct_idxst(buf, impl=self.impl)
         return FieldSolution(potential=psi, field_x=xi_x, field_y=xi_y)

@@ -6,6 +6,12 @@ paper), also provided by DREAMPlace:
 ``WL_e = gamma * (log sum exp(x/gamma) + log sum exp(-x/gamma))`` per
 axis, stabilized by shifting with the net max/min.  Its gradient is the
 softmax weighting of the pins.
+
+Like the WA op, the module has two dataflows: the default pooled path
+runs allocation-free on persistent workspace buffers (sharing the
+hoisted pin precompute and the ``reduceat`` gradient-scatter plan with
+:mod:`repro.ops.wa_wirelength`), while ``pooled=False`` keeps the
+original allocate-per-call kernel.
 """
 
 from __future__ import annotations
@@ -16,6 +22,9 @@ from repro.netlist.database import PlacementDB
 from repro.nn.function import Function
 from repro.nn.module import Module
 from repro.nn.tensor import Tensor
+from repro.ops.wa_wirelength import _build_pin_precompute, _pin_op_pooled
+from repro.perf.profiler import profiled
+from repro.perf.workspace import NullWorkspace, Workspace
 
 
 def _lse_1d(p: np.ndarray, starts: np.ndarray, weight: np.ndarray,
@@ -38,48 +47,108 @@ def _lse_1d(p: np.ndarray, starts: np.ndarray, weight: np.ndarray,
     return total, grad
 
 
+def _lse_1d_pooled(p, op, ws, gamma):
+    """The fused LSE kernel on workspace buffers (zero allocations)."""
+    num_nets = op.starts.shape[0] - 1
+    num_pins = p.shape[0]
+    seg = op.seg
+    x_max = ws.acquire("lse.xmax", num_nets, p.dtype)
+    x_min = ws.acquire("lse.xmin", num_nets, p.dtype)
+    np.maximum.reduceat(p, seg, out=x_max)
+    np.minimum.reduceat(p, seg, out=x_min)
+    # a± = exp(±(p - x∓)/γ)
+    a_pos = ws.acquire("lse.apos", num_pins, p.dtype)
+    np.take(x_max, op.net_of_pin, out=a_pos, mode="clip")
+    np.subtract(p, a_pos, out=a_pos)
+    a_pos /= gamma
+    np.exp(a_pos, out=a_pos)
+    a_neg = ws.acquire("lse.aneg", num_pins, p.dtype)
+    np.take(x_min, op.net_of_pin, out=a_neg, mode="clip")
+    a_neg -= p
+    a_neg /= gamma
+    np.exp(a_neg, out=a_neg)
+    b_pos = ws.acquire("lse.bpos", num_nets, p.dtype)
+    b_neg = ws.acquire("lse.bneg", num_nets, p.dtype)
+    np.add.reduceat(a_pos, seg, out=b_pos)
+    np.add.reduceat(a_neg, seg, out=b_neg)
+    # wl = w_eff * (γ(log b+ + log b-) + (x_max - x_min)); single-pin
+    # nets contribute exactly zero before weighting, and w_eff zeroes
+    # them regardless
+    t = ws.acquire("lse.t", num_nets, p.dtype)
+    np.log(b_pos, out=t)
+    x_max -= x_min
+    np.log(b_neg, out=x_min)
+    t += x_min
+    t *= gamma
+    t += x_max
+    t *= op.net_weight_eff
+    total = p.dtype.type(t.sum())
+    # grad = pin_weight * (a+/b+ - a-/b-)
+    g = ws.acquire("lse.g", num_pins, p.dtype)
+    h = ws.acquire("lse.h", num_pins, p.dtype)
+    np.take(b_pos, op.net_of_pin, out=g, mode="clip")
+    np.divide(a_pos, g, out=g)
+    np.take(b_neg, op.net_of_pin, out=h, mode="clip")
+    np.divide(a_neg, h, out=h)
+    g -= h
+    g *= op.pin_weight
+    return total, g
+
+
 class _LSEFunction(Function):
     def forward(self, pos: np.ndarray, *, op: "LogSumExpWirelength"):
-        n = pos.shape[0] // 2
-        pos = pos.astype(op.dtype, copy=False)
-        px = pos[:n][op.pin_cell_sorted] + op.pin_offset_x_sorted
-        py = pos[n:][op.pin_cell_sorted] + op.pin_offset_y_sorted
-        gamma = op.dtype.type(op.gamma)
-        wl_x, gx = _lse_1d(px, op.starts, op.net_weight, gamma, op.net_of_pin)
-        wl_y, gy = _lse_1d(py, op.starts, op.net_weight, gamma, op.net_of_pin)
-        grad = np.empty(2 * n, dtype=op.dtype)
-        grad[:n] = np.bincount(op.pin_cell_sorted, weights=gx, minlength=n)
-        grad[n:] = np.bincount(op.pin_cell_sorted, weights=gy, minlength=n)
-        grad[:n][op.fixed_mask] = 0.0
-        grad[n:][op.fixed_mask] = 0.0
-        self.save_for_backward(grad)
-        return np.asarray(wl_x + wl_y, dtype=op.dtype)
+        with profiled("wl.forward"):
+            n = pos.shape[0] // 2
+            pos = pos.astype(op.dtype, copy=False)
+            gamma = op.dtype.type(op.gamma)
+            if op.pooled:
+                grad, total = _pin_op_pooled(
+                    pos, n, op, op.ws, gamma, _lse_1d_pooled
+                )
+                self.save_for_backward(op, grad)
+                return np.asarray(total, dtype=op.dtype)
+            px = pos[:n][op.pin_cell_sorted] + op.pin_offset_x_sorted
+            py = pos[n:][op.pin_cell_sorted] + op.pin_offset_y_sorted
+            wl_x, gx = _lse_1d(px, op.starts, op.net_weight, gamma,
+                               op.net_of_pin)
+            wl_y, gy = _lse_1d(py, op.starts, op.net_weight, gamma,
+                               op.net_of_pin)
+            grad = np.empty(2 * n, dtype=op.dtype)
+            grad[:n] = np.bincount(op.pin_cell_sorted, weights=gx,
+                                   minlength=n)
+            grad[n:] = np.bincount(op.pin_cell_sorted, weights=gy,
+                                   minlength=n)
+            grad[:n][op.fixed_idx] = 0.0
+            grad[n:][op.fixed_idx] = 0.0
+            self.save_for_backward(op, grad)
+            return np.asarray(wl_x + wl_y, dtype=op.dtype)
 
     def backward(self, grad_output):
-        (grad,) = self.saved_values
-        return (np.asarray(grad_output) * grad,)
+        with profiled("wl.backward"):
+            op, grad = self.saved_values
+            if not op.pooled:
+                return (np.asarray(grad_output) * grad,)
+            out = op.ws.acquire("lse.gout", grad.shape[0], grad.dtype)
+            np.multiply(grad, np.asarray(grad_output), out=out)
+            return (out,)
 
 
 class LogSumExpWirelength(Module):
     """LSE wirelength module with the same interface as the WA op."""
 
     def __init__(self, db: PlacementDB, gamma: float = 1.0,
-                 dtype=np.float64):
+                 dtype=np.float64, pooled: bool = True,
+                 workspace: Workspace | None = None):
         if (np.diff(db.net2pin_start) < 1).any():
             raise ValueError("LSE wirelength requires every net to have pins")
         self.gamma = float(gamma)
         self.dtype = np.dtype(dtype)
         self.num_cells = db.num_cells
-        order = db.net2pin
-        self.starts = db.net2pin_start
-        self.pin_cell_sorted = db.pin_cell[order]
-        self.pin_offset_x_sorted = db.pin_offset_x[order].astype(self.dtype)
-        self.pin_offset_y_sorted = db.pin_offset_y[order].astype(self.dtype)
-        self.net_weight = db.net_weight.astype(self.dtype)
-        self.net_of_pin = np.repeat(
-            np.arange(db.num_nets, dtype=np.int64), db.net_degree
+        self.pooled = bool(pooled)
+        self.ws = workspace if workspace is not None else (
+            Workspace() if pooled else NullWorkspace()
         )
-        self.fixed_mask = np.flatnonzero(~db.movable)
+        _build_pin_precompute(self, db)
 
     def forward(self, pos: Tensor) -> Tensor:
         return _LSEFunction.apply(pos, op=self)

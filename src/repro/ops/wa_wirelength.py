@@ -15,6 +15,18 @@ kernel study (Fig. 10):
     Algorithm 2: forward and backward merged into a single pass over
     net-sorted pins with segment reductions and no stored per-pass
     intermediates beyond the final cost and gradient.
+
+Each strategy has two dataflows selected by the module's ``pooled``
+flag.  The pooled dataflow (default) is allocation-free in steady
+state: every temporary lives in a persistent
+:class:`~repro.perf.workspace.Workspace` buffer written via ``out=``
+arguments and in-place ufuncs, iteration-invariant quantities (the
+multi-pin-net mask, the effective per-net and per-pin weights, the
+cell-grouped pin ordering that replaces ``bincount``) are hoisted into
+module precompute, and the backward pass reuses the gradient computed
+in the forward.  ``pooled=False`` keeps the original
+allocate-per-call kernels as the reference dataflow (and as the
+"before" configuration of the pooling benchmarks).
 """
 
 from __future__ import annotations
@@ -27,13 +39,15 @@ from repro.netlist.database import PlacementDB
 from repro.nn.function import Function
 from repro.nn.module import Module
 from repro.nn.tensor import Tensor
+from repro.perf.profiler import profiled
+from repro.perf.workspace import NullWorkspace, Workspace
 
 STRATEGIES = ("net_by_net", "atomic", "merged")
 
 
 # ---------------------------------------------------------------------------
-# kernels: all take net-sorted pin coordinates and return
-# (total wl over this axis, per-sorted-pin gradient)
+# reference kernels (allocate per call): all take net-sorted pin
+# coordinates and return (total wl over this axis, per-sorted-pin gradient)
 # ---------------------------------------------------------------------------
 def _wa_1d_net_by_net(p: np.ndarray, starts: np.ndarray,
                       weight: np.ndarray, gamma: float):
@@ -136,6 +150,172 @@ _KERNELS: dict[str, Callable] = {
 }
 
 
+# ---------------------------------------------------------------------------
+# pooled kernels: identical math, zero steady-state allocations.  Every
+# temporary is a named workspace buffer written with out=/in-place ufuncs.
+# ---------------------------------------------------------------------------
+def _wa_finish_pooled(p, op, ws, a_pos, a_neg, pa,
+                      x_max, x_min, b_pos, b_neg, c_pos, c_neg, gamma):
+    """Shared WL reduction + eq. (6) gradient over net intermediates.
+
+    Consumes ``x_max``/``x_min`` as scratch; returns (total, grad) with
+    the gradient in the persistent ``wa.g`` buffer.
+    """
+    num_pins = p.shape[0]
+    # wl = w_eff * (c+/b+ - c-/b-); single-pin nets have b = 1, and
+    # w_eff already zeroes them, so the division is safe
+    np.divide(c_pos, b_pos, out=x_max)
+    np.divide(c_neg, b_neg, out=x_min)
+    x_max -= x_min
+    x_max *= op.net_weight_eff
+    total = p.dtype.type(x_max.sum())
+    # gradient: g+ = ((1 + p/γ)·b+ - c+/γ) / b+² read per pin
+    t1 = ws.acquire("wa.t1", num_pins, p.dtype)
+    t2 = ws.acquire("wa.t2", num_pins, p.dtype)
+    g = ws.acquire("wa.g", num_pins, p.dtype)
+    np.take(b_pos, op.net_of_pin, out=t1, mode="clip")
+    np.take(c_pos, op.net_of_pin, out=t2, mode="clip")
+    np.multiply(p, t1, out=g)
+    g -= t2
+    g /= gamma
+    g += t1
+    np.multiply(t1, t1, out=t1)
+    g /= t1
+    g *= a_pos
+    # g- = ((1 - p/γ)·b- + c-/γ) / b-², folded as b- - (p·b- - c-)/γ
+    np.take(b_neg, op.net_of_pin, out=t1, mode="clip")
+    np.take(c_neg, op.net_of_pin, out=t2, mode="clip")
+    h = pa
+    np.multiply(p, t1, out=h)
+    h -= t2
+    h /= gamma
+    np.subtract(t1, h, out=h)
+    np.multiply(t1, t1, out=t1)
+    h /= t1
+    h *= a_neg
+    g -= h
+    g *= op.pin_weight
+    return total, g
+
+
+def _wa_exponents_pooled(p, op, ws, x_max, x_min, gamma):
+    """a± = exp(±(p - x∓)/γ) into persistent buffers."""
+    num_pins = p.shape[0]
+    a_pos = ws.acquire("wa.apos", num_pins, p.dtype)
+    np.take(x_max, op.net_of_pin, out=a_pos, mode="clip")
+    np.subtract(p, a_pos, out=a_pos)
+    a_pos /= gamma
+    np.exp(a_pos, out=a_pos)
+    a_neg = ws.acquire("wa.aneg", num_pins, p.dtype)
+    np.take(x_min, op.net_of_pin, out=a_neg, mode="clip")
+    a_neg -= p
+    a_neg /= gamma
+    np.exp(a_neg, out=a_neg)
+    return a_pos, a_neg
+
+
+def _wa_1d_merged_pooled(p, op, ws, gamma):
+    """Algorithm 2 on workspace buffers: reduceat for every segment op."""
+    num_nets = op.starts.shape[0] - 1
+    num_pins = p.shape[0]
+    seg = op.seg
+    x_max = ws.acquire("wa.xmax", num_nets, p.dtype)
+    x_min = ws.acquire("wa.xmin", num_nets, p.dtype)
+    np.maximum.reduceat(p, seg, out=x_max)
+    np.minimum.reduceat(p, seg, out=x_min)
+    a_pos, a_neg = _wa_exponents_pooled(p, op, ws, x_max, x_min, gamma)
+    pa = ws.acquire("wa.pa", num_pins, p.dtype)
+    b_pos = ws.acquire("wa.bpos", num_nets, p.dtype)
+    b_neg = ws.acquire("wa.bneg", num_nets, p.dtype)
+    c_pos = ws.acquire("wa.cpos", num_nets, p.dtype)
+    c_neg = ws.acquire("wa.cneg", num_nets, p.dtype)
+    np.add.reduceat(a_pos, seg, out=b_pos)
+    np.add.reduceat(a_neg, seg, out=b_neg)
+    np.multiply(p, a_pos, out=pa)
+    np.add.reduceat(pa, seg, out=c_pos)
+    np.multiply(p, a_neg, out=pa)
+    np.add.reduceat(pa, seg, out=c_neg)
+    return _wa_finish_pooled(p, op, ws, a_pos, a_neg, pa,
+                             x_max, x_min, b_pos, b_neg, c_pos, c_neg, gamma)
+
+
+def _wa_1d_atomic_pooled(p, op, ws, gamma):
+    """Algorithm 1 on workspace buffers: ufunc.at scatters per pass."""
+    num_nets = op.starts.shape[0] - 1
+    num_pins = p.shape[0]
+    x_max = ws.acquire("wa.xmax", num_nets, p.dtype)
+    x_min = ws.acquire("wa.xmin", num_nets, p.dtype)
+    x_max.fill(-np.inf)
+    x_min.fill(np.inf)
+    np.maximum.at(x_max, op.net_of_pin, p)
+    np.minimum.at(x_min, op.net_of_pin, p)
+    a_pos, a_neg = _wa_exponents_pooled(p, op, ws, x_max, x_min, gamma)
+    pa = ws.acquire("wa.pa", num_pins, p.dtype)
+    b_pos = ws.zeros("wa.bpos", num_nets, p.dtype)
+    b_neg = ws.zeros("wa.bneg", num_nets, p.dtype)
+    c_pos = ws.zeros("wa.cpos", num_nets, p.dtype)
+    c_neg = ws.zeros("wa.cneg", num_nets, p.dtype)
+    np.add.at(b_pos, op.net_of_pin, a_pos)
+    np.add.at(b_neg, op.net_of_pin, a_neg)
+    np.multiply(p, a_pos, out=pa)
+    np.add.at(c_pos, op.net_of_pin, pa)
+    np.multiply(p, a_neg, out=pa)
+    np.add.at(c_neg, op.net_of_pin, pa)
+    return _wa_finish_pooled(p, op, ws, a_pos, a_neg, pa,
+                             x_max, x_min, b_pos, b_neg, c_pos, c_neg, gamma)
+
+
+def _wa_1d_net_by_net_pooled(p, op, ws, gamma):
+    """Per-net loop writing into preallocated per-net scratch."""
+    starts = op.starts
+    grad = ws.acquire("wa.g", p.shape[0], p.dtype)
+    grad.fill(0)
+    scratch = ws.acquire("wa.scratch", (3, op.max_degree), p.dtype)
+    total = p.dtype.type(0.0)
+    weight = op.net_weight
+    for e in range(starts.shape[0] - 1):
+        lo, hi = starts[e], starts[e + 1]
+        d = hi - lo
+        if d < 2:
+            continue
+        xs = p[lo:hi]
+        a_pos = scratch[0, :d]
+        a_neg = scratch[1, :d]
+        t = scratch[2, :d]
+        np.subtract(xs, xs.max(), out=a_pos)
+        a_pos /= gamma
+        np.exp(a_pos, out=a_pos)
+        np.subtract(xs.min(), xs, out=a_neg)
+        a_neg /= gamma
+        np.exp(a_neg, out=a_neg)
+        b_pos = a_pos.sum()
+        b_neg = a_neg.sum()
+        c_pos = np.dot(xs, a_pos)
+        c_neg = np.dot(xs, a_neg)
+        w = weight[e]
+        total += w * (c_pos / b_pos - c_neg / b_neg)
+        # g+·a+ into t, then subtract g-·a- and scale by the net weight
+        np.multiply(xs, b_pos / gamma, out=t)
+        t += b_pos - c_pos / gamma
+        t /= b_pos * b_pos
+        t *= a_pos
+        out = grad[lo:hi]
+        np.multiply(xs, -b_neg / gamma, out=out)
+        out += b_neg + c_neg / gamma
+        out /= b_neg * b_neg
+        out *= a_neg
+        np.subtract(t, out, out=out)
+        out *= w
+    return total, grad
+
+
+_POOLED_KERNELS: dict[str, Callable] = {
+    "net_by_net": _wa_1d_net_by_net_pooled,
+    "atomic": _wa_1d_atomic_pooled,
+    "merged": _wa_1d_merged_pooled,
+}
+
+
 class _WAFunction(Function):
     """Autograd node: pos (2*N,) -> scalar WA wirelength.
 
@@ -144,27 +324,113 @@ class _WAFunction(Function):
     """
 
     def forward(self, pos: np.ndarray, *, op: "WeightedAverageWirelength"):
-        n = pos.shape[0] // 2
-        pos = pos.astype(op.dtype, copy=False)
-        x = pos[:n]
-        y = pos[n:]
-        px = (x[op.pin_cell_sorted] + op.pin_offset_x_sorted)
-        py = (y[op.pin_cell_sorted] + op.pin_offset_y_sorted)
-        kernel = _KERNELS[op.strategy]
-        gamma = op.dtype.type(op.gamma)
-        wl_x, gx = kernel(px, op.starts, op.net_weight, gamma, op.net_of_pin)
-        wl_y, gy = kernel(py, op.starts, op.net_weight, gamma, op.net_of_pin)
-        grad = np.empty(2 * n, dtype=op.dtype)
-        grad[:n] = np.bincount(op.pin_cell_sorted, weights=gx, minlength=n)
-        grad[n:] = np.bincount(op.pin_cell_sorted, weights=gy, minlength=n)
-        grad[:n][op.fixed_mask] = 0.0
-        grad[n:][op.fixed_mask] = 0.0
-        self.save_for_backward(grad)
-        return np.asarray(wl_x + wl_y, dtype=op.dtype)
+        with profiled("wl.forward"):
+            n = pos.shape[0] // 2
+            pos = pos.astype(op.dtype, copy=False)
+            gamma = op.dtype.type(op.gamma)
+            if op.pooled:
+                grad, total = _pin_op_pooled(
+                    pos, n, op, op.ws, gamma,
+                    _POOLED_KERNELS[op.strategy],
+                )
+                self.save_for_backward(op, grad)
+                return np.asarray(total, dtype=op.dtype)
+            x = pos[:n]
+            y = pos[n:]
+            px = (x[op.pin_cell_sorted] + op.pin_offset_x_sorted)
+            py = (y[op.pin_cell_sorted] + op.pin_offset_y_sorted)
+            kernel = _KERNELS[op.strategy]
+            wl_x, gx = kernel(px, op.starts, op.net_weight, gamma,
+                              op.net_of_pin)
+            wl_y, gy = kernel(py, op.starts, op.net_weight, gamma,
+                              op.net_of_pin)
+            grad = np.empty(2 * n, dtype=op.dtype)
+            grad[:n] = np.bincount(op.pin_cell_sorted, weights=gx,
+                                   minlength=n)
+            grad[n:] = np.bincount(op.pin_cell_sorted, weights=gy,
+                                   minlength=n)
+            grad[:n][op.fixed_idx] = 0.0
+            grad[n:][op.fixed_idx] = 0.0
+            self.save_for_backward(op, grad)
+            return np.asarray(wl_x + wl_y, dtype=op.dtype)
 
     def backward(self, grad_output):
-        (grad,) = self.saved_values
-        return (np.asarray(grad_output) * grad,)
+        with profiled("wl.backward"):
+            op, grad = self.saved_values
+            if not op.pooled:
+                return (np.asarray(grad_output) * grad,)
+            out = op.ws.acquire("wa.gout", grad.shape[0], grad.dtype)
+            np.multiply(grad, np.asarray(grad_output), out=out)
+            return (out,)
+
+
+def _pin_op_pooled(pos, n, op, ws, gamma, kernel):
+    """Shared pooled forward for pin-based wirelength ops.
+
+    Gathers pin coordinates into pooled buffers (one axis at a time so
+    the kernel scratch is reused), runs ``kernel``, and scatters the
+    per-pin gradient to cells with the precomputed cell-grouped
+    ``reduceat`` plan (the allocation-free replacement for
+    ``bincount``).  Returns (grad buffer of length 2n, total).
+    """
+    num_pins = op.pin_cell_sorted.shape[0]
+    grad = ws.acquire("wa.grad", 2 * n, op.dtype)
+    if num_pins == 0:
+        grad.fill(0)
+        return grad, op.dtype.type(0.0)
+    total = op.dtype.type(0.0)
+    p = ws.acquire("wa.p", num_pins, op.dtype)
+    gs = ws.acquire("wa.gsort", num_pins, op.dtype)
+    for axis, offsets in ((0, op.pin_offset_x_sorted),
+                          (1, op.pin_offset_y_sorted)):
+        coords = pos[axis * n:(axis + 1) * n]
+        np.take(coords, op.pin_cell_sorted, out=p, mode="clip")
+        p += offsets
+        wl, g = kernel(p, op, ws, gamma)
+        total += wl
+        np.take(g, op.cell_order, out=gs, mode="clip")
+        half = grad[axis * n:(axis + 1) * n]
+        half.fill(0)
+        np.add.reduceat(gs, op.cell_seg, out=op.cell_grad_buf)
+        half[op.cells_with_pins] = op.cell_grad_buf
+        half[op.fixed_idx] = 0.0
+    return grad, total
+
+
+def _build_pin_precompute(op, db: PlacementDB) -> None:
+    """Hoist iteration-invariant pin/net data onto a wirelength module.
+
+    Shared by the WA and LSE ops: net-sorted pin maps, the multi-pin
+    mask folded into the net/pin weights, and the cell-grouped pin
+    ordering whose segment reduction replaces ``bincount`` in the
+    gradient scatter.
+    """
+    order = db.net2pin
+    op.starts = db.net2pin_start
+    op.seg = op.starts[:-1]
+    op.pin_cell_sorted = db.pin_cell[order]
+    op.pin_offset_x_sorted = db.pin_offset_x[order].astype(op.dtype)
+    op.pin_offset_y_sorted = db.pin_offset_y[order].astype(op.dtype)
+    op.net_weight = db.net_weight.astype(op.dtype)
+    op.net_of_pin = np.repeat(
+        np.arange(db.num_nets, dtype=np.int64), db.net_degree
+    )
+    op.fixed_idx = np.flatnonzero(~db.movable)
+    # iteration-invariant masks (hoisted out of the per-call kernels)
+    op.multi = np.diff(op.starts) >= 2
+    op.net_weight_eff = np.where(op.multi, op.net_weight, 0.0).astype(op.dtype)
+    op.pin_weight = op.net_weight_eff[op.net_of_pin]
+    op.max_degree = int(db.net_degree.max()) if db.num_nets else 0
+    # cell-grouped pin plan: pins sorted by cell, segment starts per
+    # cell that has pins
+    cell_order = np.argsort(op.pin_cell_sorted, kind="stable")
+    cells_sorted = op.pin_cell_sorted[cell_order]
+    first = np.ones(cells_sorted.shape[0], dtype=bool)
+    first[1:] = cells_sorted[1:] != cells_sorted[:-1]
+    op.cell_order = cell_order
+    op.cell_seg = np.flatnonzero(first)
+    op.cells_with_pins = cells_sorted[op.cell_seg]
+    op.cell_grad_buf = np.empty(op.cell_seg.shape[0], dtype=op.dtype)
 
 
 class WeightedAverageWirelength(Module):
@@ -181,10 +447,17 @@ class WeightedAverageWirelength(Module):
         One of :data:`STRATEGIES`.
     dtype:
         ``numpy.float32`` or ``numpy.float64`` (the paper's precisions).
+    pooled:
+        Use the allocation-free workspace dataflow (default).  ``False``
+        selects the original allocate-per-call reference kernels.
+    workspace:
+        Optional externally owned :class:`Workspace` (to share pools
+        across ops); defaults to a private one.
     """
 
     def __init__(self, db: PlacementDB, gamma: float = 1.0,
-                 strategy: str = "merged", dtype=np.float64):
+                 strategy: str = "merged", dtype=np.float64,
+                 pooled: bool = True, workspace: Workspace | None = None):
         if strategy not in STRATEGIES:
             raise ValueError(
                 f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
@@ -195,16 +468,11 @@ class WeightedAverageWirelength(Module):
         self.gamma = float(gamma)
         self.dtype = np.dtype(dtype)
         self.num_cells = db.num_cells
-        order = db.net2pin
-        self.starts = db.net2pin_start
-        self.pin_cell_sorted = db.pin_cell[order]
-        self.pin_offset_x_sorted = db.pin_offset_x[order].astype(self.dtype)
-        self.pin_offset_y_sorted = db.pin_offset_y[order].astype(self.dtype)
-        self.net_weight = db.net_weight.astype(self.dtype)
-        self.net_of_pin = np.repeat(
-            np.arange(db.num_nets, dtype=np.int64), db.net_degree
+        self.pooled = bool(pooled)
+        self.ws = workspace if workspace is not None else (
+            Workspace() if pooled else NullWorkspace()
         )
-        self.fixed_mask = np.flatnonzero(~db.movable)
+        _build_pin_precompute(self, db)
 
     def forward(self, pos: Tensor) -> Tensor:
         return _WAFunction.apply(pos, op=self)

@@ -1,0 +1,23 @@
+"""Performance engineering subsystem: workspaces and op profiling.
+
+Two halves serve the "as fast as the hardware allows" goal:
+
+- :mod:`repro.perf.workspace` — persistent named buffer pools that make
+  the GP hot loop allocation-free (kernels write into pooled buffers
+  via ``out=`` arguments and in-place ufuncs),
+- :mod:`repro.perf.profiler` — per-op wall-time and allocation
+  instrumentation producing Fig.-9-style breakdown tables (exposed on
+  the CLI as ``repro place --profile``).
+"""
+
+from repro.perf.profiler import OpStats, Profiler, active, profiled
+from repro.perf.workspace import NullWorkspace, Workspace
+
+__all__ = [
+    "Workspace",
+    "NullWorkspace",
+    "Profiler",
+    "OpStats",
+    "active",
+    "profiled",
+]

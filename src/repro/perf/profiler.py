@@ -1,0 +1,180 @@
+"""Op-level profiling harness (the Fig. 9 instrumentation).
+
+The paper's analysis lives on per-op runtime breakdowns (Fig. 9/10/12);
+this module provides the measurement substrate: a :class:`Profiler`
+collects per-op wall time and (optionally) tracemalloc-based allocation
+counters, and the placement kernels report into whichever profiler is
+*active* via the near-zero-overhead :func:`profiled` context manager.
+
+Usage::
+
+    with Profiler() as prof:
+        DreamPlacer(db, params).run()
+    print(prof.table())
+
+Ops nest (``gp.forward`` contains ``wl.forward`` ...); the table reports
+both inclusive time and *self* time (inclusive minus children), and
+shares are computed over self time so nothing is double counted.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OpStats:
+    """Accumulated statistics for one named op."""
+
+    calls: int = 0
+    seconds: float = 0.0       # inclusive wall time
+    self_seconds: float = 0.0  # exclusive of nested profiled ops
+    alloc_bytes: int = 0       # net allocated bytes (tracemalloc)
+    peak_bytes: int = 0        # max transient allocation over one call
+
+
+@dataclass
+class _Frame:
+    name: str
+    start: float
+    child_seconds: float = 0.0
+    mem_before: int = 0
+
+
+class Profiler:
+    """Collects per-op timing/allocation stats while active.
+
+    Entering the context installs the profiler as the process-wide
+    active profiler consulted by :func:`profiled`; exiting restores the
+    previous one (profilers nest).  With ``trace_alloc=True`` the
+    profiler also records tracemalloc counters per op (starting
+    tracemalloc if needed — substantially slower, meant for allocation
+    debugging, not timing).
+    """
+
+    def __init__(self, trace_alloc: bool = False):
+        self.trace_alloc = bool(trace_alloc)
+        self.stats: dict[str, OpStats] = {}
+        self._stack: list[_Frame] = []
+        self._previous: "Profiler | None" = None
+        self._started_tracemalloc = False
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Profiler":
+        global _ACTIVE
+        self._previous = _ACTIVE
+        _ACTIVE = self
+        if self.trace_alloc and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracemalloc = True
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _ACTIVE
+        _ACTIVE = self._previous
+        self._previous = None
+        if self._started_tracemalloc:
+            tracemalloc.stop()
+            self._started_tracemalloc = False
+
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def op(self, name: str):
+        """Measure one op invocation (may nest)."""
+        frame = _Frame(name=name, start=time.perf_counter())
+        if self.trace_alloc and tracemalloc.is_tracing():
+            frame.mem_before = tracemalloc.get_traced_memory()[0]
+            tracemalloc.reset_peak()
+        self._stack.append(frame)
+        try:
+            yield self
+        finally:
+            self._stack.pop()
+            elapsed = time.perf_counter() - frame.start
+            stats = self.stats.get(name)
+            if stats is None:
+                stats = self.stats[name] = OpStats()
+            stats.calls += 1
+            stats.seconds += elapsed
+            stats.self_seconds += elapsed - frame.child_seconds
+            if self._stack:
+                self._stack[-1].child_seconds += elapsed
+            if self.trace_alloc and tracemalloc.is_tracing():
+                current, peak = tracemalloc.get_traced_memory()
+                stats.alloc_bytes += max(current - frame.mem_before, 0)
+                stats.peak_bytes = max(
+                    stats.peak_bytes, peak - frame.mem_before
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def total_self_seconds(self) -> float:
+        return sum(s.self_seconds for s in self.stats.values())
+
+    def as_dict(self) -> dict[str, dict]:
+        """Machine-readable stats (used by the benchmark harness)."""
+        return {
+            name: {
+                "calls": s.calls,
+                "seconds": s.seconds,
+                "self_seconds": s.self_seconds,
+                "alloc_bytes": s.alloc_bytes,
+                "peak_bytes": s.peak_bytes,
+            }
+            for name, s in self.stats.items()
+        }
+
+    def table(self, title: str = "per-op breakdown") -> str:
+        """A Fig.-9-style text table, sorted by self time."""
+        total = self.total_self_seconds or 1.0
+        header = (
+            f"== {title} ==\n"
+            f"{'op':<24} {'calls':>8} {'total s':>10} {'self s':>10} "
+            f"{'share':>7}"
+        )
+        lines = [header]
+        if self.trace_alloc:
+            lines[0] += f" {'alloc':>10} {'peak':>10}"
+        for name, s in sorted(
+            self.stats.items(), key=lambda kv: -kv[1].self_seconds
+        ):
+            row = (
+                f"{name:<24} {s.calls:>8d} {s.seconds:>10.4f} "
+                f"{s.self_seconds:>10.4f} {s.self_seconds / total:>6.1%}"
+            )
+            if self.trace_alloc:
+                row += f" {_fmt_bytes(s.alloc_bytes):>10} " \
+                       f"{_fmt_bytes(s.peak_bytes):>10}"
+            lines.append(row)
+        lines.append(f"{'total (self)':<24} {'':>8} {'':>10} {total:>10.4f}")
+        return "\n".join(lines)
+
+
+def _fmt_bytes(n: int) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(n) < 1024 or unit == "GB":
+            return f"{n:.0f}{unit}" if unit == "B" else f"{n:.1f}{unit}"
+        n /= 1024
+    return f"{n:.1f}GB"
+
+
+_ACTIVE: Profiler | None = None
+
+
+def active() -> Profiler | None:
+    """The currently installed profiler, or None."""
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def profiled(name: str):
+    """Report a region to the active profiler; near-free when none is."""
+    prof = _ACTIVE
+    if prof is None:
+        yield None
+        return
+    with prof.op(name):
+        yield prof

@@ -1,0 +1,338 @@
+"""Tests for the perf subsystem: workspaces, profiler, pooled kernels.
+
+Covers the zero-allocation hot-loop contract: pooled kernels must agree
+with the reference kernels to near machine precision and must not
+allocate large temporaries in steady state.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.geometry import BinGrid, PlacementRegion
+from repro.netlist import CellKind, Netlist
+from repro.nn import Parameter, Tensor
+from repro.ops.density_op import ElectricDensity
+from repro.ops.density_overflow import density_overflow, fixed_free_area
+from repro.ops.lse_wirelength import LogSumExpWirelength
+from repro.ops.wa_wirelength import STRATEGIES, WeightedAverageWirelength
+from repro.perf import NullWorkspace, Profiler, Workspace, active, profiled
+
+
+def random_db(seed=7, num_cells=120, num_nets=90, size=64.0):
+    """A randomized netlist including degree-1 nets and terminals."""
+    rng = np.random.default_rng(seed)
+    region = PlacementRegion(0.0, 0.0, size, size, row_height=1.0,
+                             site_width=1.0)
+    netlist = Netlist("rand")
+    for i in range(num_cells):
+        netlist.add_cell(
+            f"c{i}", 1.0 + float(rng.integers(0, 3)), 1.0,
+            CellKind.MOVABLE,
+            x=float(rng.uniform(1, size - 4)),
+            y=float(rng.integers(1, int(size) - 2)),
+        )
+    netlist.add_cell("pad0", 0.0, 0.0, CellKind.TERMINAL, x=0.0, y=size / 2)
+    netlist.add_cell("pad1", 0.0, 0.0, CellKind.TERMINAL, x=size, y=size / 2)
+    for e in range(num_nets):
+        if e % 9 == 0:
+            degree = 1  # degree-1 nets must contribute zero WL and grad
+        else:
+            degree = int(rng.integers(2, 8))
+        cells = rng.choice(num_cells, size=degree, replace=False)
+        pins = [
+            (int(c), float(rng.uniform(0, 1)), float(rng.uniform(0, 1)))
+            for c in cells
+        ]
+        if e % 13 == 0:
+            pins.append((num_cells + e % 2, 0.0, 0.0))
+        netlist.add_net(f"e{e}", pins)
+    return netlist.compile(region)
+
+
+def pos_vector(db):
+    return np.concatenate([db.cell_x, db.cell_y])
+
+
+# ---------------------------------------------------------------------------
+# Workspace
+# ---------------------------------------------------------------------------
+class TestWorkspace:
+    def test_acquire_is_persistent(self):
+        ws = Workspace()
+        a = ws.acquire("a", 16)
+        b = ws.acquire("a", 16)
+        assert a is b
+
+    def test_acquire_reallocates_on_shape_change(self):
+        ws = Workspace()
+        a = ws.acquire("a", 16)
+        b = ws.acquire("a", 32)
+        assert a is not b and b.shape == (32,)
+
+    def test_acquire_reallocates_on_dtype_change(self):
+        ws = Workspace()
+        a = ws.acquire("a", 8, np.float64)
+        b = ws.acquire("a", 8, np.float32)
+        assert b.dtype == np.float32 and a is not b
+
+    def test_acquire_2d(self):
+        ws = Workspace()
+        a = ws.acquire("m", (4, 5))
+        assert a.shape == (4, 5)
+        assert ws.acquire("m", (4, 5)) is a
+
+    def test_zeros_cleared(self):
+        ws = Workspace()
+        a = ws.acquire("z", 8)
+        a.fill(7.0)
+        assert not ws.zeros("z", 8).any()
+
+    def test_acquire_flat_views_capacity(self):
+        ws = Workspace()
+        a = ws.acquire_flat("f", 10)
+        base = a.base
+        b = ws.acquire_flat("f", 6)
+        assert b.base is base and b.shape == (6,)
+        c = ws.acquire_flat("f", 11)  # grows geometrically
+        assert c.base is not base and c.base.size >= 20
+
+    def test_arange(self):
+        ws = Workspace()
+        np.testing.assert_array_equal(ws.arange(5), np.arange(5))
+        big = ws.arange(9)
+        np.testing.assert_array_equal(big, np.arange(9))
+
+    def test_nbytes_len_clear(self):
+        ws = Workspace()
+        ws.acquire("a", 8, np.float64)
+        ws.acquire_flat("b", 4, np.float64)
+        assert len(ws) == 2 and ws.nbytes >= 8 * 8
+        ws.clear()
+        assert len(ws) == 0 and ws.nbytes == 0
+
+    def test_null_workspace_allocates_fresh(self):
+        ws = NullWorkspace()
+        assert ws.acquire("a", 8) is not ws.acquire("a", 8)
+        assert not ws.zeros("a", 8).any()
+        assert ws.acquire_flat("f", 3).shape == (3,)
+        np.testing.assert_array_equal(ws.arange(4), np.arange(4))
+
+
+# ---------------------------------------------------------------------------
+# Profiler
+# ---------------------------------------------------------------------------
+class TestProfiler:
+    def test_records_calls_and_time(self):
+        with Profiler() as prof:
+            for _ in range(3):
+                with profiled("op.a"):
+                    time.sleep(0.001)
+        stats = prof.stats["op.a"]
+        assert stats.calls == 3
+        assert stats.seconds >= 0.003
+        assert stats.self_seconds == pytest.approx(stats.seconds)
+
+    def test_nesting_self_time(self):
+        with Profiler() as prof:
+            with profiled("outer"):
+                with profiled("inner"):
+                    time.sleep(0.002)
+        outer = prof.stats["outer"]
+        inner = prof.stats["inner"]
+        assert outer.seconds >= inner.seconds
+        assert outer.self_seconds == pytest.approx(
+            outer.seconds - inner.seconds
+        )
+
+    def test_inactive_is_noop(self):
+        assert active() is None
+        with profiled("nothing"):
+            pass  # no profiler installed: must not raise or record
+
+    def test_active_restored_on_exit(self):
+        with Profiler() as outer:
+            assert active() is outer
+            with Profiler() as inner:
+                assert active() is inner
+            assert active() is outer
+        assert active() is None
+
+    def test_table_and_as_dict(self):
+        with Profiler() as prof:
+            with profiled("op.x"):
+                pass
+        table = prof.table(title="breakdown")
+        assert "breakdown" in table and "op.x" in table
+        d = prof.as_dict()
+        assert d["op.x"]["calls"] == 1
+
+    def test_trace_alloc_counts_bytes(self):
+        with Profiler(trace_alloc=True) as prof:
+            with profiled("alloc"):
+                _ = np.empty(1 << 16)  # 512 KB
+        stats = prof.stats["alloc"]
+        assert stats.peak_bytes >= (1 << 16) * 8
+
+
+# ---------------------------------------------------------------------------
+# cross-strategy / pooled-vs-reference regression
+# ---------------------------------------------------------------------------
+class TestCrossStrategyRegression:
+    def _run(self, op, pos):
+        p = Parameter(pos.copy())
+        out = op(p)
+        out.backward()
+        return out.item(), p.grad.copy()
+
+    def test_wa_strategies_and_pooling_agree(self):
+        db = random_db()
+        pos = pos_vector(db)
+        reference = None
+        for strategy in STRATEGIES:
+            for pooled in (False, True):
+                op = WeightedAverageWirelength(
+                    db, gamma=0.8, strategy=strategy, pooled=pooled
+                )
+                value, grad = self._run(op, pos)
+                if reference is None:
+                    reference = (value, grad)
+                    continue
+                assert value == pytest.approx(reference[0], rel=1e-10)
+                np.testing.assert_allclose(
+                    grad, reference[1], rtol=1e-10, atol=1e-10
+                )
+
+    def test_degree_one_nets_contribute_nothing(self):
+        db = random_db()
+        degree_one = np.flatnonzero(db.net_degree == 1)
+        assert degree_one.size > 0, "fixture must include degree-1 nets"
+        pos = pos_vector(db)
+        for strategy in STRATEGIES:
+            op = WeightedAverageWirelength(db, gamma=0.8, strategy=strategy)
+            base, grad = self._run(op, pos)
+            # moving the lone pin of a degree-1 net changes nothing
+            cell = db.pin_cell[db.net2pin[db.net2pin_start[degree_one[0]]]]
+            if db.movable[cell]:
+                trial = pos.copy()
+                trial[cell] += 3.0
+                moved = op(Tensor(trial)).item()
+                only = db.net_degree[db.pin_net[
+                    np.flatnonzero(db.pin_cell == cell)
+                ]]
+                if (only == 1).all():
+                    assert moved == pytest.approx(base)
+
+    def test_lse_pooling_agrees(self):
+        db = random_db(seed=17)
+        pos = pos_vector(db)
+        ref = None
+        for pooled in (False, True):
+            op = LogSumExpWirelength(db, gamma=0.8, pooled=pooled)
+            value, grad = self._run(op, pos)
+            if ref is None:
+                ref = (value, grad)
+                continue
+            assert value == pytest.approx(ref[0], rel=1e-10)
+            np.testing.assert_allclose(grad, ref[1], rtol=1e-10, atol=1e-10)
+
+    def test_density_pooling_agrees(self):
+        db = random_db(seed=23)
+        grid = BinGrid(db.region, 16, 16)
+        pos = pos_vector(db)
+        ref = None
+        for pooled in (False, True):
+            op = ElectricDensity(db, grid, pooled=pooled)
+            value, grad = self._run(op, pos)
+            if ref is None:
+                ref = (value, grad)
+                continue
+            assert value == pytest.approx(ref[0], rel=1e-9)
+            np.testing.assert_allclose(grad, ref[1], rtol=1e-9, atol=1e-9)
+
+    def test_density_overflow_pooled_agrees(self):
+        db = random_db(seed=29)
+        grid = BinGrid(db.region, 16, 16)
+        base = density_overflow(db, grid, target_density=0.8)
+        pooled = density_overflow(
+            db, grid, target_density=0.8,
+            free_area=fixed_free_area(db, grid), workspace=Workspace(),
+        )
+        assert pooled == pytest.approx(base, rel=1e-12)
+
+    def test_shared_workspace_across_ops(self):
+        """Prefixed buffer names keep ops on one pool from clobbering."""
+        db = random_db(seed=31)
+        grid = BinGrid(db.region, 16, 16)
+        pos = pos_vector(db)
+        ws = Workspace()
+        wl = WeightedAverageWirelength(db, gamma=0.8, workspace=ws)
+        den = ElectricDensity(db, grid, workspace=ws)
+        solo_wl = self._run(
+            WeightedAverageWirelength(db, gamma=0.8), pos
+        )
+        solo_den = self._run(ElectricDensity(db, grid), pos)
+        for _ in range(2):  # second pass runs on warm buffers
+            got_wl = self._run(wl, pos)
+            got_den = self._run(den, pos)
+            assert got_wl[0] == pytest.approx(solo_wl[0])
+            np.testing.assert_allclose(got_wl[1], solo_wl[1], atol=1e-12)
+            assert got_den[0] == pytest.approx(solo_den[0])
+            np.testing.assert_allclose(got_den[1], solo_den[1], atol=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# zero-allocation steady state
+# ---------------------------------------------------------------------------
+class TestZeroAllocation:
+    def test_pooled_merged_steady_state_allocates_nothing_large(self):
+        db = random_db(seed=41, num_cells=1500, num_nets=1200)
+        op = WeightedAverageWirelength(db, gamma=0.9, strategy="merged",
+                                       pooled=True)
+        pos = pos_vector(db)
+        p = Parameter(pos)
+        for _ in range(3):  # warm the pools and the grad buffer
+            p.zero_grad()
+            op(p).backward()
+        pin_bytes = op.pin_cell_sorted.shape[0] * 8
+        assert pin_bytes > 8 * 4096, "fixture too small to detect leaks"
+        tracemalloc.start()
+        try:
+            p.zero_grad()
+            op(p).backward()  # settle tracemalloc bookkeeping
+            base = tracemalloc.get_traced_memory()[0]
+            tracemalloc.reset_peak()
+            for _ in range(4):
+                p.zero_grad()
+                op(p).backward()
+            current, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        # steady state must not allocate even one pin-sized temporary
+        assert peak - base < pin_bytes // 2, (peak - base, pin_bytes)
+        assert current - base < 8192, (current - base,)
+
+    def test_unpooled_merged_allocates(self):
+        """The baseline really does allocate (the bench's 'before')."""
+        db = random_db(seed=41, num_cells=1500, num_nets=1200)
+        op = WeightedAverageWirelength(db, gamma=0.9, strategy="merged",
+                                       pooled=False)
+        p = Parameter(pos_vector(db))
+        for _ in range(2):
+            p.zero_grad()
+            op(p).backward()
+        pin_bytes = op.pin_cell_sorted.shape[0] * 8
+        tracemalloc.start()
+        try:
+            base = tracemalloc.get_traced_memory()[0]
+            tracemalloc.reset_peak()
+            p.zero_grad()
+            op(p).backward()
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert peak - base > 2 * pin_bytes

@@ -139,7 +139,7 @@ class TestWAWirelength:
         op(p).backward()
         n = db.num_cells
         # include what would flow to fixed cells: rebuild without masking
-        op.fixed_mask = np.empty(0, dtype=np.int64)
+        op.fixed_idx = np.empty(0, dtype=np.int64)
         p2 = Parameter(pos_vector(db))
         op(p2).backward()
         assert abs(p2.grad[:n].sum()) < 1e-8
