@@ -1,0 +1,106 @@
+"""Divergence-recovery benchmark: quality with and without rollback.
+
+Sweeps ``density_weight_scale`` from balanced (1x) to badly
+mis-calibrated (100x forces immediate divergence) and runs the GP loop
+with recovery enabled and disabled.  For each configuration it reports
+whether the run diverged, how many rollbacks fired, the returned HPWL
+and its gap to the best iterate seen in the trace.  With recovery on,
+the returned HPWL must never exceed the trace minimum (the
+checkpoint-return guarantee) and the rollback overhead must stay small.
+"""
+
+import math
+import time
+
+import numpy as np
+
+from _support import get_design, once, print_header, print_row, record
+from repro.core import GlobalPlacer, PlacementParams
+
+DESIGN = "adaptec1"
+LAMBDA_SCALES = [1.0, 10.0, 100.0]
+MAX_ITERS = 120
+
+
+def _params(scale, enable_recovery):
+    return PlacementParams(
+        density_weight_scale=scale,
+        enable_recovery=enable_recovery,
+        divergence_ratio=2.0,
+        min_global_iters=2,
+        max_global_iters=MAX_ITERS,
+        stop_overflow=0.0 if scale > 1.0 else 0.1,
+        max_recoveries=3,
+        recovery_lambda_damping=0.5,
+        seed=9,
+    )
+
+
+def _run(db, scale, enable_recovery):
+    placer = GlobalPlacer(db, _params(scale, enable_recovery))
+    start = time.perf_counter()
+    result = placer.place()
+    runtime = time.perf_counter() - start
+    trace = np.asarray(result.hpwl_trace, dtype=float)
+    trace_best = float(np.nanmin(trace)) if trace.size else math.nan
+    return {
+        "hpwl": result.hpwl,
+        "trace_best": trace_best,
+        "overflow": result.overflow,
+        "diverged": result.diverged,
+        "recoveries": result.recoveries,
+        "iterations": result.iterations,
+        "runtime": runtime,
+    }
+
+
+def test_recovery(benchmark):
+    print_header(
+        "Divergence recovery: checkpoint return vs raw final iterate",
+        ["lambda x", "recovery", "diverged", "rollbacks",
+         "hpwl", "vs trace best", "iters"],
+    )
+    rows = []
+    for scale in LAMBDA_SCALES:
+        for enabled in (False, True):
+            db = get_design(DESIGN)
+            stats = _run(db, scale, enabled)
+            gap = (stats["hpwl"] / stats["trace_best"] - 1.0
+                   if math.isfinite(stats["trace_best"]) else math.nan)
+            rows.append((scale, enabled, stats, gap))
+            print_row([
+                f"{scale:.0f}x", "on" if enabled else "off",
+                str(stats["diverged"]), stats["recoveries"],
+                f"{stats['hpwl']:.4e}", f"{gap * 100:+.2f}%",
+                stats["iterations"],
+            ])
+            record("recovery", {
+                "design": DESIGN,
+                "lambda_scale": scale,
+                "recovery": enabled,
+                "diverged": stats["diverged"],
+                "recoveries": stats["recoveries"],
+                "hpwl": stats["hpwl"],
+                "trace_best_hpwl": stats["trace_best"],
+                "hpwl_gap_vs_trace_best": gap,
+                "overflow": stats["overflow"],
+                "iterations": stats["iterations"],
+                "runtime_s": stats["runtime"],
+            })
+
+    # timing row for pytest-benchmark: the pathological case with rollback
+    db = get_design(DESIGN)
+    once(benchmark, lambda: _run(db, LAMBDA_SCALES[-1], True))
+
+    for scale, enabled, stats, gap in rows:
+        assert math.isfinite(stats["hpwl"])
+        if stats["diverged"]:
+            # the checkpoint-return guarantee: a diverged run hands back
+            # the best-wirelength iterate, never the blown-up final one
+            assert stats["hpwl"] <= stats["trace_best"] * (1 + 1e-9), \
+                (scale, enabled, stats)
+        if not enabled:
+            assert stats["recoveries"] == 0
+    # the pathological configuration actually exercises the rollback path
+    assert any(stats["recoveries"] >= 1 for _, enabled, stats, _ in rows
+               if enabled), "no rollback fired across the sweep"

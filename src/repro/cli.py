@@ -48,6 +48,8 @@ def _cmd_place(args) -> int:
         detailed=not args.no_dp,
         legalize=not args.no_lg,
         verbose=args.verbose,
+        enable_recovery=not args.no_recovery,
+        max_recoveries=args.max_recoveries,
     )
     print(f"placing {db} ...")
     if args.profile or args.profile_alloc:
@@ -61,6 +63,9 @@ def _cmd_place(args) -> int:
     print(f"HPWL     : {result.hpwl_final:,.0f} "
           f"(GP {result.hpwl_global:,.0f}, LG {result.hpwl_legal:,.0f})")
     print(f"overflow : {result.overflow:.4f} after {result.iterations} iters")
+    print(f"recovery : {result.recoveries} rollbacks, "
+          f"diverged={result.diverged}, "
+          f"best GP HPWL {result.best_hpwl:,.0f}")
     if result.legality is not None:
         print(f"legal    : {result.legality.legal} "
               f"{result.legality.messages or ''}")
@@ -177,6 +182,11 @@ def build_parser() -> argparse.ArgumentParser:
     place.add_argument("--no-lg", action="store_true",
                        help="skip legalization (GP only)")
     place.add_argument("--verbose", action="store_true")
+    place.add_argument("--no-recovery", action="store_true",
+                       help="disable divergence rollback (return the best "
+                            "checkpoint but never retry)")
+    place.add_argument("--max-recoveries", type=int, default=3,
+                       help="rollback budget per GP run before giving up")
     place.add_argument("--profile", action="store_true",
                        help="print a per-op runtime breakdown after the run")
     place.add_argument("--profile-alloc", action="store_true",

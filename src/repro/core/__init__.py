@@ -9,6 +9,11 @@ placement, with an optional routability-driven cell-inflation loop.
 from repro.core.params import PlacementParams
 from repro.core.placer import DreamPlacer, PlacementResult, StageTimes
 from repro.core.global_place import GlobalPlacer, GlobalPlaceResult
+from repro.core.convergence import (
+    ConvergenceMonitor,
+    IterationStatus,
+    PlacerSnapshot,
+)
 from repro.core.metrics import placement_summary, scaled_hpwl
 from repro.core.fence import (
     FenceRegion,
@@ -23,6 +28,9 @@ __all__ = [
     "StageTimes",
     "GlobalPlacer",
     "GlobalPlaceResult",
+    "ConvergenceMonitor",
+    "IterationStatus",
+    "PlacerSnapshot",
     "placement_summary",
     "scaled_hpwl",
     "FenceRegion",

@@ -53,3 +53,18 @@ class DensityWeight:
         self._last_hpwl = hpwl
         self._iteration += 1
         return self.value
+
+    def state_dict(self) -> dict:
+        """Snapshot of the controller state (for loop checkpointing)."""
+        return {
+            "value": self.value,
+            "last_hpwl": self._last_hpwl,
+            "iteration": self._iteration,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self.value = float(state["value"])
+        last = state["last_hpwl"]
+        self._last_hpwl = None if last is None else float(last)
+        self._iteration = int(state["iteration"])

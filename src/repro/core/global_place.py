@@ -7,11 +7,17 @@ annealing and density-weight updating until the overflow target is met.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.convergence import (
+    ConvergenceMonitor,
+    IterationStatus,
+    PlacerSnapshot,
+)
 from repro.core.density_weight import DensityWeight
 from repro.core.gamma import GammaScheduler
 from repro.core.initial_place import (
@@ -53,6 +59,12 @@ class GlobalPlaceResult:
     converged: bool
     hpwl_trace: list[float] = field(default_factory=list)
     overflow_trace: list[float] = field(default_factory=list)
+    #: the loop hit the divergence/NaN guard and its recovery budget
+    diverged: bool = False
+    #: checkpoint rollbacks performed during the run
+    recoveries: int = 0
+    #: minimum finite HPWL observed across the trace
+    best_hpwl: float = math.nan
 
 
 class GlobalPlacer:
@@ -83,6 +95,11 @@ class GlobalPlacer:
         self._build_ops()
         #: lambda update period (>1 during routability rounds, III-F)
         self.lambda_period = 1
+        # the optimizer persists across place() calls so warm restarts
+        # (inflation rounds, post-rollback continuation) reuse it via
+        # rebind()/reset_momentum() instead of silently rebuilding
+        self._optimizer = None
+        self._scheduler = None
 
     # ------------------------------------------------------------------
     def _build_variables(self) -> None:
@@ -112,8 +129,10 @@ class GlobalPlacer:
         ])
         r = db.region
         n = db.num_cells + count
-        self._lo = np.empty(2 * n)
-        self._hi = np.empty(2 * n)
+        # clamp bounds share the position dtype: float64 bounds would
+        # silently upcast float32 positions on every projection
+        self._lo = np.empty(2 * n, dtype=params.np_dtype())
+        self._hi = np.empty(2 * n, dtype=params.np_dtype())
         self._lo[:n] = r.xl
         self._hi[:n] = np.maximum(r.xh - widths, r.xl)
         self._lo[n:] = r.yl
@@ -128,9 +147,12 @@ class GlobalPlacer:
 
             # fence bounds replace the die bounds for fenced cells
             # (count == 0 when fences are active, so shapes match)
+            dtype = params.np_dtype()
             fence_lo, fence_hi = fence_clamp_bounds(db, self.fences)
-            self._lo = np.maximum(self._lo, fence_lo)
-            self._hi = np.minimum(self._hi, fence_hi)
+            self._lo = np.maximum(self._lo, fence_lo).astype(dtype,
+                                                             copy=False)
+            self._hi = np.minimum(self._hi, fence_hi).astype(dtype,
+                                                             copy=False)
             self._hi = np.maximum(self._hi, self._lo)
             # start every cell inside its fence
             self.pos.data = self._clamp(self.pos.data)
@@ -248,13 +270,54 @@ class GlobalPlacer:
         density.backward()
         density_grad = self.pos.grad.copy()
         self.pos.zero_grad()
-        weight.initialize(wl_grad, density_grad)
+        weight.initialize(wl_grad, density_grad,
+                          scale=self.params.density_weight_scale)
         return weight
 
     # ------------------------------------------------------------------
+    def _capture_snapshot(self, iteration: int, hpwl: float, overflow: float,
+                          optimizer, scheduler, weight) -> PlacerSnapshot:
+        """Full checkpoint: positions + optimizer/lambda/gamma state."""
+        return PlacerSnapshot(
+            iteration=iteration, hpwl=hpwl, overflow=overflow,
+            pos=self.pos.data.copy(),
+            optimizer_state=optimizer.state_dict(),
+            scheduler_state=(None if scheduler is None
+                             else scheduler.state_dict()),
+            weight_state=weight.state_dict(),
+            gamma=self.objective.gamma,
+        )
+
+    def _restore_snapshot(self, snap: PlacerSnapshot, optimizer, scheduler,
+                          weight, lambda_damping: float = 1.0) -> None:
+        """Roll the loop back to ``snap`` exactly, optionally damping
+        lambda so the retry does not diverge the same way again."""
+        self.pos.data = snap.pos.copy()
+        if snap.optimizer_state is not None:
+            optimizer.load_state_dict(snap.optimizer_state)
+        if scheduler is not None and snap.scheduler_state is not None:
+            scheduler.load_state_dict(snap.scheduler_state)
+        if snap.weight_state is not None:
+            weight.load_state_dict(snap.weight_state)
+            weight.value *= lambda_damping
+            self.objective.density_weight = weight.value
+        if math.isfinite(snap.gamma):
+            self.objective.gamma = snap.gamma
+        optimizer.reset_momentum()
+
+    # ------------------------------------------------------------------
     def place(self, max_iters: int | None = None,
-              stop_overflow: float | None = None) -> GlobalPlaceResult:
-        """Run the kernel GP loop to convergence."""
+              stop_overflow: float | None = None,
+              monitor: ConvergenceMonitor | None = None) -> GlobalPlaceResult:
+        """Run the kernel GP loop to convergence.
+
+        Every iteration is classified by a :class:`ConvergenceMonitor`
+        (pass one in to share statistics across warm-started rounds);
+        the best iterate is checkpointed and divergence or a non-finite
+        loss/gradient rolls back to it with a damped density weight, up
+        to ``params.max_recoveries`` times, before giving up gracefully.
+        The returned positions are never worse than the best checkpoint.
+        """
         params = self.params
         max_iters = params.max_global_iters if max_iters is None else max_iters
         stop = params.stop_overflow if stop_overflow is None else stop_overflow
@@ -264,7 +327,25 @@ class GlobalPlacer:
         self.objective.gamma = self.gamma_schedule(overflow)
         weight = self._init_density_weight()
         self.objective.density_weight = weight.value
-        optimizer, scheduler = self._build_optimizer()
+        if self._optimizer is None:
+            self._optimizer, self._scheduler = self._build_optimizer()
+        else:
+            # warm restart: positions may have moved externally since the
+            # last round (inflation, set_positions), so drop value-derived
+            # caches and restart the momentum sequence
+            self._optimizer.rebind()
+            self._optimizer.reset_momentum()
+        optimizer, scheduler = self._optimizer, self._scheduler
+
+        if monitor is None:
+            monitor = ConvergenceMonitor(
+                divergence_ratio=params.divergence_ratio,
+                plateau_patience=params.plateau_patience,
+                overflow_tol=params.overflow_improve_tol,
+                stop_overflow=stop,
+            )
+        else:
+            monitor.new_round(stop_overflow=stop)
 
         def closure():
             self.pos.zero_grad()
@@ -274,23 +355,81 @@ class GlobalPlacer:
 
         hpwl_trace: list[float] = []
         overflow_trace: list[float] = []
-        best_hpwl = np.inf
-        best_overflow = np.inf
-        plateau = 0
+        best_hpwl = math.inf
         converged = False
+        diverged = False
+        recoveries = 0
         iteration = 0
+
+        # iteration-0 checkpoint: there is always a sane state to return
+        # or roll back to, even if the very first step blows up
+        hpwl = self.hpwl()
+        monitor.observe(0, hpwl, overflow)
+        best_snap = self._capture_snapshot(0, hpwl, overflow,
+                                           optimizer, scheduler, weight)
+        # lightweight best-wirelength fallback (positions only): what a
+        # diverged run hands back when no checkpoint can be trusted
+        best_wl_snap = PlacerSnapshot(0, hpwl, overflow, best_snap.pos)
+
         for iteration in range(1, max_iters + 1):
             with profiled("gp.step"):
-                optimizer.step(closure)
+                loss = optimizer.step(closure)
                 optimizer.project(self._clamp)
                 if scheduler is not None:
                     scheduler.step()
 
-            hpwl = self.hpwl()
-            overflow = self.overflow()
+            if np.all(np.isfinite(self.pos.data)):
+                hpwl = self.hpwl()
+                overflow = self.overflow()
+            else:
+                # poisoned step: the overflow scatter would crash casting
+                # NaN coordinates to bin indices, so skip the metrics and
+                # let the monitor flag the iterate as non-finite
+                hpwl = math.nan
+                overflow = math.nan
             hpwl_trace.append(hpwl)
             overflow_trace.append(overflow)
-            best_hpwl = min(best_hpwl, hpwl)
+            if math.isfinite(hpwl):
+                best_hpwl = min(best_hpwl, hpwl)
+
+            status = monitor.observe(
+                iteration, hpwl, overflow,
+                loss=None if loss is None else float(loss.item()),
+                grad=self.pos.grad, pos=self.pos.data,
+            )
+            if status is IterationStatus.NON_FINITE or (
+                status is IterationStatus.DIVERGING
+                and iteration > params.min_global_iters
+            ):
+                if (params.enable_recovery
+                        and recoveries < params.max_recoveries):
+                    with profiled("gp.rollback"):
+                        self._restore_snapshot(
+                            best_snap, optimizer, scheduler, weight,
+                            lambda_damping=params.recovery_lambda_damping,
+                        )
+                    monitor.notify_rollback(best_snap.hpwl)
+                    recoveries += 1
+                    if params.verbose:
+                        print(
+                            f"[GP] iter {iteration:4d} {status.value}: "
+                            f"rolled back to iter {best_snap.iteration} "
+                            f"(hpwl {best_snap.hpwl:.4e}), lambda "
+                            f"{weight.value:.3g}"
+                        )
+                    continue
+                diverged = True
+                break
+            if monitor.progress_improved:
+                with profiled("gp.snapshot"):
+                    best_snap = self._capture_snapshot(
+                        iteration, hpwl, overflow,
+                        optimizer, scheduler, weight,
+                    )
+            if monitor.wirelength_improved:
+                best_wl_snap = PlacerSnapshot(
+                    iteration, hpwl, overflow, self.pos.data.copy(),
+                )
 
             self.objective.gamma = self.gamma_schedule(overflow)
             if iteration % self.lambda_period == 0:
@@ -305,29 +444,42 @@ class GlobalPlacer:
             if overflow <= stop and iteration >= params.min_global_iters:
                 converged = True
                 break
-            if hpwl > params.divergence_ratio * best_hpwl and \
-                    iteration > params.min_global_iters:
-                break
             # plateau guard: overflow stopped improving well above the
             # target — further lambda growth only degrades wirelength
-            if overflow < best_overflow - 1e-3:
-                best_overflow = overflow
-                plateau = 0
-            else:
-                plateau += 1
-                if plateau >= 150 and iteration >= params.min_global_iters:
-                    break
+            if monitor.plateau_exceeded and \
+                    iteration >= params.min_global_iters:
+                break
+
+        # never hand back a worse answer than the best checkpoint: a
+        # diverged run falls back to the lowest-wirelength iterate, any
+        # other run to the best (overflow-then-wirelength) checkpoint
+        final_hpwl = self.hpwl()
+        chosen = None
+        if diverged:
+            chosen = best_wl_snap
+        elif (best_snap.hpwl < final_hpwl
+              and best_snap.overflow <= (max(overflow, stop)
+                                         + params.overflow_improve_tol)):
+            chosen = best_snap
+        if chosen is not None and (diverged or chosen.hpwl < final_hpwl):
+            self.pos.data = chosen.pos.copy()
+            optimizer.rebind()
+            final_hpwl = self.hpwl()
+            overflow = self.overflow()
 
         x, y = self._positions()
         return GlobalPlaceResult(
             x=x, y=y,
-            hpwl=self.hpwl(),
+            hpwl=final_hpwl,
             overflow=overflow,
             iterations=iteration,
             runtime=time.perf_counter() - start,
             converged=converged,
             hpwl_trace=hpwl_trace,
             overflow_trace=overflow_trace,
+            diverged=diverged,
+            recoveries=recoveries,
+            best_hpwl=min(best_hpwl, final_hpwl),
         )
 
     def set_positions(self, x: np.ndarray, y: np.ndarray) -> None:
@@ -337,6 +489,10 @@ class GlobalPlacer:
         data[:self.db.num_cells] = np.asarray(x, dtype=data.dtype)
         data[n:n + self.db.num_cells] = np.asarray(y, dtype=data.dtype)
         self.pos.data = self._clamp(data)
+        if self._optimizer is not None:
+            # cached solver state (Lipschitz estimate, u/v iterates,
+            # conjugate direction) refers to the old positions
+            self._optimizer.rebind()
 
     def write_back(self) -> None:
         """Copy the optimized movable positions into the database."""

@@ -60,6 +60,22 @@ class PlacementParams:
     #: give up if HPWL exceeds this multiple of its running minimum
     divergence_ratio: float = 8.0
 
+    # -- convergence monitoring & recovery (TCAD hardening) ----------------
+    #: roll back to the best checkpoint on divergence / NaN instead of
+    #: giving up with the diverged iterate
+    enable_recovery: bool = True
+    #: rollback budget per ``place`` call before giving up gracefully
+    max_recoveries: int = 3
+    #: multiply lambda by this factor on every rollback (damped retry)
+    recovery_lambda_damping: float = 0.5
+    #: stop when overflow has not improved for this many iterations
+    plateau_patience: int = 150
+    #: minimum overflow decrease counted as progress
+    overflow_improve_tol: float = 1e-3
+    #: scale on the balanced lambda_0 (1.0 = paper; used by divergence
+    #: injection tests and manual lambda sweeps)
+    density_weight_scale: float = 1.0
+
     # -- flow stages -------------------------------------------------------
     legalize: bool = True
     detailed: bool = True

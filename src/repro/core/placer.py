@@ -14,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.convergence import ConvergenceMonitor
 from repro.core.global_place import GlobalPlacer
 from repro.core.metrics import scaled_hpwl
 from repro.core.params import PlacementParams
@@ -57,6 +58,10 @@ class PlacementResult:
     shpwl: Optional[float] = None
     inflation_rounds: int = 0
     router_calls: int = 0
+    # convergence robustness (TCAD hardening)
+    recoveries: int = 0
+    diverged: bool = False
+    best_hpwl: float = float("nan")
 
 
 class DreamPlacer:
@@ -133,6 +138,9 @@ class DreamPlacer:
             shpwl=shpwl,
             inflation_rounds=rounds,
             router_calls=router_calls,
+            recoveries=gp_result.recoveries,
+            diverged=gp_result.diverged,
+            best_hpwl=gp_result.best_hpwl,
         )
 
     # ------------------------------------------------------------------
@@ -149,6 +157,15 @@ class DreamPlacer:
         router_calls = 0
         rounds = 0
         warm = None
+        # one monitor spans every round: plateau/checkpoint references
+        # reset per round, the divergence anchor carries across rounds
+        monitor = ConvergenceMonitor(
+            divergence_ratio=params.divergence_ratio,
+            plateau_patience=params.plateau_patience,
+            overflow_tol=params.overflow_improve_tol,
+            stop_overflow=params.stop_overflow,
+        )
+        recoveries = 0
         try:
             while True:
                 placer = GlobalPlacer(db, params)
@@ -160,13 +177,16 @@ class DreamPlacer:
                 if rounds < params.inflation_max_rounds:
                     # run down to the inflation trigger overflow (20%)
                     result = placer.place(
-                        stop_overflow=params.inflation_overflow_trigger
+                        stop_overflow=params.inflation_overflow_trigger,
+                        monitor=monitor,
                     )
                 else:
-                    result = placer.place()
+                    result = placer.place(monitor=monitor)
                 times.global_place += time.perf_counter() - start
+                recoveries += result.recoveries
 
                 if rounds >= params.inflation_max_rounds:
+                    result.recoveries = recoveries
                     return result, (rounds, router_calls)
 
                 if router is None:
@@ -187,15 +207,17 @@ class DreamPlacer:
                     whitespace_cap=params.inflation_whitespace_cap,
                 )
                 if added < params.inflation_stop_ratio * total_cell_area:
-                    # converged: restore and finish placement to target
-                    final = GlobalPlacer(db, params)
-                    final.lambda_period = (
+                    # converged: warm-restart the same placer (rebind +
+                    # momentum restart) and finish placement to target
+                    placer.lambda_period = (
                         params.inflation_lambda_period if rounds else 1
                     )
-                    final.set_positions(result.x, result.y)
+                    placer.set_positions(result.x, result.y)
                     start = time.perf_counter()
-                    result = final.place()
+                    result = placer.place(monitor=monitor)
                     times.global_place += time.perf_counter() - start
+                    recoveries += result.recoveries
+                    result.recoveries = recoveries
                     return result, (rounds, router_calls)
                 rounds += 1
                 warm = (result.x, result.y)

@@ -40,3 +40,24 @@ class Adam(Optimizer):
             v_hat = v / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
         return loss
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state.update(
+            step_count=self._step_count,
+            m=[m.copy() for m in self._m],
+            v=[v.copy() for v in self._v],
+        )
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._step_count = int(state["step_count"])
+        self._m = [m.copy() for m in state["m"]]
+        self._v = [v.copy() for v in state["v"]]
+
+    def reset_momentum(self) -> None:
+        self._step_count = 0
+        for m, v in zip(self._m, self._v):
+            m.fill(0.0)
+            v.fill(0.0)

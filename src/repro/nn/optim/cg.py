@@ -75,3 +75,29 @@ class ConjugateGradient(Optimizer):
         self._prev_grad = grad
         self._direction = direction
         return accepted
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state.update(
+            prev_grad=(None if self._prev_grad is None
+                       else self._prev_grad.copy()),
+            direction=(None if self._direction is None
+                       else self._direction.copy()),
+        )
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        grad = state["prev_grad"]
+        direction = state["direction"]
+        self._prev_grad = None if grad is None else grad.copy()
+        self._direction = None if direction is None else direction.copy()
+
+    def reset_momentum(self) -> None:
+        # restart conjugacy: the next step is plain steepest descent
+        self._prev_grad = None
+        self._direction = None
+
+    def rebind(self) -> None:
+        self._prev_grad = None
+        self._direction = None

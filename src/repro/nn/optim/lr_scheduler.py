@@ -28,3 +28,13 @@ class ExponentialLR:
     @property
     def current_lr(self) -> float:
         return self.optimizer.lr
+
+    def state_dict(self) -> dict:
+        """Snapshot of the schedule position (for loop checkpointing)."""
+        return {"base_lr": self.base_lr, "last_epoch": self.last_epoch}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the schedule position and re-derive the optimizer lr."""
+        self.base_lr = float(state["base_lr"])
+        self.last_epoch = int(state["last_epoch"])
+        self.optimizer.lr = self.base_lr * self.gamma ** self.last_epoch

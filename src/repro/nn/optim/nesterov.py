@@ -9,6 +9,7 @@ prediction, combined with Nesterov's momentum sequence
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
 import numpy as np
@@ -88,22 +89,49 @@ class NesterovLineSearch(Optimizer):
                 if dg > 0:
                     self._alpha = float(np.linalg.norm(probe - self._v)) / dg
 
-        a_next = (1.0 + np.sqrt(4.0 * self._a * self._a + 1.0)) / 2.0
+        # math.sqrt keeps the momentum scalars as python floats: a
+        # np.float64 coefficient would upcast float32 position arrays
+        a_next = (1.0 + math.sqrt(4.0 * self._a * self._a + 1.0)) / 2.0
         coef = (self._a - 1.0) / a_next
 
         alpha_hat = self._alpha
         loss = None
-        for _ in range(self.max_backtracks):
-            u_next = self._v - alpha_hat * self._g
-            v_next = u_next + coef * (u_next - self._u)
-            loss, g_next = self._grad_at(v_next, closure)
+        u_next = v_next = g_next = None
+        alpha_new = alpha_hat
+        # at least one trial runs even with max_backtracks == 0 (a bare
+        # range() left u_next/alpha_new unbound and raised NameError)
+        for _ in range(max(self.max_backtracks, 1)):
+            u_try = self._v - alpha_hat * self._g
+            v_try = u_try + coef * (u_try - self._u)
+            if not np.all(np.isfinite(v_try)):
+                # non-finite trial point (poisoned gradient or step):
+                # never write it into the parameters, shrink and retry
+                alpha_hat *= 0.5
+                self.backtrack_count += 1
+                continue
+            loss, g_try = self._grad_at(v_try, closure)
+            if not np.all(np.isfinite(g_try)):
+                # NaN/Inf gradient at the trial point: refuse to commit
+                # it (dv/dg would be NaN and every later iterate would
+                # inherit the poison), halve the step and retry
+                alpha_hat *= 0.5
+                self.backtrack_count += 1
+                continue
+            u_next, v_next, g_next = u_try, v_try, g_try
             dv = float(np.linalg.norm(v_next - self._v))
             dg = float(np.linalg.norm(g_next - self._g))
-            alpha_new = dv / dg if dg > 0 else alpha_hat
+            alpha_new = dv / dg if dg > 0 and np.isfinite(dg) else alpha_hat
             if alpha_new >= alpha_hat * self.accept_ratio:
                 break
             alpha_hat = alpha_new
             self.backtrack_count += 1
+
+        if u_next is None:
+            # every trial produced a non-finite gradient: keep the last
+            # sane iterate and remember the shrunk step for the retry
+            self._alpha = alpha_hat
+            self._write_params(self._v)
+            return loss
 
         self._u = u_next
         self._v = v_next
@@ -123,6 +151,29 @@ class NesterovLineSearch(Optimizer):
         if self._v is not None:
             self._u = fn(self._u)
             self._v = fn(self._v)
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state.update(
+            u=None if self._u is None else self._u.copy(),
+            v=None if self._v is None else self._v.copy(),
+            g=None if self._g is None else self._g.copy(),
+            a=self._a,
+            alpha=self._alpha,
+            backtrack_count=self.backtrack_count,
+        )
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._u = None if state["u"] is None else state["u"].copy()
+        self._v = None if state["v"] is None else state["v"].copy()
+        self._g = None if state["g"] is None else state["g"].copy()
+        self._a = float(state["a"])
+        self._alpha = float(state["alpha"])
+        self.backtrack_count = int(state["backtrack_count"])
+        if self._v is not None:
+            self._write_params(self._v)
 
     def reset_momentum(self) -> None:
         """Restart the momentum sequence (used after cell inflation)."""

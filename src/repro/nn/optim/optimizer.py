@@ -35,6 +35,30 @@ class Optimizer:
     def step(self, closure: Optional[Closure] = None) -> Optional[Tensor]:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """A deep copy of the solver state, sufficient to resume the
+        trajectory exactly via :meth:`load_state_dict` (the snapshot /
+        rollback contract of the convergence-recovery subsystem).
+        """
+        return {"lr": self.lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self.lr = float(state["lr"])
+
+    def reset_momentum(self) -> None:
+        """Restart any momentum/acceleration sequence (used when the
+        loop rolls back to a checkpoint or warm-restarts after
+        inflation); memoryless solvers are unaffected.
+        """
+
+    def rebind(self) -> None:
+        """Forget state derived from parameter *values* after the
+        parameters were changed externally (legalization, inflation or a
+        checkpoint restore moved the cells); stateless solvers ignore it.
+        """
+
     def project(self, fn) -> None:
         """Apply an in-place projection (e.g. clamping into the region)
         to the parameters and any internal solution copies the solver

@@ -38,3 +38,20 @@ class RMSProp(Optimizer):
             else:
                 param.data -= self.lr * grad / denom
         return loss
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state.update(
+            square_avg=[a.copy() for a in self._square_avg],
+            buf=[b.copy() for b in self._buf],
+        )
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._square_avg = [a.copy() for a in state["square_avg"]]
+        self._buf = [b.copy() for b in state["buf"]]
+
+    def reset_momentum(self) -> None:
+        for buf in self._buf:
+            buf.fill(0.0)

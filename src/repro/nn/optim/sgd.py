@@ -39,3 +39,16 @@ class SGD(Optimizer):
                 update = grad
             param.data -= self.lr * update
         return loss
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["velocity"] = [v.copy() for v in self._velocity]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._velocity = [v.copy() for v in state["velocity"]]
+
+    def reset_momentum(self) -> None:
+        for velocity in self._velocity:
+            velocity.fill(0.0)
