@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.params import DEFAULT_SEED
 from repro.geometry.region import PlacementRegion
 from repro.netlist.database import PlacementDB
 from repro.netlist.hypergraph import CellKind, Netlist
@@ -42,7 +43,7 @@ class CircuitSpec:
     #: cell width choices in sites and their probabilities
     width_choices: tuple[int, ...] = (1, 2, 3, 4, 6)
     width_probs: tuple[float, ...] = (0.35, 0.3, 0.2, 0.1, 0.05)
-    seed: int = 42
+    seed: int = DEFAULT_SEED
 
     def __post_init__(self):
         if self.num_cells < 2:

@@ -7,11 +7,17 @@
 - ``generate``  synthesize a benchmark and write it as Bookshelf
 - ``route``     global-route a placed design and report RC/ACE
 - ``report``    print placement metrics for a design
+- ``batch``     run a file of job specs through the run store
+- ``sweep``     expand a parameter grid into jobs and run them
+- ``resume``    continue an interrupted run from its checkpoint
+- ``runs``      list or inspect the run store
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 
 import numpy as np
@@ -26,6 +32,17 @@ def _load(design: str, scale: int):
     from repro.benchgen import load_design
 
     return load_design(design, scale=scale)
+
+
+def _write_json(path: str, data: dict) -> str:
+    """Write machine-readable output, creating parent directories."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -75,6 +92,10 @@ def _cmd_place(args) -> int:
     print(f"runtime  : GP {times.global_place:.2f}s  "
           f"GR {times.global_route:.2f}s  LG {times.legalize:.2f}s  "
           f"DP {times.detailed:.2f}s")
+    if args.json:
+        from repro.core import placement_result_metrics
+
+        print(f"wrote    : {_write_json(args.json, placement_result_metrics(result))}")
     if args.output:
         aux = write_bookshelf(db, args.output)
         print(f"wrote    : {aux}")
@@ -146,6 +167,13 @@ def _cmd_report(args) -> int:
     print(f"utilization: {summary.utilization:.3f}")
     report = check_legal(db)
     print(f"legal      : {report.legal} {report.messages or ''}")
+    if args.json:
+        from repro.core import placement_summary_metrics
+
+        path = _write_json(
+            args.json, placement_summary_metrics(summary, legal=report.legal)
+        )
+        print(f"wrote      : {path}")
     if args.density_map:
         from repro.geometry import BinGrid
         from repro.ops.density_map import scatter_density
@@ -161,7 +189,260 @@ def _cmd_report(args) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# runner verbs (batch / sweep / resume / runs)
+
+def _job_from_dict(data, default_scale: int = 400):
+    """Lenient job parsing for ``batch`` spec files.
+
+    Accepts a bare design string, or a dict with ``design`` (string or
+    DesignRef dict), optional ``scale``, partial ``params`` and
+    ``stages``.
+    """
+    from repro.core import PlacementParams
+    from repro.runner import DesignRef, JobSpec
+
+    if isinstance(data, str):
+        data = {"design": data}
+    design = data.get("design")
+    if design is None:
+        raise ValueError(f"job entry missing 'design': {data!r}")
+    if isinstance(design, str):
+        design = DesignRef.parse(
+            design, scale=int(data.get("scale", default_scale))
+        )
+    else:
+        design = DesignRef.from_dict(design)
+    params = data.get("params", {})
+    if not isinstance(params, PlacementParams):
+        params = PlacementParams.from_dict(dict(params))
+    return JobSpec(design=design, params=params,
+                   stages=tuple(data.get("stages", ("gp", "lg", "dp"))))
+
+
+def _coerce_param(key: str, text: str):
+    """Parse a sweep value using the PlacementParams field type."""
+    from dataclasses import MISSING, fields
+
+    from repro.core import PlacementParams
+
+    defaults = {f.name: f.default for f in fields(PlacementParams)}
+    default = defaults.get(key, MISSING)
+    if isinstance(default, bool):
+        return text.lower() in ("1", "true", "yes", "on")
+    if isinstance(default, int):
+        return int(text)
+    if isinstance(default, float):
+        return float(text)
+    if isinstance(default, str):
+        return text
+    # Optional/factory fields: infer numeric, fall back to string
+    if text.lower() in ("none", "null"):
+        return None
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            pass
+    return text
+
+
+def _make_scheduler(args):
+    """Build (scheduler, store, cache) from common runner options."""
+    from repro.runner import ResultCache, RunStore, Scheduler
+
+    store = RunStore(args.store)
+    cache = None if args.no_cache else ResultCache(store)
+    scheduler = Scheduler(
+        store, cache=cache,
+        max_retries=args.retries,
+        timeout=args.timeout,
+        checkpoint_every=args.checkpoint_every,
+        profile=getattr(args, "profile", False),
+    )
+    return scheduler, store, cache
+
+
+def _outcome_dict(outcome) -> dict:
+    return {
+        "job_hash": outcome.job_hash,
+        "design": outcome.design,
+        "status": outcome.status,
+        "cached": outcome.cached,
+        "resumed_from": outcome.resumed_from,
+        "directory": outcome.directory,
+        "error": outcome.error,
+        "metrics": outcome.metrics,
+    }
+
+
+def _print_outcomes(outcomes, cache=None) -> int:
+    header = (f"{'run':<16} {'design':<20} {'status':<18} "
+              f"{'hpwl':>14} {'iters':>6}")
+    print(header)
+    print("-" * len(header))
+    for outcome in outcomes:
+        hpwl = iters = ""
+        if outcome.metrics:
+            final = (outcome.metrics.get("hpwl") or {}).get("final")
+            if final is not None:
+                hpwl = f"{final:,.0f}"
+            iters = str(outcome.metrics.get("iterations", ""))
+        status = outcome.status + (" (cached)" if outcome.cached else "")
+        print(f"{(outcome.job_hash[:16] or '-'):<16} "
+              f"{outcome.design:<20} {status:<18} {hpwl:>14} {iters:>6}")
+        if outcome.error:
+            print(f"  error: {outcome.error}")
+    if cache is not None:
+        stats = cache.stats
+        print(f"cache: {stats.hits} hit(s), {stats.misses} miss(es), "
+              f"{stats.invalidations} invalidation(s)")
+    return 0 if all(o.ok for o in outcomes) else 1
+
+
+def _cmd_batch(args) -> int:
+    with open(args.specs) as handle:
+        data = json.load(handle)
+    if isinstance(data, dict):
+        data = data.get("jobs", [data])
+    specs = [_job_from_dict(entry) for entry in data]
+    scheduler, store, cache = _make_scheduler(args)
+    for spec in specs:
+        scheduler.submit(spec)
+    print(f"batch: {len(specs)} job(s) -> {store.root}")
+    outcomes = scheduler.run()
+    code = _print_outcomes(outcomes, cache)
+    if args.json:
+        payload = {"outcomes": [_outcome_dict(o) for o in outcomes]}
+        if cache is not None:
+            payload["cache"] = cache.stats.as_dict()
+        print(f"wrote: {_write_json(args.json, payload)}")
+    return code
+
+
+def _cmd_sweep(args) -> int:
+    from repro.runner import DesignRef, JobSpec
+
+    base = JobSpec(
+        design=DesignRef.parse(args.design, scale=args.scale),
+        stages=tuple(s for s in args.stages.split(",") if s),
+    )
+    grid = {}
+    for item in args.param:
+        key, sep, values = item.partition("=")
+        if not sep or not values:
+            print(f"--param expects KEY=V1,V2,... (got {item!r})",
+                  file=sys.stderr)
+            return 2
+        grid[key] = [_coerce_param(key, v) for v in values.split(",")]
+    scheduler, store, cache = _make_scheduler(args)
+    count = scheduler.submit_sweep(base, grid)
+    print(f"sweep: {count} job(s) -> {store.root}")
+    outcomes = scheduler.run()
+    code = _print_outcomes(outcomes, cache)
+    if args.json:
+        payload = {"outcomes": [_outcome_dict(o) for o in outcomes]}
+        if cache is not None:
+            payload["cache"] = cache.stats.as_dict()
+        print(f"wrote: {_write_json(args.json, payload)}")
+    return code
+
+
+def _cmd_resume(args) -> int:
+    from repro.runner import RunStore, execute_job
+
+    store = RunStore(args.store)
+    record = store.load(args.run)
+    spec = record.load_spec()
+    print(f"resuming {record.short_hash} ({spec.design.name}) ...")
+    outcome = execute_job(
+        spec, store, resume=True,
+        checkpoint_every=args.checkpoint_every,
+        timeout=args.timeout,
+    )
+    if outcome.resumed_from is not None:
+        print(f"resumed from checkpoint at iteration "
+              f"{outcome.resumed_from}")
+    else:
+        print("no checkpoint on disk; restarted from scratch")
+    return _print_outcomes([outcome])
+
+
+def _record_dict(record) -> dict:
+    from repro.runner import count_events
+
+    return {
+        "job_hash": record.job_hash,
+        "directory": record.directory,
+        "status": record.status,
+        "spec": record.spec,
+        "metrics": record.metrics,
+        "events": dict(count_events(record.events_path)),
+    }
+
+
+def _cmd_runs(args) -> int:
+    from repro.runner import RunStore, count_events
+
+    store = RunStore(args.store)
+    if args.run:
+        record = store.load(args.run)
+        status = record.status or {}
+        print(f"run      : {record.job_hash}")
+        print(f"directory: {record.directory}")
+        print(f"status   : {record.state} "
+              f"(attempts {status.get('attempts', 0)})")
+        if status.get("error"):
+            print(f"error    : {status['error']}")
+        spec = (record.spec or {}).get("spec", {})
+        design = spec.get("design", {})
+        print(f"design   : {design.get('name', '?')} "
+              f"[{design.get('source', '?')}, "
+              f"scale {design.get('scale', '?')}]")
+        print(f"stages   : {','.join(spec.get('stages', []))}")
+        if record.metrics:
+            hpwl = (record.metrics.get("hpwl") or {}).get("final")
+            if hpwl is not None:
+                print(f"HPWL     : {hpwl:,.0f}")
+            print(f"iters    : {record.metrics.get('iterations')}")
+        events = count_events(record.events_path)
+        if events:
+            print("events   : " + ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(events.items())))
+        if args.json:
+            print(f"wrote    : "
+                  f"{_write_json(args.json, _record_dict(record))}")
+        return 0
+
+    records = store.list_runs()
+    if not records:
+        print(f"no runs in {store.runs_root}")
+        return 0
+    header = (f"{'run':<16} {'design':<20} {'status':<9} "
+              f"{'hpwl':>14} {'iters':>6}")
+    print(header)
+    print("-" * len(header))
+    for record in records:
+        design = ((record.spec or {}).get("spec", {})
+                  .get("design", {}).get("name", "?"))
+        hpwl = iters = ""
+        if record.metrics:
+            final = (record.metrics.get("hpwl") or {}).get("final")
+            if final is not None:
+                hpwl = f"{final:,.0f}"
+            iters = str(record.metrics.get("iterations", ""))
+        print(f"{record.short_hash:<16} {design:<20} "
+              f"{record.state:<9} {hpwl:>14} {iters:>6}")
+    if args.json:
+        payload = {"runs": [_record_dict(r) for r in records]}
+        print(f"wrote: {_write_json(args.json, payload)}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from repro.core.params import DEFAULT_SEED
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="DREAMPlace-reproduction placement flow",
@@ -176,7 +457,7 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["nesterov", "adam", "sgd", "rmsprop", "cg"])
     place.add_argument("--target-density", type=float, default=1.0)
     place.add_argument("--routability", action="store_true")
-    place.add_argument("--seed", type=int, default=0)
+    place.add_argument("--seed", type=int, default=DEFAULT_SEED)
     place.add_argument("--no-dp", action="store_true",
                        help="skip detailed placement")
     place.add_argument("--no-lg", action="store_true",
@@ -194,6 +475,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "(tracemalloc; much slower)")
     place.add_argument("--output", help="write result as Bookshelf here")
     place.add_argument("--svg", help="write a placement plot here")
+    place.add_argument("--json",
+                       help="write machine-readable metrics here (same "
+                            "schema the run store persists)")
     place.set_defaults(func=_cmd_place)
 
     gen = sub.add_parser("generate", help="synthesize a benchmark")
@@ -204,7 +488,7 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--macros", type=int, default=0)
     gen.add_argument("--movable-macros", action="store_true")
     gen.add_argument("--ios", type=int, default=32)
-    gen.add_argument("--seed", type=int, default=42)
+    gen.add_argument("--seed", type=int, default=DEFAULT_SEED)
     gen.add_argument("--output", required=True)
     gen.set_defaults(func=_cmd_generate)
 
@@ -222,7 +506,71 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(report)
     report.add_argument("--density-map", action="store_true",
                         help="print an ASCII density map")
+    report.add_argument("--json",
+                        help="write machine-readable metrics here")
     report.set_defaults(func=_cmd_report)
+
+    def _add_store_opts(p, profile=True):
+        p.add_argument("--store", default="runs",
+                       help="run store root directory")
+        p.add_argument("--no-cache", action="store_true",
+                       help="bypass the content-addressed result cache")
+        p.add_argument("--timeout", type=float, default=None,
+                       help="per-job wall-clock budget in seconds "
+                            "(checked each GP iteration)")
+        p.add_argument("--retries", type=int, default=1,
+                       help="retry count for failed jobs")
+        p.add_argument("--checkpoint-every", type=int, default=25,
+                       help="GP iterations between on-disk checkpoints")
+        p.add_argument("--json",
+                       help="write outcome summaries here")
+        if profile:
+            p.add_argument("--profile", action="store_true",
+                           help="record per-op profile events")
+
+    batch = sub.add_parser(
+        "batch", help="run a JSON file of job specs through the store")
+    batch.add_argument("specs",
+                       help='JSON spec file: a list of jobs or '
+                            '{"jobs": [...]}; each job is a design '
+                            'string or {design, scale, params, stages}')
+    _add_store_opts(batch)
+    batch.set_defaults(func=_cmd_batch)
+
+    sweep = sub.add_parser(
+        "sweep", help="expand a parameter grid into jobs and run them")
+    sweep.add_argument("design", help=".aux file or suite design name")
+    sweep.add_argument("--scale", type=int, default=400,
+                       help="cell-count reduction for suite designs")
+    sweep.add_argument("--param", action="append", default=[],
+                       metavar="KEY=V1,V2,...",
+                       help="sweep axis over a PlacementParams field "
+                            "(repeatable; jobs = cross product)")
+    sweep.add_argument("--stages", default="gp,lg,dp",
+                       help="comma-separated stage selection")
+    _add_store_opts(sweep)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    resume = sub.add_parser(
+        "resume", help="continue an interrupted run from its checkpoint")
+    resume.add_argument("run", help="run hash (or unique prefix)")
+    resume.add_argument("--store", default="runs",
+                        help="run store root directory")
+    resume.add_argument("--timeout", type=float, default=None,
+                        help="per-job wall-clock budget in seconds")
+    resume.add_argument("--checkpoint-every", type=int, default=25,
+                        help="GP iterations between on-disk checkpoints")
+    resume.set_defaults(func=_cmd_resume)
+
+    runs = sub.add_parser(
+        "runs", help="list the run store, or inspect one run")
+    runs.add_argument("run", nargs="?",
+                      help="run hash to inspect (omit to list all)")
+    runs.add_argument("--store", default="runs",
+                      help="run store root directory")
+    runs.add_argument("--json",
+                      help="write the listing/record here")
+    runs.set_defaults(func=_cmd_runs)
     return parser
 
 

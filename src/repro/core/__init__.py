@@ -6,7 +6,7 @@ density-weight and gamma annealing) -> legalization -> detailed
 placement, with an optional routability-driven cell-inflation loop.
 """
 
-from repro.core.params import PlacementParams
+from repro.core.params import DEFAULT_SEED, PlacementParams
 from repro.core.placer import DreamPlacer, PlacementResult, StageTimes
 from repro.core.global_place import GlobalPlacer, GlobalPlaceResult
 from repro.core.convergence import (
@@ -14,7 +14,12 @@ from repro.core.convergence import (
     IterationStatus,
     PlacerSnapshot,
 )
-from repro.core.metrics import placement_summary, scaled_hpwl
+from repro.core.metrics import (
+    placement_result_metrics,
+    placement_summary,
+    placement_summary_metrics,
+    scaled_hpwl,
+)
 from repro.core.fence import (
     FenceRegion,
     MultiRegionDensity,
@@ -22,7 +27,10 @@ from repro.core.fence import (
 )
 
 __all__ = [
+    "DEFAULT_SEED",
     "PlacementParams",
+    "placement_result_metrics",
+    "placement_summary_metrics",
     "DreamPlacer",
     "PlacementResult",
     "StageTimes",

@@ -68,6 +68,34 @@ class PlacerSnapshot:
     gamma: float = math.nan
 
 
+def snapshot_state_dict(snap: PlacerSnapshot) -> dict:
+    """Serializable copy of a :class:`PlacerSnapshot` (checkpoint files)."""
+    return {
+        "iteration": snap.iteration,
+        "hpwl": snap.hpwl,
+        "overflow": snap.overflow,
+        "pos": snap.pos.copy(),
+        "optimizer_state": snap.optimizer_state,
+        "weight_state": snap.weight_state,
+        "scheduler_state": snap.scheduler_state,
+        "gamma": snap.gamma,
+    }
+
+
+def snapshot_from_state(state: dict) -> PlacerSnapshot:
+    """Rebuild a :class:`PlacerSnapshot` from :func:`snapshot_state_dict`."""
+    return PlacerSnapshot(
+        iteration=int(state["iteration"]),
+        hpwl=float(state["hpwl"]),
+        overflow=float(state["overflow"]),
+        pos=state["pos"].copy(),
+        optimizer_state=state["optimizer_state"],
+        weight_state=state["weight_state"],
+        scheduler_state=state["scheduler_state"],
+        gamma=float(state["gamma"]),
+    )
+
+
 @dataclass
 class ConvergenceMonitor:
     """Rolling-statistics classifier for the GP loop.
@@ -152,6 +180,41 @@ class ConvergenceMonitor:
         if self.progress_improved or self.wirelength_improved:
             return IterationStatus.IMPROVING
         return IterationStatus.PLATEAU
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot of every rolling statistic, sufficient to continue
+        the classification sequence exactly (the checkpoint/resume
+        contract of ``repro.runner``)."""
+        return {
+            "divergence_ratio": self.divergence_ratio,
+            "plateau_patience": self.plateau_patience,
+            "overflow_tol": self.overflow_tol,
+            "stop_overflow": self.stop_overflow,
+            "best_hpwl": self.best_hpwl,
+            "best_overflow": self.best_overflow,
+            "plateau_count": self.plateau_count,
+            "progress_improved": self.progress_improved,
+            "wirelength_improved": self.wirelength_improved,
+            "best_key_overflow": self._best_key_overflow,
+            "best_key_hpwl": self._best_key_hpwl,
+            "best_wl_hpwl": self._best_wl_hpwl,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self.divergence_ratio = float(state["divergence_ratio"])
+        self.plateau_patience = int(state["plateau_patience"])
+        self.overflow_tol = float(state["overflow_tol"])
+        self.stop_overflow = float(state["stop_overflow"])
+        self.best_hpwl = float(state["best_hpwl"])
+        self.best_overflow = float(state["best_overflow"])
+        self.plateau_count = int(state["plateau_count"])
+        self.progress_improved = bool(state["progress_improved"])
+        self.wirelength_improved = bool(state["wirelength_improved"])
+        self._best_key_overflow = float(state["best_key_overflow"])
+        self._best_key_hpwl = float(state["best_key_hpwl"])
+        self._best_wl_hpwl = float(state["best_wl_hpwl"])
 
     # ------------------------------------------------------------------
     @property

@@ -17,6 +17,8 @@ from repro.core.convergence import (
     ConvergenceMonitor,
     IterationStatus,
     PlacerSnapshot,
+    snapshot_from_state,
+    snapshot_state_dict,
 )
 from repro.core.density_weight import DensityWeight
 from repro.core.gamma import GammaScheduler
@@ -100,6 +102,10 @@ class GlobalPlacer:
         # rebind()/reset_momentum() instead of silently rebuilding
         self._optimizer = None
         self._scheduler = None
+        # live references into the running place() loop; set per
+        # iteration so capture_loop_state() (checkpointing) can reach
+        # every piece of loop state from an on_iteration callback
+        self._loop_ctx: dict | None = None
 
     # ------------------------------------------------------------------
     def _build_variables(self) -> None:
@@ -306,9 +312,79 @@ class GlobalPlacer:
         optimizer.reset_momentum()
 
     # ------------------------------------------------------------------
+    def capture_loop_state(self) -> dict:
+        """Serializable snapshot of the *entire* GP loop state.
+
+        Unlike :class:`PlacerSnapshot` (the in-memory rollback target)
+        this also carries the convergence monitor, the traces, the best
+        checkpoints and the recovery budget, so a killed run restarted
+        from this dict via ``place(resume_state=...)`` replays the
+        remaining iterations bit-exactly.  Only valid while ``place()``
+        is running — call it from an ``on_iteration`` callback.
+        """
+        ctx = self._loop_ctx
+        if ctx is None:
+            raise RuntimeError(
+                "capture_loop_state() is only valid inside place(); "
+                "call it from an on_iteration callback"
+            )
+        scheduler = ctx["scheduler"]
+        return {
+            "iteration": ctx["iteration"],
+            "hpwl": ctx["hpwl"],
+            "overflow": ctx["overflow"],
+            "pos": self.pos.data.copy(),
+            "gamma": self.objective.gamma,
+            "density_weight": self.objective.density_weight,
+            "optimizer": ctx["optimizer"].state_dict(),
+            "scheduler": None if scheduler is None else scheduler.state_dict(),
+            "weight": ctx["weight"].state_dict(),
+            "monitor": ctx["monitor"].state_dict(),
+            "best_snap": snapshot_state_dict(ctx["best_snap"]),
+            "best_wl_snap": snapshot_state_dict(ctx["best_wl_snap"]),
+            "hpwl_trace": list(ctx["hpwl_trace"]),
+            "overflow_trace": list(ctx["overflow_trace"]),
+            "best_hpwl": ctx["best_hpwl"],
+            "recoveries": ctx["recoveries"],
+        }
+
+    def _restore_loop_state(self, state: dict, monitor: ConvergenceMonitor):
+        """Rebuild every loop variable from :meth:`capture_loop_state`."""
+        params = self.params
+        if self._optimizer is None:
+            self._optimizer, self._scheduler = self._build_optimizer()
+        optimizer, scheduler = self._optimizer, self._scheduler
+        self.pos.data = np.asarray(
+            state["pos"], dtype=params.np_dtype()
+        ).copy()
+        optimizer.load_state_dict(state["optimizer"])
+        if scheduler is not None and state["scheduler"] is not None:
+            scheduler.load_state_dict(state["scheduler"])
+        weight = DensityWeight(
+            mu_min=params.mu_min, mu_max=params.mu_max,
+            ref_delta_hpwl=params.ref_delta_hpwl,
+            tcad_tweak=params.tcad_mu_tweak,
+        )
+        weight.load_state_dict(state["weight"])
+        monitor.load_state_dict(state["monitor"])
+        self.objective.gamma = float(state["gamma"])
+        self.objective.density_weight = float(state["density_weight"])
+        return (
+            optimizer, scheduler, weight,
+            float(state["hpwl"]), float(state["overflow"]),
+            list(state["hpwl_trace"]), list(state["overflow_trace"]),
+            float(state["best_hpwl"]), int(state["recoveries"]),
+            snapshot_from_state(state["best_snap"]),
+            snapshot_from_state(state["best_wl_snap"]),
+            int(state["iteration"]) + 1,
+        )
+
+    # ------------------------------------------------------------------
     def place(self, max_iters: int | None = None,
               stop_overflow: float | None = None,
-              monitor: ConvergenceMonitor | None = None) -> GlobalPlaceResult:
+              monitor: ConvergenceMonitor | None = None,
+              on_iteration=None,
+              resume_state: dict | None = None) -> GlobalPlaceResult:
         """Run the kernel GP loop to convergence.
 
         Every iteration is classified by a :class:`ConvergenceMonitor`
@@ -317,25 +393,22 @@ class GlobalPlacer:
         loss/gradient rolls back to it with a damped density weight, up
         to ``params.max_recoveries`` times, before giving up gracefully.
         The returned positions are never worse than the best checkpoint.
+
+        ``on_iteration(placer, info)`` is invoked after every completed
+        iteration with ``info = {iteration, hpwl, overflow, status,
+        recoveries}``; the callback may call :meth:`capture_loop_state`
+        to checkpoint the loop, and an exception it raises aborts the
+        run (the cooperative kill/timeout mechanism of ``repro.runner``).
+
+        ``resume_state`` (a dict from :meth:`capture_loop_state`)
+        continues an interrupted run from its checkpointed iteration;
+        given identical database and parameters the remaining
+        iterations replay bit-exactly.
         """
         params = self.params
         max_iters = params.max_global_iters if max_iters is None else max_iters
         stop = params.stop_overflow if stop_overflow is None else stop_overflow
         start = time.perf_counter()
-
-        overflow = self.overflow()
-        self.objective.gamma = self.gamma_schedule(overflow)
-        weight = self._init_density_weight()
-        self.objective.density_weight = weight.value
-        if self._optimizer is None:
-            self._optimizer, self._scheduler = self._build_optimizer()
-        else:
-            # warm restart: positions may have moved externally since the
-            # last round (inflation, set_positions), so drop value-derived
-            # caches and restart the momentum sequence
-            self._optimizer.rebind()
-            self._optimizer.reset_momentum()
-        optimizer, scheduler = self._optimizer, self._scheduler
 
         if monitor is None:
             monitor = ConvergenceMonitor(
@@ -344,8 +417,45 @@ class GlobalPlacer:
                 overflow_tol=params.overflow_improve_tol,
                 stop_overflow=stop,
             )
-        else:
+        elif resume_state is None:
             monitor.new_round(stop_overflow=stop)
+
+        if resume_state is not None:
+            (optimizer, scheduler, weight, hpwl, overflow,
+             hpwl_trace, overflow_trace, best_hpwl, recoveries,
+             best_snap, best_wl_snap, first_iter) = \
+                self._restore_loop_state(resume_state, monitor)
+        else:
+            overflow = self.overflow()
+            self.objective.gamma = self.gamma_schedule(overflow)
+            weight = self._init_density_weight()
+            self.objective.density_weight = weight.value
+            if self._optimizer is None:
+                self._optimizer, self._scheduler = self._build_optimizer()
+            else:
+                # warm restart: positions may have moved externally since
+                # the last round (inflation, set_positions), so drop
+                # value-derived caches and restart the momentum sequence
+                self._optimizer.rebind()
+                self._optimizer.reset_momentum()
+            optimizer, scheduler = self._optimizer, self._scheduler
+
+            hpwl_trace = []
+            overflow_trace = []
+            best_hpwl = math.inf
+            recoveries = 0
+
+            # iteration-0 checkpoint: there is always a sane state to
+            # return or roll back to, even if the first step blows up
+            hpwl = self.hpwl()
+            monitor.observe(0, hpwl, overflow)
+            best_snap = self._capture_snapshot(0, hpwl, overflow,
+                                               optimizer, scheduler, weight)
+            # lightweight best-wirelength fallback (positions only):
+            # what a diverged run hands back when no checkpoint can be
+            # trusted
+            best_wl_snap = PlacerSnapshot(0, hpwl, overflow, best_snap.pos)
+            first_iter = 1
 
         def closure():
             self.pos.zero_grad()
@@ -353,25 +463,11 @@ class GlobalPlacer:
             obj.backward()
             return obj
 
-        hpwl_trace: list[float] = []
-        overflow_trace: list[float] = []
-        best_hpwl = math.inf
         converged = False
         diverged = False
-        recoveries = 0
-        iteration = 0
+        iteration = first_iter - 1
 
-        # iteration-0 checkpoint: there is always a sane state to return
-        # or roll back to, even if the very first step blows up
-        hpwl = self.hpwl()
-        monitor.observe(0, hpwl, overflow)
-        best_snap = self._capture_snapshot(0, hpwl, overflow,
-                                           optimizer, scheduler, weight)
-        # lightweight best-wirelength fallback (positions only): what a
-        # diverged run hands back when no checkpoint can be trusted
-        best_wl_snap = PlacerSnapshot(0, hpwl, overflow, best_snap.pos)
-
-        for iteration in range(1, max_iters + 1):
+        for iteration in range(first_iter, max_iters + 1):
             with profiled("gp.step"):
                 loss = optimizer.step(closure)
                 optimizer.project(self._clamp)
@@ -417,6 +513,21 @@ class GlobalPlacer:
                             f"(hpwl {best_snap.hpwl:.4e}), lambda "
                             f"{weight.value:.3g}"
                         )
+                    self._loop_ctx = dict(
+                        iteration=iteration, hpwl=best_snap.hpwl,
+                        overflow=best_snap.overflow, optimizer=optimizer,
+                        scheduler=scheduler, weight=weight, monitor=monitor,
+                        best_snap=best_snap, best_wl_snap=best_wl_snap,
+                        hpwl_trace=hpwl_trace, overflow_trace=overflow_trace,
+                        best_hpwl=best_hpwl, recoveries=recoveries,
+                    )
+                    if on_iteration is not None:
+                        on_iteration(self, {
+                            "iteration": iteration, "hpwl": best_snap.hpwl,
+                            "overflow": best_snap.overflow,
+                            "status": status.value,
+                            "recoveries": recoveries,
+                        })
                     continue
                 diverged = True
                 break
@@ -441,6 +552,23 @@ class GlobalPlacer:
                     f"overflow {overflow:.4f} gamma "
                     f"{self.objective.gamma:.3g} lambda {weight.value:.3g}"
                 )
+            # the loop context is refreshed after the gamma/lambda
+            # updates so a checkpoint captured here resumes directly
+            # into the next iteration
+            self._loop_ctx = dict(
+                iteration=iteration, hpwl=hpwl, overflow=overflow,
+                optimizer=optimizer, scheduler=scheduler, weight=weight,
+                monitor=monitor, best_snap=best_snap,
+                best_wl_snap=best_wl_snap, hpwl_trace=hpwl_trace,
+                overflow_trace=overflow_trace, best_hpwl=best_hpwl,
+                recoveries=recoveries,
+            )
+            if on_iteration is not None:
+                on_iteration(self, {
+                    "iteration": iteration, "hpwl": hpwl,
+                    "overflow": overflow, "status": status.value,
+                    "recoveries": recoveries,
+                })
             if overflow <= stop and iteration >= params.min_global_iters:
                 converged = True
                 break
@@ -467,6 +595,7 @@ class GlobalPlacer:
             final_hpwl = self.hpwl()
             overflow = self.overflow()
 
+        self._loop_ctx = None
         x, y = self._positions()
         return GlobalPlaceResult(
             x=x, y=y,

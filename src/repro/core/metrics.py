@@ -42,3 +42,69 @@ def placement_summary(db: PlacementDB, x: np.ndarray | None = None,
 def scaled_hpwl(hpwl: float, rc: float) -> float:
     """DAC 2012 scaled wirelength, eq. (20): HPWL * (1 + 0.03*(RC-100))."""
     return hpwl * (1.0 + 0.03 * (rc - 100.0))
+
+
+def _finite_or_none(value):
+    if value is None:
+        return None
+    value = float(value)
+    return value if np.isfinite(value) else None
+
+
+def placement_result_metrics(result) -> dict:
+    """Machine-readable metrics for one flow run (JSON-safe).
+
+    This is *the* metrics schema of the toolkit: ``place --json``
+    emits it and the ``repro.runner`` run store persists it as
+    ``metrics.json``, so scripted consumers see one format everywhere.
+    ``result`` is a :class:`repro.core.PlacementResult`.
+    """
+    times = result.times
+    out = {
+        "hpwl": {
+            "global": float(result.hpwl_global),
+            "legal": float(result.hpwl_legal),
+            "final": float(result.hpwl_final),
+            "best_gp": _finite_or_none(result.best_hpwl),
+        },
+        "overflow": float(result.overflow),
+        "iterations": int(result.iterations),
+        "recoveries": int(result.recoveries),
+        "diverged": bool(result.diverged),
+        "legal": (None if result.legality is None
+                  else bool(result.legality.legal)),
+        "runtime": {
+            "global_place": float(times.global_place),
+            "global_route": float(times.global_route),
+            "legalize": float(times.legalize),
+            "detailed": float(times.detailed),
+            "total": float(times.total),
+        },
+        "routability": {
+            "rc": _finite_or_none(result.rc),
+            "shpwl": _finite_or_none(result.shpwl),
+            "inflation_rounds": int(result.inflation_rounds),
+            "router_calls": int(result.router_calls),
+        },
+    }
+    return out
+
+
+def placement_summary_metrics(summary: PlacementSummary,
+                              legal: bool | None = None) -> dict:
+    """The static-analysis subset of the run-store schema (``report``).
+
+    Shares key names with :func:`placement_result_metrics` where the
+    quantities coincide so downstream tooling can read either.
+    """
+    return {
+        "hpwl": {"final": float(summary.hpwl)},
+        "overflow": float(summary.overflow),
+        "legal": legal,
+        "design": {
+            "num_cells": int(summary.num_cells),
+            "num_nets": int(summary.num_nets),
+            "num_pins": int(summary.num_pins),
+            "utilization": float(summary.utilization),
+        },
+    }

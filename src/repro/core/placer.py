@@ -78,17 +78,35 @@ class DreamPlacer:
         )
 
     # ------------------------------------------------------------------
-    def run(self) -> PlacementResult:
+    def run(self, on_iteration=None,
+            resume_state: Optional[dict] = None) -> PlacementResult:
+        """Run the flow.
+
+        ``on_iteration(placer, info)`` is forwarded to every GP round
+        (see :meth:`GlobalPlacer.place`): the checkpoint/telemetry hook
+        of ``repro.runner``.  ``resume_state`` continues an interrupted
+        GP loop from a ``capture_loop_state`` dict; resuming is only
+        supported for the plain (non-routability) flow, where the GP
+        trajectory is a single uninterrupted loop.
+        """
         params = self.params
         db = self.db
         times = StageTimes()
 
         if params.routability:
-            gp_result, route_info = self._routability_global_place(times)
+            if resume_state is not None:
+                raise ValueError(
+                    "resume is not supported in routability mode: the "
+                    "inflation loop mutates cell sizes between GP rounds"
+                )
+            gp_result, route_info = self._routability_global_place(
+                times, on_iteration=on_iteration,
+            )
         else:
             start = time.perf_counter()
             placer = GlobalPlacer(db, params)
-            gp_result = placer.place()
+            gp_result = placer.place(on_iteration=on_iteration,
+                                     resume_state=resume_state)
             times.global_place = time.perf_counter() - start
             route_info = None
 
@@ -144,7 +162,8 @@ class DreamPlacer:
         )
 
     # ------------------------------------------------------------------
-    def _routability_global_place(self, times: StageTimes):
+    def _routability_global_place(self, times: StageTimes,
+                                  on_iteration=None):
         """GP with the cell-inflation loop of Section III-F."""
         from repro.route.inflation import apply_inflation, inflation_ratio_map
         from repro.route.router import GlobalRouter
@@ -178,10 +197,11 @@ class DreamPlacer:
                     # run down to the inflation trigger overflow (20%)
                     result = placer.place(
                         stop_overflow=params.inflation_overflow_trigger,
-                        monitor=monitor,
+                        monitor=monitor, on_iteration=on_iteration,
                     )
                 else:
-                    result = placer.place(monitor=monitor)
+                    result = placer.place(monitor=monitor,
+                                          on_iteration=on_iteration)
                 times.global_place += time.perf_counter() - start
                 recoveries += result.recoveries
 
@@ -214,7 +234,8 @@ class DreamPlacer:
                     )
                     placer.set_positions(result.x, result.y)
                     start = time.perf_counter()
-                    result = placer.place(monitor=monitor)
+                    result = placer.place(monitor=monitor,
+                                          on_iteration=on_iteration)
                     times.global_place += time.perf_counter() - start
                     recoveries += result.recoveries
                     result.recoveries = recoveries

@@ -183,6 +183,39 @@ class PlacementDB:
             self.cell2pin_start[cell]:self.cell2pin_start[cell + 1]
         ]
 
+    def fingerprint(self) -> str:
+        """Content hash of the netlist (hex SHA-256).
+
+        Covers everything placement quality depends on: the die region
+        and row geometry, cell sizes and movability, fixed-cell
+        positions, and the full hypergraph (net weights, connectivity,
+        pin offsets).  *Movable* cell positions are excluded — global
+        placement re-initializes them from the seed — so two databases
+        that differ only in a previous placement fingerprint alike.
+        Cell/net *names* are likewise excluded: identity is structure.
+        ``repro.runner`` folds this hash into every job's content hash
+        for cache keying.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        r = self.region
+        h.update(np.array([
+            r.xl, r.yl, r.xh, r.yh, r.row_height, r.site_width,
+        ], dtype=np.float64).tobytes())
+        fixed = ~self.movable
+        fixed_x = np.where(fixed, self.cell_x, 0.0)
+        fixed_y = np.where(fixed, self.cell_y, 0.0)
+        for array in (
+            self.cell_width, self.cell_height,
+            self.movable, self.terminal, fixed_x, fixed_y,
+            self.net_weight, self.net2pin_start,
+            self.pin_cell, self.pin_net,
+            self.pin_offset_x, self.pin_offset_y,
+        ):
+            h.update(np.ascontiguousarray(array).tobytes())
+        return h.hexdigest()
+
     def clone(self) -> "PlacementDB":
         """Deep copy (positions and arrays independent of the original)."""
         return PlacementDB(

@@ -1,0 +1,71 @@
+"""Batch placement service: jobs, run store, caching, checkpoint/resume.
+
+The production layer over the one-shot ``DreamPlacer(db, params).run()``
+API.  A placement request becomes a declarative :class:`JobSpec` with a
+content hash over netlist + parameters + code version; every run
+persists its spec, metrics, Bookshelf output, JSONL event telemetry and
+periodic GP-loop checkpoints in a :class:`RunStore` directory keyed by
+that hash; the :class:`ResultCache` turns resubmission of an identical
+job into an instant hit; a killed run resumes bit-exactly from its last
+checkpoint; and the :class:`Scheduler` drives fleets of jobs (parameter
+sweeps, seed fans) with retry, backoff, timeout and warm design reuse.
+
+CLI frontends: ``python -m repro batch | sweep | resume | runs``.
+"""
+
+from repro.runner.cache import CacheStats, ResultCache
+from repro.runner.checkpoint import CHECKPOINT_VERSION, PlacerCheckpoint
+from repro.runner.events import (
+    EventLog,
+    EventType,
+    NullEventLog,
+    count_events,
+    read_events,
+)
+from repro.runner.execute import JobOutcome, JobTimeout, execute_job
+from repro.runner.job import (
+    SPEC_SCHEMA_VERSION,
+    STAGES,
+    DesignRef,
+    JobSpec,
+    canonical_json,
+)
+from repro.runner.scheduler import Scheduler, expand_sweep
+from repro.runner.store import (
+    STATUS_COMPLETE,
+    STATUS_FAILED,
+    STATUS_RUNNING,
+    STATUS_TIMEOUT,
+    RunHandle,
+    RunRecord,
+    RunStore,
+)
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "CHECKPOINT_VERSION",
+    "PlacerCheckpoint",
+    "EventLog",
+    "EventType",
+    "NullEventLog",
+    "count_events",
+    "read_events",
+    "JobOutcome",
+    "JobTimeout",
+    "execute_job",
+    "SPEC_SCHEMA_VERSION",
+    "STAGES",
+    "DesignRef",
+    "JobSpec",
+    "canonical_json",
+    "Scheduler",
+    "expand_sweep",
+    "STATUS_COMPLETE",
+    "STATUS_FAILED",
+    "STATUS_RUNNING",
+    "STATUS_TIMEOUT",
+    "RunHandle",
+    "RunRecord",
+    "RunStore",
+]

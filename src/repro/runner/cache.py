@@ -1,0 +1,89 @@
+"""Content-addressed result cache over a :class:`RunStore`.
+
+The cache *is* the run store — a completed run directory whose job hash
+matches the incoming job is a hit, so caching costs nothing beyond the
+artifacts every run persists anyway.  The cache layer adds the policy:
+
+- **hit**: run directory exists, status ``complete``, metrics readable
+  — the stored metrics/artifacts are returned and no placement work
+  runs (verified in tests by the absence of new ``iteration`` events).
+- **miss**: no directory, or an interrupted (``running``/``failed``/
+  ``timeout``) run — the job executes (possibly resuming a checkpoint).
+- **invalidation**: a directory that claims completion but is corrupt
+  (unreadable metrics, spec hash mismatch) is evicted and re-run.
+
+Because the key is a *content* hash (netlist fingerprint + effective
+params + code version), upgrading the toolkit or editing the design
+naturally forks new cache entries instead of returning stale results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.runner.store import STATUS_COMPLETE, RunRecord, RunStore
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/invalidation counters for one cache lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "invalidations": self.invalidations}
+
+
+class ResultCache:
+    """Content-addressed lookup of completed placement runs."""
+
+    def __init__(self, store: RunStore):
+        self.store = store
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def lookup(self, job_hash: str) -> Optional[RunRecord]:
+        """A completed, intact run for ``job_hash`` — or None (miss)."""
+        import os
+
+        directory = self.store.run_dir(job_hash)
+        if not os.path.isdir(directory):
+            self.stats.misses += 1
+            return None
+        from repro.runner.store import _read_json
+
+        spec = _read_json(os.path.join(directory, "spec.json"))
+        status = _read_json(os.path.join(directory, "status.json"))
+        metrics = _read_json(os.path.join(directory, "metrics.json"))
+        state = (status or {}).get("status")
+        if state != STATUS_COMPLETE:
+            # interrupted or failed run: not a hit, but not corrupt
+            # either — the executor may resume its checkpoint
+            self.stats.misses += 1
+            return None
+        stored_hash = (spec or {}).get("job_hash")
+        if metrics is None or stored_hash != job_hash:
+            # claims completion but is unreadable or belongs to a
+            # different job (hash-prefix collision / manual tampering)
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return RunRecord(job_hash=job_hash, directory=directory,
+                         spec=spec, status=status, metrics=metrics)
+
+    def invalidate(self, job_hash: str) -> bool:
+        """Explicitly evict one entry (delete the run directory)."""
+        import os
+        import shutil
+
+        directory = self.store.run_dir(job_hash)
+        if not os.path.isdir(directory):
+            return False
+        shutil.rmtree(directory)
+        self.stats.invalidations += 1
+        return True

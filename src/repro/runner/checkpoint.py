@@ -1,0 +1,79 @@
+"""On-disk GP-loop checkpoints: kill -9 a run, resume it bit-exactly.
+
+PR 2 built exact in-memory ``state_dict()`` round-trips for every
+optimizer, the LR scheduler, the density-weight controller and (now)
+the convergence monitor; :class:`PlacerCheckpoint` serializes the whole
+bundle — :meth:`repro.core.GlobalPlacer.capture_loop_state` — to disk.
+Restoring into a freshly constructed placer for the *same* database,
+parameters and code version replays the remaining iterations
+bit-exactly, because every source of loop state is either in the
+checkpoint (positions, optimizer internals, lambda/gamma, monitor
+statistics, best-iterate snapshots, traces, recovery budget) or
+deterministically derivable from the job spec (bin grid, operators,
+clamp bounds).
+
+The format is a versioned pickle: checkpoints are private artifacts of
+a run directory, consumed only by the same toolkit version that wrote
+them (the embedded job hash enforces this — the code version is part
+of the hash).  Writes are atomic (temp + ``os.replace``) so a SIGKILL
+mid-write leaves the previous checkpoint intact.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+CHECKPOINT_VERSION = 1
+
+
+@dataclass
+class PlacerCheckpoint:
+    """One serialized GP loop state, tagged with its job identity."""
+
+    job_hash: str
+    iteration: int
+    loop_state: dict
+    version: int = CHECKPOINT_VERSION
+    created: float = field(default_factory=time.time)
+
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> str:
+        """Atomically write the checkpoint; returns ``path``."""
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as handle:
+            pickle.dump(self, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        return path
+
+    @staticmethod
+    def load(path: str,
+             expect_job_hash: Optional[str] = None) -> "PlacerCheckpoint":
+        """Read and validate a checkpoint.
+
+        ``expect_job_hash`` guards resume: a checkpoint written for a
+        different job (or by a different code version — the hash covers
+        it) is rejected rather than silently producing a wrong run.
+        """
+        with open(path, "rb") as handle:
+            ckpt = pickle.load(handle)
+        if not isinstance(ckpt, PlacerCheckpoint):
+            raise ValueError(f"{path} is not a placer checkpoint")
+        if ckpt.version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"checkpoint version {ckpt.version} unsupported "
+                f"(expected {CHECKPOINT_VERSION})"
+            )
+        if expect_job_hash is not None and ckpt.job_hash != expect_job_hash:
+            raise ValueError(
+                "checkpoint belongs to a different job "
+                f"({ckpt.job_hash[:16]} != {expect_job_hash[:16]}); "
+                "the design, parameters or code version changed"
+            )
+        return ckpt

@@ -1,0 +1,117 @@
+"""Structured event telemetry for batch placement runs.
+
+Every run in a :class:`~repro.runner.store.RunStore` carries an
+append-only JSONL event stream (``events.jsonl``): one JSON object per
+line with at least ``type`` and ``t`` (wall-clock seconds).  The stream
+is the run's flight recorder — per-iteration GP telemetry, stage
+transitions, divergence recoveries, checkpoints, cache hits, retries —
+and the substrate the acceptance checks read (e.g. "a cache hit
+executed zero placement iterations" is verified by counting
+``iteration`` events).
+
+Writes are line-buffered and each event is flushed immediately so a
+SIGKILL loses at most the event being written; JSONL readers skip a
+torn final line.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import Counter
+from typing import Callable, Iterator, Optional
+
+
+class EventType:
+    """Event-type vocabulary (plain strings on the wire)."""
+
+    RUN_START = "run_start"
+    RUN_COMPLETE = "run_complete"
+    RUN_FAILED = "run_failed"
+    STAGE_START = "stage_start"
+    STAGE_END = "stage_end"
+    ITERATION = "iteration"
+    RECOVERY = "recovery"
+    CHECKPOINT = "checkpoint"
+    RESUME = "resume"
+    CACHE_HIT = "cache_hit"
+    RETRY = "retry"
+    TIMEOUT = "timeout"
+    PROFILE = "profile"
+
+
+class EventLog:
+    """Append-only JSONL event writer for one run.
+
+    ``clock`` is injectable for deterministic tests.  The log may be
+    reopened across process restarts (resume appends to the same file).
+    """
+
+    def __init__(self, path: str, clock: Callable[[], float] = time.time):
+        self.path = str(path)
+        self._clock = clock
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._handle = open(self.path, "a")
+
+    def emit(self, type: str, **fields) -> dict:
+        """Append one event; returns the record written."""
+        record = {"type": type, "t": self._clock()}
+        record.update(fields)
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        return record
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class NullEventLog:
+    """Event sink that drops everything (library use without a store)."""
+
+    def emit(self, type: str, **fields) -> dict:
+        return {"type": type}
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullEventLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+def read_events(path: str,
+                type: Optional[str] = None) -> Iterator[dict]:
+    """Yield events from a JSONL file, optionally filtered by type.
+
+    Tolerates a torn final line (the process died mid-write).
+    """
+    if not os.path.exists(path):
+        return
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail from a killed writer
+            if type is None or record.get("type") == type:
+                yield record
+
+
+def count_events(path: str) -> Counter:
+    """Event counts by type (the cache-hit acceptance check)."""
+    return Counter(record.get("type") for record in read_events(path))

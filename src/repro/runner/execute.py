@@ -1,0 +1,215 @@
+"""Single-job execution: cache check, telemetry, checkpoints, resume.
+
+``execute_job`` is the one path every placement request takes:
+
+1. load (or receive, warm from the scheduler) the design database,
+2. compute the job's content hash and consult the result cache —
+   a hit returns the persisted metrics without running a single
+   placement iteration (a ``cache_hit`` event is appended to the run's
+   log as the audit trail),
+3. otherwise open the run directory, optionally restore the latest
+   on-disk checkpoint (``resume``), and drive the full flow with an
+   ``on_iteration`` hook that streams per-iteration events, persists a
+   :class:`PlacerCheckpoint` every ``checkpoint_every`` iterations and
+   enforces the cooperative per-job timeout,
+4. persist metrics + Bookshelf output and mark the run complete —
+   or record the failure/timeout with the checkpoint left in place so
+   a later ``resume`` continues where the run died.
+
+Failures are isolated: ``execute_job`` never lets a job exception
+escape; it returns a :class:`JobOutcome` describing what happened.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core import DreamPlacer, placement_result_metrics
+from repro.netlist.database import PlacementDB
+from repro.runner.cache import ResultCache
+from repro.runner.checkpoint import PlacerCheckpoint
+from repro.runner.events import EventLog, EventType
+from repro.runner.job import JobSpec
+from repro.runner.store import (
+    STATUS_COMPLETE,
+    STATUS_FAILED,
+    STATUS_RUNNING,
+    STATUS_TIMEOUT,
+    RunStore,
+)
+
+
+class JobTimeout(Exception):
+    """Cooperative per-job timeout raised from the iteration hook."""
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one submitted job."""
+
+    job_hash: str
+    directory: str
+    status: str
+    design: str = ""
+    cached: bool = False
+    resumed_from: Optional[int] = None
+    metrics: Optional[dict] = None
+    error: Optional[str] = None
+    result: object = None  # PlacementResult when run in-process
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_COMPLETE
+
+
+def execute_job(spec: JobSpec, store: RunStore,
+                cache: Optional[ResultCache] = None,
+                db: Optional[PlacementDB] = None,
+                checkpoint_every: int = 25,
+                timeout: Optional[float] = None,
+                resume: bool = False,
+                profile: bool = False,
+                attempt: int = 1) -> JobOutcome:
+    """Run one job against the store; see module docstring for the flow.
+
+    The timeout is *cooperative*: it is checked on every GP iteration,
+    so legalization/detailed placement (short, bounded stages) are not
+    interruptible mid-stage.  A timed-out run keeps its checkpoint and
+    is not considered cached, so resubmission resumes it.
+    """
+    if db is None:
+        db = spec.design.load()
+    job_hash = spec.job_hash(db)
+
+    if cache is not None:
+        record = cache.lookup(job_hash)
+        if record is not None:
+            with EventLog(record.events_path) as events:
+                events.emit(EventType.CACHE_HIT, job_hash=job_hash,
+                            attempt=attempt)
+            return JobOutcome(
+                job_hash=job_hash, directory=record.directory,
+                status=STATUS_COMPLETE, design=spec.design.name,
+                cached=True, metrics=record.metrics,
+            )
+
+    handle = store.open_run(spec, job_hash)
+    params = spec.effective_params()
+
+    resume_state = None
+    resumed_from = None
+    if resume:
+        import os
+
+        if os.path.exists(handle.checkpoint_path):
+            ckpt = PlacerCheckpoint.load(handle.checkpoint_path,
+                                         expect_job_hash=job_hash)
+            resume_state = ckpt.loop_state
+            resumed_from = ckpt.iteration
+
+    deadline = None if timeout is None else time.monotonic() + timeout
+    seen_recoveries = 0
+
+    def on_iteration(placer, info):
+        nonlocal seen_recoveries
+        handle.events.emit(
+            EventType.ITERATION,
+            iteration=info["iteration"], hpwl=info["hpwl"],
+            overflow=info["overflow"], status=info["status"],
+        )
+        if info["recoveries"] > seen_recoveries:
+            seen_recoveries = info["recoveries"]
+            handle.events.emit(EventType.RECOVERY,
+                               iteration=info["iteration"],
+                               recoveries=info["recoveries"])
+        if checkpoint_every and info["iteration"] % checkpoint_every == 0:
+            state = placer.capture_loop_state()
+            PlacerCheckpoint(
+                job_hash=job_hash, iteration=info["iteration"],
+                loop_state=state,
+            ).save(handle.checkpoint_path)
+            handle.events.emit(EventType.CHECKPOINT,
+                               iteration=info["iteration"])
+        if deadline is not None and time.monotonic() > deadline:
+            handle.events.emit(EventType.TIMEOUT,
+                               iteration=info["iteration"],
+                               timeout=timeout)
+            raise JobTimeout(
+                f"job {job_hash[:16]} exceeded {timeout}s at GP "
+                f"iteration {info['iteration']}"
+            )
+
+    handle.set_status(STATUS_RUNNING, attempts=attempt)
+    handle.events.emit(
+        EventType.RUN_START, job_hash=job_hash,
+        design=spec.design.name, attempt=attempt,
+    )
+    if resumed_from is not None:
+        handle.events.emit(EventType.RESUME, iteration=resumed_from)
+
+    try:
+        handle.events.emit(EventType.STAGE_START, stage="gp")
+        if profile:
+            from repro.perf import Profiler
+
+            with Profiler() as prof:
+                result = DreamPlacer(db, params).run(
+                    on_iteration=on_iteration, resume_state=resume_state,
+                )
+            handle.events.emit(EventType.PROFILE, ops=prof.as_dict())
+        else:
+            result = DreamPlacer(db, params).run(
+                on_iteration=on_iteration, resume_state=resume_state,
+            )
+    except JobTimeout as exc:
+        handle.set_status(STATUS_TIMEOUT, error=str(exc), attempts=attempt)
+        handle.close()
+        return JobOutcome(job_hash=job_hash, directory=handle.directory,
+                          status=STATUS_TIMEOUT, design=spec.design.name,
+                          resumed_from=resumed_from, error=str(exc))
+    except Exception as exc:  # noqa: BLE001 — failure isolation
+        error = f"{type(exc).__name__}: {exc}"
+        handle.events.emit(EventType.RUN_FAILED, error=error,
+                           trace=traceback.format_exc(limit=5))
+        handle.set_status(STATUS_FAILED, error=error, attempts=attempt)
+        handle.close()
+        return JobOutcome(job_hash=job_hash, directory=handle.directory,
+                          status=STATUS_FAILED, design=spec.design.name,
+                          resumed_from=resumed_from, error=error)
+
+    # stage telemetry for the non-iterative stages is emitted post-hoc
+    # with the measured durations (DreamPlacer times them internally)
+    times = result.times
+    handle.events.emit(EventType.STAGE_END, stage="gp",
+                       seconds=times.global_place,
+                       iterations=result.iterations)
+    for stage, seconds in (("route", times.global_route),
+                           ("lg", times.legalize),
+                           ("dp", times.detailed)):
+        if stage in spec.stages:
+            handle.events.emit(EventType.STAGE_START, stage=stage)
+            handle.events.emit(EventType.STAGE_END, stage=stage,
+                               seconds=seconds)
+
+    metrics = placement_result_metrics(result)
+    handle.write_metrics(metrics)
+    try:
+        from repro.bookshelf import write_bookshelf
+
+        write_bookshelf(db, handle.result_dir)
+    except Exception as exc:  # noqa: BLE001 — artifacts are best-effort
+        handle.events.emit(EventType.RUN_FAILED,
+                           error=f"result write failed: {exc}")
+    handle.set_status(STATUS_COMPLETE, attempts=attempt)
+    handle.events.emit(EventType.RUN_COMPLETE,
+                       hpwl=metrics["hpwl"]["final"],
+                       iterations=metrics["iterations"],
+                       recoveries=metrics["recoveries"])
+    handle.close()
+    return JobOutcome(job_hash=job_hash, directory=handle.directory,
+                      status=STATUS_COMPLETE, design=spec.design.name,
+                      resumed_from=resumed_from, metrics=metrics,
+                      result=result)

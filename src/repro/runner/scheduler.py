@@ -1,0 +1,157 @@
+"""Serial-but-queue-shaped job scheduler and parameter-sweep expander.
+
+The :class:`Scheduler` drains a FIFO of :class:`JobSpec`s through
+``execute_job`` with the operational policy a batch service needs:
+
+- **failure isolation** — one crashing job never takes down the queue;
+  its outcome records the error and the next job runs.
+- **retry with backoff** — failed jobs are retried up to
+  ``max_retries`` times with exponential backoff (``backoff *
+  2**attempt`` seconds; the sleep function is injectable so tests run
+  instantly).  Timeouts are *not* retried — the budget is deterministic
+  and a retry would spend the same wall clock to die the same way —
+  but the run keeps its checkpoint, so an explicit ``resume`` (or a
+  resubmission with a larger timeout) continues it.
+- **warm design reuse** — jobs sharing a design reference share one
+  loaded :class:`PlacementDB`: the netlist/hypergraph construction and
+  synthetic generation run once per design per scheduler, not once per
+  job.  (Sharing is safe because global placement re-initializes all
+  movable positions from the seed and the routability loop restores
+  inflated cell widths on exit.)
+
+The scheduler is deliberately single-worker: jobs are CPU-bound and
+the queue discipline (ordering, retries, events, caching) is exactly
+what a future multi-worker/sharded executor slots into.
+
+``expand_sweep`` turns one base spec plus a parameter grid into the
+cross-product of jobs — the hundreds-of-rollouts workhorse of
+RL-guided placement and framework evaluations.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import fields
+from typing import Callable, Optional, Sequence
+
+from repro.core.params import PlacementParams
+from repro.runner.cache import ResultCache
+from repro.runner.events import EventLog, EventType
+from repro.runner.execute import JobOutcome, execute_job
+from repro.runner.job import JobSpec
+from repro.runner.store import STATUS_FAILED, RunStore
+
+
+def expand_sweep(base: JobSpec, grid: dict) -> list:
+    """Cross-product expansion of ``base`` over a parameter grid.
+
+    ``grid`` maps :class:`PlacementParams` field names to value lists;
+    keys are expanded in sorted order so the job sequence (and thus the
+    run store contents) is deterministic.  ``{"seed": [0, 1, 2],
+    "target_density": [0.8, 1.0]}`` yields 6 jobs.
+    """
+    if not grid:
+        return [base]
+    known = {f.name for f in fields(PlacementParams)}
+    unknown = set(grid) - known
+    if unknown:
+        raise ValueError(
+            f"unknown sweep parameter(s) {sorted(unknown)}; "
+            f"valid names are PlacementParams fields"
+        )
+    keys = sorted(grid)
+    specs = []
+    for combo in itertools.product(*(grid[key] for key in keys)):
+        specs.append(base.with_param_overrides(**dict(zip(keys, combo))))
+    return specs
+
+
+class Scheduler:
+    """Serial queue of placement jobs over one run store."""
+
+    def __init__(self, store: RunStore,
+                 cache: Optional[ResultCache] = None,
+                 max_retries: int = 1,
+                 backoff: float = 0.5,
+                 timeout: Optional[float] = None,
+                 checkpoint_every: int = 25,
+                 profile: bool = False,
+                 sleep: Callable[[float], None] = time.sleep):
+        self.store = store
+        self.cache = cache
+        self.max_retries = int(max_retries)
+        self.backoff = float(backoff)
+        self.timeout = timeout
+        self.checkpoint_every = int(checkpoint_every)
+        self.profile = profile
+        self._sleep = sleep
+        self._queue: list = []
+        #: design-ref key -> loaded PlacementDB (warm netlist reuse)
+        self._designs: dict = {}
+
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec) -> None:
+        self._queue.append(spec)
+
+    def submit_sweep(self, base: JobSpec, grid: dict) -> int:
+        """Queue the expanded sweep; returns the number of jobs added."""
+        specs = expand_sweep(base, grid)
+        self._queue.extend(specs)
+        return len(specs)
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    def _load_design(self, spec: JobSpec):
+        ref = spec.design
+        key = (ref.source, ref.name, ref.scale)
+        if key not in self._designs:
+            self._designs[key] = ref.load()
+        return self._designs[key]
+
+    def run(self) -> list:
+        """Drain the queue serially; returns one outcome per job."""
+        outcomes = []
+        while self._queue:
+            spec = self._queue.pop(0)
+            outcomes.append(self._run_one(spec))
+        return outcomes
+
+    # ------------------------------------------------------------------
+    def _run_one(self, spec: JobSpec) -> JobOutcome:
+        try:
+            db = self._load_design(spec)
+        except Exception as exc:  # noqa: BLE001 — isolate bad designs
+            return JobOutcome(
+                job_hash="", directory="", status=STATUS_FAILED,
+                design=spec.design.name,
+                error=f"design load failed: {type(exc).__name__}: {exc}",
+            )
+
+        attempt = 0
+        while True:
+            attempt += 1
+            outcome = execute_job(
+                spec, self.store, cache=self.cache, db=db,
+                checkpoint_every=self.checkpoint_every,
+                timeout=self.timeout,
+                resume=attempt > 1,  # retries continue the checkpoint
+                profile=self.profile,
+                attempt=attempt,
+            )
+            if outcome.status != STATUS_FAILED:
+                # complete, cached — or timeout, which is never retried
+                # (a retry would spend the same budget to die the same
+                # way); the checkpoint stays for an explicit resume
+                return outcome
+            if attempt > self.max_retries:
+                return outcome
+            delay = self.backoff * (2.0 ** (attempt - 1))
+            if outcome.directory:
+                with EventLog(f"{outcome.directory}/events.jsonl") as log:
+                    log.emit(EventType.RETRY, attempt=attempt,
+                             delay=delay, error=outcome.error)
+            self._sleep(delay)

@@ -1,0 +1,211 @@
+"""Persistent run store: one directory per job hash.
+
+Layout (all artifacts of one placement job live under its content
+hash, so identical jobs share a slot and re-runs are idempotent)::
+
+    <root>/
+      store.json                 # store-level schema version
+      runs/
+        <hash16>/                # first 16 hex chars of the job hash
+          spec.json              # {"job_hash", "spec": JobSpec dict}
+          status.json            # {"status", "attempts", "error", ...}
+          metrics.json           # placement_result_metrics schema
+          events.jsonl           # telemetry (repro.runner.events)
+          checkpoint.pkl         # periodic GP loop checkpoint (resume)
+          result/<design>.aux..  # Bookshelf output of the final stage
+
+JSON files are written atomically (temp file + ``os.replace``) so a
+killed process never leaves a torn ``status.json``; the checkpoint
+writer does the same.  Statuses: ``running`` -> ``complete`` |
+``failed`` | ``timeout``; a ``running`` directory found on disk with a
+checkpoint is a resumable crash victim.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.runner.events import EventLog
+from repro.runner.job import JobSpec
+
+STORE_SCHEMA_VERSION = 1
+
+#: directory-name length: 64 hex chars is unwieldy and 16 (64 bits)
+#: makes accidental collision odds negligible at any realistic fleet
+SHORT_HASH_LEN = 16
+
+STATUS_RUNNING = "running"
+STATUS_COMPLETE = "complete"
+STATUS_FAILED = "failed"
+STATUS_TIMEOUT = "timeout"
+
+
+def _atomic_write_json(path: str, data: dict) -> None:
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+
+
+def _read_json(path: str) -> Optional[dict]:
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+@dataclass
+class RunRecord:
+    """On-disk state of one run, as loaded by listing/inspection."""
+
+    job_hash: str
+    directory: str
+    spec: Optional[dict]
+    status: Optional[dict]
+    metrics: Optional[dict]
+
+    @property
+    def short_hash(self) -> str:
+        return self.job_hash[:SHORT_HASH_LEN]
+
+    @property
+    def state(self) -> str:
+        return (self.status or {}).get("status", "unknown")
+
+    @property
+    def complete(self) -> bool:
+        return self.state == STATUS_COMPLETE and self.metrics is not None
+
+    @property
+    def events_path(self) -> str:
+        return os.path.join(self.directory, "events.jsonl")
+
+    @property
+    def checkpoint_path(self) -> str:
+        return os.path.join(self.directory, "checkpoint.pkl")
+
+    @property
+    def result_dir(self) -> str:
+        return os.path.join(self.directory, "result")
+
+    def load_spec(self) -> JobSpec:
+        if not self.spec:
+            raise ValueError(f"run {self.short_hash} has no readable spec")
+        return JobSpec.from_dict(self.spec["spec"])
+
+
+class RunHandle:
+    """Live interface to one run directory while a job executes."""
+
+    def __init__(self, store: "RunStore", job_hash: str, directory: str):
+        self.store = store
+        self.job_hash = job_hash
+        self.directory = directory
+        self.events = EventLog(os.path.join(directory, "events.jsonl"))
+
+    # -- paths ---------------------------------------------------------
+    @property
+    def checkpoint_path(self) -> str:
+        return os.path.join(self.directory, "checkpoint.pkl")
+
+    @property
+    def result_dir(self) -> str:
+        return os.path.join(self.directory, "result")
+
+    # -- state ---------------------------------------------------------
+    def write_spec(self, spec: JobSpec) -> None:
+        _atomic_write_json(
+            os.path.join(self.directory, "spec.json"),
+            {"job_hash": self.job_hash, "spec": spec.to_dict()},
+        )
+
+    def set_status(self, status: str, error: Optional[str] = None,
+                   attempts: Optional[int] = None) -> None:
+        path = os.path.join(self.directory, "status.json")
+        current = _read_json(path) or {
+            "created": time.time(), "attempts": 0,
+        }
+        current.update(
+            job_hash=self.job_hash,
+            status=status,
+            error=error,
+            updated=time.time(),
+        )
+        if attempts is not None:
+            current["attempts"] = int(attempts)
+        _atomic_write_json(path, current)
+
+    def write_metrics(self, metrics: dict) -> None:
+        _atomic_write_json(
+            os.path.join(self.directory, "metrics.json"), metrics
+        )
+
+    def close(self) -> None:
+        self.events.close()
+
+
+class RunStore:
+    """Directory-backed store of placement runs, keyed by job hash."""
+
+    def __init__(self, root: str):
+        self.root = str(root)
+        self.runs_root = os.path.join(self.root, "runs")
+        os.makedirs(self.runs_root, exist_ok=True)
+        marker = os.path.join(self.root, "store.json")
+        if not os.path.exists(marker):
+            _atomic_write_json(marker, {"schema": STORE_SCHEMA_VERSION})
+
+    # ------------------------------------------------------------------
+    def run_dir(self, job_hash: str) -> str:
+        return os.path.join(self.runs_root, job_hash[:SHORT_HASH_LEN])
+
+    def open_run(self, spec: JobSpec, job_hash: str) -> RunHandle:
+        """Create (or reopen, for resume/overwrite) the run directory."""
+        directory = self.run_dir(job_hash)
+        os.makedirs(directory, exist_ok=True)
+        handle = RunHandle(self, job_hash, directory)
+        handle.write_spec(spec)
+        return handle
+
+    # ------------------------------------------------------------------
+    def load(self, ref: str) -> RunRecord:
+        """Load one run by full hash, short hash, or unique prefix."""
+        matches = [r for r in self.list_runs()
+                   if r.job_hash.startswith(ref) or r.short_hash == ref]
+        if not matches:
+            raise KeyError(f"no run matching {ref!r} in {self.runs_root}")
+        if len(matches) > 1:
+            raise KeyError(
+                f"ambiguous run reference {ref!r}: "
+                f"{[m.short_hash for m in matches]}"
+            )
+        return matches[0]
+
+    def list_runs(self) -> list:
+        """All runs, oldest first (by status creation time)."""
+        records = []
+        try:
+            entries = sorted(os.listdir(self.runs_root))
+        except OSError:
+            return records
+        for entry in entries:
+            directory = os.path.join(self.runs_root, entry)
+            if not os.path.isdir(directory):
+                continue
+            spec = _read_json(os.path.join(directory, "spec.json"))
+            status = _read_json(os.path.join(directory, "status.json"))
+            metrics = _read_json(os.path.join(directory, "metrics.json"))
+            job_hash = (spec or {}).get("job_hash") \
+                or (status or {}).get("job_hash") or entry
+            records.append(RunRecord(
+                job_hash=job_hash, directory=directory,
+                spec=spec, status=status, metrics=metrics,
+            ))
+        records.sort(key=lambda r: (r.status or {}).get("created", 0.0))
+        return records

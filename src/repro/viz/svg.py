@@ -6,6 +6,8 @@ outline, optionally a congestion heat overlay) without matplotlib.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.netlist.database import PlacementDB
@@ -119,6 +121,9 @@ def write_placement_svg(db: PlacementDB, path: str,
                         heat: np.ndarray | None = None) -> str:
     """Write :func:`placement_svg` output to ``path``; returns the path."""
     svg = placement_svg(db, x, y, width=width, heat=heat)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
     with open(path, "w") as handle:
         handle.write(svg)
     return path

@@ -1,0 +1,520 @@
+"""Tests for the batch placement service (repro.runner).
+
+Covers the three acceptance criteria of the runner subsystem:
+
+- resubmitting a byte-identical job is a cache hit: no placement
+  iterations run (verified by the absence of new ``iteration`` events),
+- a run killed mid-GP resumes from its on-disk checkpoint and finishes
+  with *bit-exact* positions/HPWL versus the uninterrupted run (both
+  float32 and float64),
+- a 3x3 parameter sweep through one scheduler produces nine populated
+  run directories,
+
+plus the spec/hash semantics, store/event/checkpoint plumbing,
+scheduler policy (retry, backoff, failure isolation, warm design
+reuse) and the CLI verbs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.benchgen import CircuitSpec, generate
+from repro.core import DEFAULT_SEED, PlacementParams
+from repro.runner import (
+    DesignRef,
+    EventLog,
+    EventType,
+    JobSpec,
+    PlacerCheckpoint,
+    ResultCache,
+    RunStore,
+    Scheduler,
+    count_events,
+    execute_job,
+    expand_sweep,
+    read_events,
+)
+from repro.runner.store import STATUS_COMPLETE, STATUS_FAILED, STATUS_TIMEOUT
+
+
+def make_db(seed=5, num_cells=60):
+    return generate(CircuitSpec(
+        name="runnertest", num_cells=num_cells, num_ios=8,
+        utilization=0.6, seed=seed,
+    ))
+
+
+def gp_spec(**overrides) -> JobSpec:
+    """A fast GP-only job spec for a pre-loaded database."""
+    params = PlacementParams(max_global_iters=120, **overrides)
+    return JobSpec(design=DesignRef("runnertest", scale=1),
+                   params=params, stages=("gp",))
+
+
+# ----------------------------------------------------------------------
+class TestJobSpec:
+    def test_design_ref_parse(self):
+        ref = DesignRef.parse("designs/adaptec1.aux", scale=7)
+        assert ref.source == "bookshelf"
+        assert ref.scale == 7
+        assert DesignRef.parse("tiny1").source == "suite"
+        with pytest.raises(ValueError):
+            DesignRef(name="x", source="magnetic-tape")
+
+    def test_stage_validation(self):
+        with pytest.raises(ValueError):
+            JobSpec(design=DesignRef("a"), stages=("lg",))
+        with pytest.raises(ValueError):
+            JobSpec(design=DesignRef("a"), stages=("gp", "dp"))
+        with pytest.raises(ValueError):
+            JobSpec(design=DesignRef("a"), stages=("gp", "warp"))
+
+    def test_effective_params_fold_stages(self):
+        spec = JobSpec(design=DesignRef("a"), stages=("gp",))
+        params = spec.effective_params()
+        assert not params.legalize and not params.detailed
+        spec = JobSpec(design=DesignRef("a"),
+                       stages=("gp", "lg", "dp", "route"))
+        params = spec.effective_params()
+        assert params.legalize and params.detailed and params.routability
+
+    def test_dict_roundtrip_preserves_hash(self):
+        db = make_db()
+        spec = gp_spec(seed=9, target_density=0.9)
+        clone = JobSpec.from_dict(json.loads(
+            json.dumps(spec.to_dict())))
+        assert clone.job_hash(db) == spec.job_hash(db)
+        assert clone.canonical_json() == spec.canonical_json()
+
+    def test_hash_sensitivity(self):
+        db = make_db()
+        base = gp_spec()
+        assert base.with_param_overrides(seed=1).job_hash(db) \
+            != base.job_hash(db)
+        assert base.with_param_overrides(target_density=0.8).job_hash(db) \
+            != base.job_hash(db)
+        # stage selection is part of the identity
+        lg = JobSpec(design=base.design, params=base.params,
+                     stages=("gp", "lg"))
+        assert lg.job_hash(db) != base.job_hash(db)
+
+    def test_hash_neutral_verbose(self):
+        db = make_db()
+        base = gp_spec()
+        assert base.with_param_overrides(verbose=True).job_hash(db) \
+            == base.job_hash(db)
+
+    def test_hash_tracks_netlist_content(self):
+        spec = gp_spec()
+        assert spec.job_hash(make_db(seed=5)) \
+            == spec.job_hash(make_db(seed=5))
+        assert spec.job_hash(make_db(seed=5)) \
+            != spec.job_hash(make_db(seed=6))
+
+    def test_from_dict_rejects_newer_schema(self):
+        data = gp_spec().to_dict()
+        data["schema"] = 999
+        with pytest.raises(ValueError):
+            JobSpec.from_dict(data)
+
+
+# ----------------------------------------------------------------------
+class TestEvents:
+    def test_roundtrip_and_counts(self, tmp_path):
+        path = str(tmp_path / "ev.jsonl")
+        with EventLog(path) as log:
+            log.emit(EventType.RUN_START, design="d")
+            log.emit(EventType.ITERATION, iteration=1, hpwl=10.0)
+            log.emit(EventType.ITERATION, iteration=2, hpwl=9.0)
+        events = list(read_events(path))
+        assert [e["type"] for e in events] \
+            == ["run_start", "iteration", "iteration"]
+        assert events[1]["hpwl"] == 10.0
+        assert count_events(path) == {"run_start": 1, "iteration": 2}
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = str(tmp_path / "ev.jsonl")
+        with EventLog(path) as log:
+            log.emit(EventType.ITERATION, iteration=1)
+        with open(path, "a") as handle:
+            handle.write('{"type": "iterat')  # SIGKILL mid-write
+        assert len(list(read_events(path))) == 1
+        assert list(read_events(path, type="iteration"))[0]["iteration"] == 1
+
+
+# ----------------------------------------------------------------------
+class TestStoreAndCheckpoint:
+    def test_store_layout_and_status(self, tmp_path):
+        store = RunStore(str(tmp_path / "store"))
+        spec = gp_spec()
+        handle = store.open_run(spec, "ab" * 32)
+        handle.set_status("running", attempts=1)
+        handle.set_status(STATUS_COMPLETE, attempts=2)
+        handle.write_metrics({"hpwl": {"final": 1.0}})
+        handle.close()
+        record = store.load("abab")
+        assert record.state == STATUS_COMPLETE
+        assert record.status["attempts"] == 2
+        assert "created" in record.status
+        assert record.load_spec().canonical_json() == spec.canonical_json()
+
+    def test_load_by_prefix_rejects_ambiguity(self, tmp_path):
+        store = RunStore(str(tmp_path / "store"))
+        spec = gp_spec()
+        store.open_run(spec, "aa" + "0" * 62).close()
+        store.open_run(spec, "aa" + "1" * 62).close()
+        with pytest.raises(KeyError):
+            store.load("aa")
+        with pytest.raises(KeyError):
+            store.load("zz")
+        assert store.load("aa0").job_hash == "aa" + "0" * 62
+
+    def test_checkpoint_roundtrip_and_guards(self, tmp_path):
+        path = str(tmp_path / "c" / "ckpt.pkl")
+        state = {"pos": np.arange(4.0), "iteration": 30}
+        PlacerCheckpoint(job_hash="x" * 64, iteration=30,
+                         loop_state=state).save(path)
+        ckpt = PlacerCheckpoint.load(path, expect_job_hash="x" * 64)
+        assert ckpt.iteration == 30
+        np.testing.assert_array_equal(ckpt.loop_state["pos"],
+                                      state["pos"])
+        with pytest.raises(ValueError):
+            PlacerCheckpoint.load(path, expect_job_hash="y" * 64)
+
+
+# ----------------------------------------------------------------------
+class TestCacheHit:
+    def test_identical_resubmission_runs_zero_iterations(self, tmp_path):
+        """Acceptance: cache hit = no placement work, by event log."""
+        db = make_db()
+        store = RunStore(str(tmp_path / "store"))
+        cache = ResultCache(store)
+        spec = gp_spec()
+
+        first = execute_job(spec, store, cache=cache, db=db)
+        assert first.ok and not first.cached
+        iters_before = count_events(
+            os.path.join(first.directory, "events.jsonl"))["iteration"]
+        assert iters_before > 0
+
+        second = execute_job(spec, store, cache=cache, db=db)
+        assert second.ok and second.cached
+        assert second.metrics["hpwl"]["final"] \
+            == first.metrics["hpwl"]["final"]
+        counts = count_events(
+            os.path.join(second.directory, "events.jsonl"))
+        assert counts["iteration"] == iters_before  # no new iterations
+        assert counts["cache_hit"] == 1
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_corrupt_entry_is_invalidated(self, tmp_path):
+        db = make_db()
+        store = RunStore(str(tmp_path / "store"))
+        cache = ResultCache(store)
+        spec = gp_spec()
+        outcome = execute_job(spec, store, cache=cache, db=db)
+        os.remove(os.path.join(outcome.directory, "metrics.json"))
+        assert cache.lookup(outcome.job_hash) is None
+        assert cache.stats.invalidations == 1
+
+    def test_different_params_miss(self, tmp_path):
+        db = make_db()
+        store = RunStore(str(tmp_path / "store"))
+        cache = ResultCache(store)
+        execute_job(gp_spec(), store, cache=cache, db=db)
+        other = execute_job(gp_spec(seed=123), store, cache=cache, db=db)
+        assert not other.cached
+        assert cache.stats.hits == 0 and cache.stats.misses == 2
+
+
+# ----------------------------------------------------------------------
+class _FakeClock:
+    """monotonic() advancing one 'second' per call: the Nth GP
+    iteration observes time N+1, so ``timeout=K`` kills the run
+    deterministically at iteration K+1."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def monotonic(self):
+        self.now += 1.0
+        return self.now
+
+
+class TestKillResume:
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_killed_run_resumes_bit_exactly(self, tmp_path, monkeypatch,
+                                            dtype):
+        """Acceptance: SIGKILL mid-GP -> resume -> bit-exact result."""
+        db = make_db()
+        spec = gp_spec(dtype=dtype)
+
+        # uninterrupted reference run
+        ref_store = RunStore(str(tmp_path / "ref"))
+        reference = execute_job(spec, ref_store, db=db)
+        assert reference.ok
+
+        # deterministically "kill" a second run at GP iteration 34
+        # (fake clock + cooperative timeout stands in for SIGKILL: the
+        # run dies between checkpoint writes exactly like a killed
+        # process, leaving checkpoint.pkl from iteration 30 behind)
+        store = RunStore(str(tmp_path / "killed"))
+        import repro.runner.execute as execute_mod
+
+        monkeypatch.setattr(execute_mod, "time", _FakeClock())
+        killed = execute_job(spec, store, db=db, checkpoint_every=10,
+                             timeout=33.0)
+        monkeypatch.undo()
+        assert killed.status == STATUS_TIMEOUT
+        ckpt_path = os.path.join(killed.directory, "checkpoint.pkl")
+        assert os.path.exists(ckpt_path)
+        assert PlacerCheckpoint.load(ckpt_path).iteration == 30
+
+        resumed = execute_job(spec, store, db=db, resume=True)
+        assert resumed.ok
+        assert resumed.resumed_from == 30
+        events = list(read_events(
+            os.path.join(resumed.directory, "events.jsonl"),
+            type="resume"))
+        assert events and events[-1]["iteration"] == 30
+
+        # bit-exact, not approximately equal
+        assert resumed.metrics["hpwl"]["final"] \
+            == reference.metrics["hpwl"]["final"]
+        assert resumed.metrics["iterations"] \
+            == reference.metrics["iterations"]
+        np.testing.assert_array_equal(resumed.result.x, reference.result.x)
+        np.testing.assert_array_equal(resumed.result.y, reference.result.y)
+
+    def test_resume_without_checkpoint_restarts(self, tmp_path):
+        db = make_db()
+        store = RunStore(str(tmp_path / "store"))
+        outcome = execute_job(gp_spec(), store, db=db, resume=True,
+                              checkpoint_every=0)
+        assert outcome.ok
+        assert outcome.resumed_from is None
+
+
+# ----------------------------------------------------------------------
+class TestExecutePolicy:
+    def test_failure_is_isolated_and_recorded(self, tmp_path):
+        db = make_db()
+        store = RunStore(str(tmp_path / "store"))
+        outcome = execute_job(gp_spec(optimizer="levitation"), store,
+                              db=db)
+        assert outcome.status == STATUS_FAILED
+        assert "levitation" in outcome.error
+        record = store.load(outcome.job_hash[:16])
+        assert record.state == STATUS_FAILED
+        assert list(read_events(record.events_path, type="run_failed"))
+
+    def test_timeout_keeps_checkpoint_not_cached(self, tmp_path,
+                                                 monkeypatch):
+        db = make_db()
+        store = RunStore(str(tmp_path / "store"))
+        cache = ResultCache(store)
+        import repro.runner.execute as execute_mod
+
+        monkeypatch.setattr(execute_mod, "time", _FakeClock())
+        outcome = execute_job(gp_spec(), store, cache=cache, db=db,
+                              checkpoint_every=5, timeout=12.0)
+        monkeypatch.undo()
+        assert outcome.status == STATUS_TIMEOUT
+        assert os.path.exists(
+            os.path.join(outcome.directory, "checkpoint.pkl"))
+        # a timed-out run is not a cache hit; resubmission resumes it
+        assert cache.lookup(outcome.job_hash) is None
+
+
+# ----------------------------------------------------------------------
+class TestScheduler:
+    def test_expand_sweep_cross_product(self):
+        base = gp_spec()
+        specs = expand_sweep(base, {"seed": [1, 2, 3],
+                                    "target_density": [0.8, 0.9, 1.0]})
+        assert len(specs) == 9
+        combos = {(s.params.seed, s.params.target_density) for s in specs}
+        assert len(combos) == 9
+        with pytest.raises(ValueError):
+            expand_sweep(base, {"frobnicate": [1]})
+        assert expand_sweep(base, {}) == [base]
+
+    def test_three_by_three_sweep_populates_nine_runs(self, tmp_path,
+                                                      monkeypatch):
+        """Acceptance: 3x3 sweep -> nine populated run directories."""
+        db = make_db()
+        monkeypatch.setattr(DesignRef, "load", lambda self: db)
+        store = RunStore(str(tmp_path / "store"))
+        scheduler = Scheduler(store, cache=ResultCache(store))
+        base = JobSpec(design=DesignRef("runnertest", scale=1),
+                       params=PlacementParams(max_global_iters=40,
+                                              min_global_iters=5),
+                       stages=("gp",))
+        count = scheduler.submit_sweep(
+            base, {"seed": [1, 2, 3], "target_density": [0.8, 0.9, 1.0]})
+        assert count == 9 and scheduler.pending == 9
+        outcomes = scheduler.run()
+        assert scheduler.pending == 0
+        assert len(outcomes) == 9
+        assert all(o.ok for o in outcomes)
+        assert len({o.job_hash for o in outcomes}) == 9
+        records = store.list_runs()
+        assert len(records) == 9
+        for record in records:
+            assert record.complete
+            assert record.metrics["hpwl"]["final"] > 0
+            assert os.path.exists(record.events_path)
+
+    def test_warm_design_reuse(self, tmp_path, monkeypatch):
+        db = make_db()
+        loads = []
+
+        def fake_load(self):
+            loads.append(self.name)
+            return db
+
+        monkeypatch.setattr(DesignRef, "load", fake_load)
+        store = RunStore(str(tmp_path / "store"))
+        scheduler = Scheduler(store)
+        base = JobSpec(design=DesignRef("runnertest", scale=1),
+                       params=PlacementParams(max_global_iters=30,
+                                              min_global_iters=5),
+                       stages=("gp",))
+        scheduler.submit(base)
+        scheduler.submit(base.with_param_overrides(seed=2))
+        scheduler.run()
+        assert loads == ["runnertest"]  # loaded once, reused
+
+    def test_retry_with_backoff_then_give_up(self, tmp_path, monkeypatch):
+        db = make_db()
+        monkeypatch.setattr(DesignRef, "load", lambda self: db)
+        store = RunStore(str(tmp_path / "store"))
+        delays = []
+        scheduler = Scheduler(store, max_retries=2, backoff=0.5,
+                              sleep=delays.append)
+        scheduler.submit(gp_spec(optimizer="levitation"))
+        outcome = scheduler.run()[0]
+        assert outcome.status == STATUS_FAILED
+        assert delays == [0.5, 1.0]  # exponential backoff
+        record = store.load(outcome.job_hash[:16])
+        assert record.status["attempts"] == 3
+        retries = list(read_events(record.events_path, type="retry"))
+        assert [r["attempt"] for r in retries] == [1, 2]
+
+    def test_bad_design_is_isolated(self, tmp_path):
+        store = RunStore(str(tmp_path / "store"))
+        scheduler = Scheduler(store, max_retries=0)
+        scheduler.submit(JobSpec(
+            design=DesignRef("no-such-design-anywhere"), stages=("gp",)))
+        outcomes = scheduler.run()
+        assert outcomes[0].status == STATUS_FAILED
+        assert "design load failed" in outcomes[0].error
+
+
+# ----------------------------------------------------------------------
+class TestSeedUnification:
+    def test_one_default_seed_everywhere(self):
+        assert DEFAULT_SEED == 42
+        assert PlacementParams().seed == DEFAULT_SEED
+        assert CircuitSpec(name="x", num_cells=2).seed == DEFAULT_SEED
+
+    def test_cli_defaults_match(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        assert parser.parse_args(["place", "d"]).seed == DEFAULT_SEED
+        assert parser.parse_args(
+            ["generate", "d", "--output", "o"]).seed == DEFAULT_SEED
+
+
+# ----------------------------------------------------------------------
+class TestCli:
+    def run_cli(self, *argv) -> int:
+        from repro.cli import main
+
+        return main(list(argv))
+
+    def test_place_json_creates_parent_dirs(self, tmp_path, capsys):
+        gen_dir = tmp_path / "gen"
+        self.run_cli("generate", "cj", "--cells", "80", "--output",
+                     str(gen_dir))
+        json_path = tmp_path / "deep" / "nested" / "metrics.json"
+        svg_path = tmp_path / "deeper" / "plot.svg"
+        code = self.run_cli("place", str(gen_dir / "cj.aux"), "--no-dp",
+                            "--json", str(json_path),
+                            "--svg", str(svg_path))
+        assert code == 0
+        assert svg_path.exists()
+        metrics = json.loads(json_path.read_text())
+        assert set(metrics) >= {"hpwl", "overflow", "iterations",
+                                "runtime", "legal"}
+        assert metrics["hpwl"]["final"] > 0
+
+        report_json = tmp_path / "r" / "report.json"
+        code = self.run_cli("report", str(gen_dir / "cj.aux"),
+                            "--json", str(report_json))
+        assert code == 0
+        report = json.loads(report_json.read_text())
+        assert report["hpwl"]["final"] > 0
+        assert report["design"]["num_cells"] >= 80  # movables + pads
+
+    def test_sweep_resume_runs_verbs(self, tmp_path, capsys, monkeypatch):
+        db = make_db()
+        monkeypatch.setattr(DesignRef, "load", lambda self: db)
+        store = str(tmp_path / "store")
+        code = self.run_cli(
+            "sweep", "runnertest", "--store", store, "--stages", "gp",
+            "--param", "seed=1,2", "--param", "max_global_iters=40",
+            "--json", str(tmp_path / "sweep.json"))
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweep: 2 job(s)" in out
+        payload = json.loads((tmp_path / "sweep.json").read_text())
+        assert len(payload["outcomes"]) == 2
+        assert all(o["status"] == "complete"
+                   for o in payload["outcomes"])
+
+        # identical resubmission: pure cache hits
+        code = self.run_cli(
+            "sweep", "runnertest", "--store", store, "--stages", "gp",
+            "--param", "seed=1,2", "--param", "max_global_iters=40")
+        assert code == 0
+        assert "cache: 2 hit(s), 0 miss(es)" in capsys.readouterr().out
+
+        code = self.run_cli("runs", "--store", store)
+        assert code == 0
+        listing = capsys.readouterr().out
+        assert "complete" in listing
+        short = payload["outcomes"][0]["job_hash"][:16]
+        assert short in listing
+
+        code = self.run_cli("runs", short, "--store", store)
+        assert code == 0
+        detail = capsys.readouterr().out
+        assert "cache_hit=1" in detail
+
+        code = self.run_cli("resume", short, "--store", store)
+        assert code == 0
+        assert "resum" in capsys.readouterr().out
+
+    def test_batch_verb(self, tmp_path, capsys, monkeypatch):
+        db = make_db()
+        monkeypatch.setattr(DesignRef, "load", lambda self: db)
+        specfile = tmp_path / "jobs.json"
+        specfile.write_text(json.dumps({"jobs": [
+            {"design": "runnertest", "stages": ["gp"],
+             "params": {"max_global_iters": 40}},
+            {"design": "runnertest", "stages": ["gp"],
+             "params": {"max_global_iters": 40, "seed": 2}},
+        ]}))
+        store = str(tmp_path / "store")
+        code = self.run_cli("batch", str(specfile), "--store", store)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batch: 2 job(s)" in out
+        assert len(RunStore(store).list_runs()) == 2
