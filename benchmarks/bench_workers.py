@@ -1,0 +1,91 @@
+"""Worker-pool benchmark: sweep wall clock vs worker count.
+
+Runs the same parameter sweep (seed fan x density grid) through the
+Scheduler serially and under multi-process pools of increasing size,
+each into a fresh run store, and reports the wall clock, speedup over
+serial and per-job average.  Every configuration must complete every
+job and produce the same set of job hashes — the pool changes *when*
+jobs run, never *what* they compute.
+
+Speedup is host-dependent (spawn startup dominates for tiny designs),
+so the assertions check correctness and completion, not a ratio.
+"""
+
+import os
+import shutil
+import tempfile
+import time
+
+from _support import get_design, once, print_header, print_row, record
+from repro.bookshelf import write_bookshelf
+from repro.core import PlacementParams
+from repro.runner import DesignRef, JobSpec, ResultCache, RunStore, Scheduler
+
+DESIGN = "adaptec1"
+WORKER_COUNTS = [1, 2, 4]
+GRID = {"seed": [1, 2], "target_density": [0.85, 1.0]}
+MAX_ITERS = 60
+
+
+def _base_spec(aux: str) -> JobSpec:
+    return JobSpec(
+        design=DesignRef.parse(aux),
+        params=PlacementParams(max_global_iters=MAX_ITERS,
+                               min_global_iters=5),
+        stages=("gp",),
+    )
+
+
+def _run_sweep(aux: str, root: str, workers: int):
+    store = RunStore(os.path.join(root, f"store-w{workers}"))
+    scheduler = Scheduler(store, cache=ResultCache(store), workers=workers)
+    jobs = scheduler.submit_sweep(_base_spec(aux), GRID)
+    start = time.perf_counter()
+    outcomes = scheduler.run()
+    runtime = time.perf_counter() - start
+    return jobs, outcomes, runtime
+
+
+def test_workers(benchmark):
+    print_header(
+        "Sweep wall clock vs worker count",
+        ["workers", "jobs", "ok", "wall s", "speedup", "s/job"],
+    )
+    scratch = tempfile.mkdtemp(prefix="bench-workers-")
+    try:
+        # spawn children load the design from disk, so materialize the
+        # cached synthetic design as a Bookshelf directory first
+        aux = str(write_bookshelf(get_design(DESIGN),
+                                  os.path.join(scratch, "design")))
+        rows = []
+        for workers in WORKER_COUNTS:
+            jobs, outcomes, runtime = _run_sweep(aux, scratch, workers)
+            rows.append((workers, jobs, outcomes, runtime))
+            serial_wall = rows[0][3]
+            print_row([
+                workers, jobs, sum(o.ok for o in outcomes),
+                f"{runtime:.2f}", f"{serial_wall / runtime:.2f}x",
+                f"{runtime / jobs:.2f}",
+            ])
+            record("workers", {
+                "design": DESIGN,
+                "workers": workers,
+                "jobs": jobs,
+                "completed": sum(o.ok for o in outcomes),
+                "wall_s": runtime,
+                "speedup_vs_serial": serial_wall / runtime,
+            })
+
+        # timing row for pytest-benchmark: the widest pool
+        once(benchmark,
+             lambda: _run_sweep(aux, os.path.join(scratch, "timed"),
+                                WORKER_COUNTS[-1]))
+
+        serial_hashes = [o.job_hash for o in rows[0][2]]
+        for workers, jobs, outcomes, _ in rows:
+            assert len(outcomes) == jobs, (workers, outcomes)
+            assert all(o.ok for o in outcomes), (workers, outcomes)
+            # identical job identities, merged in submission order
+            assert [o.job_hash for o in outcomes] == serial_hashes, workers
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)

@@ -259,6 +259,7 @@ def _make_scheduler(args):
         timeout=args.timeout,
         checkpoint_every=args.checkpoint_every,
         profile=getattr(args, "profile", False),
+        workers=getattr(args, "workers", 1),
     )
     return scheduler, store, cache
 
@@ -272,6 +273,7 @@ def _outcome_dict(outcome) -> dict:
         "resumed_from": outcome.resumed_from,
         "directory": outcome.directory,
         "error": outcome.error,
+        "artifact_error": outcome.artifact_error,
         "metrics": outcome.metrics,
     }
 
@@ -293,10 +295,15 @@ def _print_outcomes(outcomes, cache=None) -> int:
               f"{outcome.design:<20} {status:<18} {hpwl:>14} {iters:>6}")
         if outcome.error:
             print(f"  error: {outcome.error}")
+        if outcome.artifact_error:
+            print(f"  degraded: {outcome.artifact_error}")
     if cache is not None:
         stats = cache.stats
-        print(f"cache: {stats.hits} hit(s), {stats.misses} miss(es), "
-              f"{stats.invalidations} invalidation(s)")
+        line = (f"cache: {stats.hits} hit(s), {stats.misses} miss(es), "
+                f"{stats.invalidations} invalidation(s)")
+        if stats.degraded_hits:
+            line += f", {stats.degraded_hits} degraded hit(s)"
+        print(line)
     return 0 if all(o.ok for o in outcomes) else 1
 
 
@@ -522,6 +529,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="retry count for failed jobs")
         p.add_argument("--checkpoint-every", type=int, default=25,
                        help="GP iterations between on-disk checkpoints")
+        p.add_argument("--workers", type=int, default=1,
+                       help="concurrent worker processes (1 = serial, "
+                            "in-process, with warm design reuse)")
         p.add_argument("--json",
                        help="write outcome summaries here")
         if profile:

@@ -10,6 +10,12 @@ job into an instant hit; a killed run resumes bit-exactly from its last
 checkpoint; and the :class:`Scheduler` drives fleets of jobs (parameter
 sweeps, seed fans) with retry, backoff, timeout and warm design reuse.
 
+With ``Scheduler(workers=N)`` (CLI ``--workers``) jobs execute in a
+multi-process pool of spawn-safe children (``repro.runner.worker``);
+per-run advisory leases in the store keep concurrent workers off each
+other's run directories, and orphaned runs left by killed workers are
+recovered into resumable failures.
+
 CLI frontends: ``python -m repro batch | sweep | resume | runs``.
 """
 
@@ -32,14 +38,18 @@ from repro.runner.job import (
 )
 from repro.runner.scheduler import Scheduler, expand_sweep
 from repro.runner.store import (
+    LEASE_TIMEOUT,
     STATUS_COMPLETE,
     STATUS_FAILED,
     STATUS_RUNNING,
     STATUS_TIMEOUT,
     RunHandle,
+    RunLease,
+    RunLocked,
     RunRecord,
     RunStore,
 )
+from repro.runner.worker import WorkerHandle, WorkerTask, worker_main
 
 __all__ = [
     "CacheStats",
@@ -61,11 +71,17 @@ __all__ = [
     "canonical_json",
     "Scheduler",
     "expand_sweep",
+    "LEASE_TIMEOUT",
     "STATUS_COMPLETE",
     "STATUS_FAILED",
     "STATUS_RUNNING",
     "STATUS_TIMEOUT",
     "RunHandle",
+    "RunLease",
+    "RunLocked",
     "RunRecord",
     "RunStore",
+    "WorkerHandle",
+    "WorkerTask",
+    "worker_main",
 ]

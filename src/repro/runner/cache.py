@@ -32,10 +32,14 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     invalidations: int = 0
+    #: hits on runs whose metrics persisted but whose Bookshelf artifact
+    #: write failed (``artifact_error`` in status) — served, but flagged
+    degraded_hits: int = 0
 
     def as_dict(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
-                "invalidations": self.invalidations}
+                "invalidations": self.invalidations,
+                "degraded_hits": self.degraded_hits}
 
 
 class ResultCache:
@@ -73,6 +77,10 @@ class ResultCache:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
+        if (status or {}).get("artifact_error"):
+            # metrics are intact so the hit is served, but the caller
+            # can see the run has no Bookshelf artifact
+            self.stats.degraded_hits += 1
         return RunRecord(job_hash=job_hash, directory=directory,
                          spec=spec, status=status, metrics=metrics)
 

@@ -39,6 +39,10 @@ class EventType:
     RETRY = "retry"
     TIMEOUT = "timeout"
     PROFILE = "profile"
+    #: the run completed but a best-effort artifact write failed
+    ARTIFACT_ERROR = "artifact_error"
+    #: a stale-leased ``running`` run was recovered after a worker death
+    ORPHANED = "orphaned"
 
 
 class EventLog:

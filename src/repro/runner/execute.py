@@ -2,30 +2,40 @@
 
 ``execute_job`` is the one path every placement request takes:
 
-1. load (or receive, warm from the scheduler) the design database,
+1. start the cooperative timeout clock (the budget covers *everything*,
+   including a cold design load), then load (or receive, warm from the
+   scheduler) the design database,
 2. compute the job's content hash and consult the result cache —
    a hit returns the persisted metrics without running a single
    placement iteration (a ``cache_hit`` event is appended to the run's
    log as the audit trail),
-3. otherwise open the run directory, optionally restore the latest
-   on-disk checkpoint (``resume``), and drive the full flow with an
-   ``on_iteration`` hook that streams per-iteration events, persists a
-   :class:`PlacerCheckpoint` every ``checkpoint_every`` iterations and
-   enforces the cooperative per-job timeout,
+3. otherwise open the run directory — acquiring its advisory lease, so
+   no two workers ever execute into the same run — optionally restore
+   the latest on-disk checkpoint (``resume``), and drive the full flow
+   with an ``on_iteration`` hook that streams per-iteration events,
+   persists a :class:`PlacerCheckpoint` every ``checkpoint_every``
+   iterations, heartbeats the lease and enforces the per-job timeout,
 4. persist metrics + Bookshelf output and mark the run complete —
    or record the failure/timeout with the checkpoint left in place so
-   a later ``resume`` continues where the run died.
+   a later ``resume`` continues where the run died.  A failed Bookshelf
+   write does *not* fail the run if the metrics persisted; the status
+   records an ``artifact_error`` so cache hits surface the degraded
+   state instead of silently serving artifact-less runs.
 
 Failures are isolated: ``execute_job`` never lets a job exception
 escape; it returns a :class:`JobOutcome` describing what happened.
+Even a design that fails to *load* gets a run directory (keyed by
+:meth:`JobSpec.fallback_hash`) with a persisted status and event trail,
+so the failure is visible to ``runs`` and ``resume``.
 """
 
 from __future__ import annotations
 
+import os
 import time
 import traceback
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.core import DreamPlacer, placement_result_metrics
 from repro.netlist.database import PlacementDB
@@ -34,10 +44,12 @@ from repro.runner.checkpoint import PlacerCheckpoint
 from repro.runner.events import EventLog, EventType
 from repro.runner.job import JobSpec
 from repro.runner.store import (
+    LEASE_TIMEOUT,
     STATUS_COMPLETE,
     STATUS_FAILED,
     STATUS_RUNNING,
     STATUS_TIMEOUT,
+    RunLocked,
     RunStore,
 )
 
@@ -58,11 +70,44 @@ class JobOutcome:
     resumed_from: Optional[int] = None
     metrics: Optional[dict] = None
     error: Optional[str] = None
+    #: set when the run completed but its Bookshelf write failed
+    artifact_error: Optional[str] = None
     result: object = None  # PlacementResult when run in-process
 
     @property
     def ok(self) -> bool:
         return self.status == STATUS_COMPLETE
+
+
+def _record_design_failure(spec: JobSpec, store: RunStore, exc: Exception,
+                           attempt: int, worker: Optional[str],
+                           lease_timeout: float) -> JobOutcome:
+    """Persist a design-load failure so it is visible to ``runs``.
+
+    The content hash needs the loaded netlist, so the run directory is
+    keyed by the spec's deterministic :meth:`JobSpec.fallback_hash`.
+    """
+    error = f"design load failed: {type(exc).__name__}: {exc}"
+    job_hash = spec.fallback_hash()
+    try:
+        handle = store.open_run(spec, job_hash, worker=worker,
+                                lease_timeout=lease_timeout)
+    except RunLocked:
+        # another worker is recording the same broken job right now
+        return JobOutcome(job_hash=job_hash,
+                          directory=store.run_dir(job_hash),
+                          status=STATUS_FAILED, design=spec.design.name,
+                          error=error)
+    try:
+        handle.events.emit(EventType.RUN_FAILED, error=error,
+                           trace=traceback.format_exc(limit=5),
+                           worker=worker, pid=os.getpid())
+        handle.set_status(STATUS_FAILED, error=error, attempts=attempt)
+    finally:
+        handle.close()
+    return JobOutcome(job_hash=job_hash, directory=handle.directory,
+                      status=STATUS_FAILED, design=spec.design.name,
+                      error=error)
 
 
 def execute_job(spec: JobSpec, store: RunStore,
@@ -72,16 +117,34 @@ def execute_job(spec: JobSpec, store: RunStore,
                 timeout: Optional[float] = None,
                 resume: bool = False,
                 profile: bool = False,
-                attempt: int = 1) -> JobOutcome:
+                attempt: int = 1,
+                worker: Optional[str] = None,
+                iteration_hook: Optional[Callable] = None,
+                lease_timeout: float = LEASE_TIMEOUT) -> JobOutcome:
     """Run one job against the store; see module docstring for the flow.
 
     The timeout is *cooperative*: it is checked on every GP iteration,
     so legalization/detailed placement (short, bounded stages) are not
-    interruptible mid-stage.  A timed-out run keeps its checkpoint and
-    is not considered cached, so resubmission resumes it.
+    interruptible mid-stage.  The deadline starts at entry, so a cold
+    design load spends the same budget as iterations do.  A timed-out
+    run keeps its checkpoint and is not considered cached, so
+    resubmission resumes it.
+
+    ``worker`` labels this execution in events and the run lease (the
+    pool dispatcher passes it); ``iteration_hook(placer, info)`` runs
+    after the built-in per-iteration bookkeeping (telemetry, progress
+    relays, test fault injection).
     """
+    # the budget covers design load too (a cold load once escaped it)
+    deadline = None if timeout is None else time.monotonic() + timeout
+    pid = os.getpid()
+
     if db is None:
-        db = spec.design.load()
+        try:
+            db = spec.design.load()
+        except Exception as exc:  # noqa: BLE001 — isolate bad designs
+            return _record_design_failure(spec, store, exc, attempt,
+                                          worker, lease_timeout)
     job_hash = spec.job_hash(db)
 
     if cache is not None:
@@ -89,127 +152,182 @@ def execute_job(spec: JobSpec, store: RunStore,
         if record is not None:
             with EventLog(record.events_path) as events:
                 events.emit(EventType.CACHE_HIT, job_hash=job_hash,
-                            attempt=attempt)
+                            attempt=attempt, worker=worker, pid=pid)
             return JobOutcome(
                 job_hash=job_hash, directory=record.directory,
                 status=STATUS_COMPLETE, design=spec.design.name,
                 cached=True, metrics=record.metrics,
+                artifact_error=record.artifact_error,
             )
 
-    handle = store.open_run(spec, job_hash)
+    try:
+        handle = store.open_run(spec, job_hash, worker=worker,
+                                lease_timeout=lease_timeout)
+    except RunLocked as exc:
+        # contention is a retryable failure: the scheduler backs off
+        # and the other worker's result becomes our cache hit
+        return JobOutcome(job_hash=job_hash,
+                          directory=store.run_dir(job_hash),
+                          status=STATUS_FAILED, design=spec.design.name,
+                          error=str(exc))
     params = spec.effective_params()
 
-    resume_state = None
     resumed_from = None
-    if resume:
-        import os
-
-        if os.path.exists(handle.checkpoint_path):
-            ckpt = PlacerCheckpoint.load(handle.checkpoint_path,
-                                         expect_job_hash=job_hash)
+    try:  # the lease is released on every exit path (handle.close)
+        resume_state = None
+        if resume and os.path.exists(handle.checkpoint_path):
+            try:
+                ckpt = PlacerCheckpoint.load(handle.checkpoint_path,
+                                             expect_job_hash=job_hash)
+            except Exception as exc:  # noqa: BLE001 — failure isolation
+                error = (f"checkpoint unusable: "
+                         f"{type(exc).__name__}: {exc}")
+                handle.events.emit(EventType.RUN_FAILED, error=error,
+                                   worker=worker, pid=pid)
+                handle.set_status(STATUS_FAILED, error=error,
+                                  attempts=attempt)
+                return JobOutcome(job_hash=job_hash,
+                                  directory=handle.directory,
+                                  status=STATUS_FAILED,
+                                  design=spec.design.name, error=error)
             resume_state = ckpt.loop_state
             resumed_from = ckpt.iteration
 
-    deadline = None if timeout is None else time.monotonic() + timeout
-    seen_recoveries = 0
+        seen_recoveries = 0
 
-    def on_iteration(placer, info):
-        nonlocal seen_recoveries
-        handle.events.emit(
-            EventType.ITERATION,
-            iteration=info["iteration"], hpwl=info["hpwl"],
-            overflow=info["overflow"], status=info["status"],
-        )
-        if info["recoveries"] > seen_recoveries:
-            seen_recoveries = info["recoveries"]
-            handle.events.emit(EventType.RECOVERY,
-                               iteration=info["iteration"],
-                               recoveries=info["recoveries"])
-        if checkpoint_every and info["iteration"] % checkpoint_every == 0:
-            state = placer.capture_loop_state()
-            PlacerCheckpoint(
-                job_hash=job_hash, iteration=info["iteration"],
-                loop_state=state,
-            ).save(handle.checkpoint_path)
-            handle.events.emit(EventType.CHECKPOINT,
-                               iteration=info["iteration"])
-        if deadline is not None and time.monotonic() > deadline:
-            handle.events.emit(EventType.TIMEOUT,
-                               iteration=info["iteration"],
-                               timeout=timeout)
-            raise JobTimeout(
-                f"job {job_hash[:16]} exceeded {timeout}s at GP "
-                f"iteration {info['iteration']}"
+        def on_iteration(placer, info):
+            nonlocal seen_recoveries
+            handle.touch_lease()
+            handle.events.emit(
+                EventType.ITERATION,
+                iteration=info["iteration"], hpwl=info["hpwl"],
+                overflow=info["overflow"], status=info["status"],
             )
+            if info["recoveries"] > seen_recoveries:
+                seen_recoveries = info["recoveries"]
+                handle.events.emit(EventType.RECOVERY,
+                                   iteration=info["iteration"],
+                                   recoveries=info["recoveries"])
+            if checkpoint_every \
+                    and info["iteration"] % checkpoint_every == 0:
+                state = placer.capture_loop_state()
+                PlacerCheckpoint(
+                    job_hash=job_hash, iteration=info["iteration"],
+                    loop_state=state,
+                ).save(handle.checkpoint_path)
+                handle.events.emit(EventType.CHECKPOINT,
+                                   iteration=info["iteration"])
+            if iteration_hook is not None:
+                iteration_hook(placer, info)
+            if deadline is not None and time.monotonic() > deadline:
+                handle.events.emit(EventType.TIMEOUT,
+                                   iteration=info["iteration"],
+                                   timeout=timeout)
+                raise JobTimeout(
+                    f"job {job_hash[:16]} exceeded {timeout}s at GP "
+                    f"iteration {info['iteration']}"
+                )
 
-    handle.set_status(STATUS_RUNNING, attempts=attempt)
-    handle.events.emit(
-        EventType.RUN_START, job_hash=job_hash,
-        design=spec.design.name, attempt=attempt,
-    )
-    if resumed_from is not None:
-        handle.events.emit(EventType.RESUME, iteration=resumed_from)
+        handle.set_status(STATUS_RUNNING, attempts=attempt)
+        handle.events.emit(
+            EventType.RUN_START, job_hash=job_hash,
+            design=spec.design.name, attempt=attempt,
+            worker=worker, pid=pid,
+        )
+        if resumed_from is not None:
+            handle.events.emit(EventType.RESUME, iteration=resumed_from)
 
-    try:
-        handle.events.emit(EventType.STAGE_START, stage="gp")
-        if profile:
-            from repro.perf import Profiler
+        try:
+            handle.events.emit(EventType.STAGE_START, stage="gp")
+            if profile:
+                from repro.perf import Profiler
 
-            with Profiler() as prof:
+                with Profiler() as prof:
+                    result = DreamPlacer(db, params).run(
+                        on_iteration=on_iteration,
+                        resume_state=resume_state,
+                    )
+                handle.events.emit(EventType.PROFILE, ops=prof.as_dict())
+            else:
                 result = DreamPlacer(db, params).run(
                     on_iteration=on_iteration, resume_state=resume_state,
                 )
-            handle.events.emit(EventType.PROFILE, ops=prof.as_dict())
-        else:
-            result = DreamPlacer(db, params).run(
-                on_iteration=on_iteration, resume_state=resume_state,
-            )
-    except JobTimeout as exc:
-        handle.set_status(STATUS_TIMEOUT, error=str(exc), attempts=attempt)
-        handle.close()
+        except JobTimeout as exc:
+            handle.set_status(STATUS_TIMEOUT, error=str(exc),
+                              attempts=attempt)
+            return JobOutcome(job_hash=job_hash,
+                              directory=handle.directory,
+                              status=STATUS_TIMEOUT,
+                              design=spec.design.name,
+                              resumed_from=resumed_from, error=str(exc))
+        except Exception as exc:  # noqa: BLE001 — failure isolation
+            error = f"{type(exc).__name__}: {exc}"
+            handle.events.emit(EventType.RUN_FAILED, error=error,
+                               trace=traceback.format_exc(limit=5),
+                               worker=worker, pid=pid)
+            handle.set_status(STATUS_FAILED, error=error,
+                              attempts=attempt)
+            return JobOutcome(job_hash=job_hash,
+                              directory=handle.directory,
+                              status=STATUS_FAILED,
+                              design=spec.design.name,
+                              resumed_from=resumed_from, error=error)
+
+        # stage telemetry for the non-iterative stages is emitted
+        # post-hoc with the measured durations (DreamPlacer times them
+        # internally)
+        times = result.times
+        handle.events.emit(EventType.STAGE_END, stage="gp",
+                           seconds=times.global_place,
+                           iterations=result.iterations)
+        for stage, seconds in (("route", times.global_route),
+                               ("lg", times.legalize),
+                               ("dp", times.detailed)):
+            if stage in spec.stages:
+                handle.events.emit(EventType.STAGE_START, stage=stage)
+                handle.events.emit(EventType.STAGE_END, stage=stage,
+                                   seconds=seconds)
+
+        metrics = placement_result_metrics(result)
+        try:
+            handle.write_metrics(metrics)
+        except Exception as exc:  # noqa: BLE001
+            # without persisted metrics the run must not claim
+            # completion: a "complete" directory with no metrics would
+            # be an eternally-invalidated cache entry
+            error = f"metrics write failed: {type(exc).__name__}: {exc}"
+            handle.events.emit(EventType.RUN_FAILED, error=error,
+                               worker=worker, pid=pid)
+            handle.set_status(STATUS_FAILED, error=error,
+                              attempts=attempt)
+            return JobOutcome(job_hash=job_hash,
+                              directory=handle.directory,
+                              status=STATUS_FAILED,
+                              design=spec.design.name,
+                              resumed_from=resumed_from, error=error)
+
+        artifact_error = None
+        try:
+            from repro.bookshelf import write_bookshelf
+
+            write_bookshelf(db, handle.result_dir)
+        except Exception as exc:  # noqa: BLE001 — best-effort artifact
+            artifact_error = \
+                f"result write failed: {type(exc).__name__}: {exc}"
+            handle.events.emit(EventType.ARTIFACT_ERROR,
+                               error=artifact_error,
+                               worker=worker, pid=pid)
+        handle.set_status(STATUS_COMPLETE, attempts=attempt,
+                          artifact_error=artifact_error)
+        handle.events.emit(EventType.RUN_COMPLETE,
+                           hpwl=metrics["hpwl"]["final"],
+                           iterations=metrics["iterations"],
+                           recoveries=metrics["recoveries"],
+                           worker=worker, pid=pid)
         return JobOutcome(job_hash=job_hash, directory=handle.directory,
-                          status=STATUS_TIMEOUT, design=spec.design.name,
-                          resumed_from=resumed_from, error=str(exc))
-    except Exception as exc:  # noqa: BLE001 — failure isolation
-        error = f"{type(exc).__name__}: {exc}"
-        handle.events.emit(EventType.RUN_FAILED, error=error,
-                           trace=traceback.format_exc(limit=5))
-        handle.set_status(STATUS_FAILED, error=error, attempts=attempt)
+                          status=STATUS_COMPLETE,
+                          design=spec.design.name,
+                          resumed_from=resumed_from, metrics=metrics,
+                          artifact_error=artifact_error, result=result)
+    finally:
         handle.close()
-        return JobOutcome(job_hash=job_hash, directory=handle.directory,
-                          status=STATUS_FAILED, design=spec.design.name,
-                          resumed_from=resumed_from, error=error)
-
-    # stage telemetry for the non-iterative stages is emitted post-hoc
-    # with the measured durations (DreamPlacer times them internally)
-    times = result.times
-    handle.events.emit(EventType.STAGE_END, stage="gp",
-                       seconds=times.global_place,
-                       iterations=result.iterations)
-    for stage, seconds in (("route", times.global_route),
-                           ("lg", times.legalize),
-                           ("dp", times.detailed)):
-        if stage in spec.stages:
-            handle.events.emit(EventType.STAGE_START, stage=stage)
-            handle.events.emit(EventType.STAGE_END, stage=stage,
-                               seconds=seconds)
-
-    metrics = placement_result_metrics(result)
-    handle.write_metrics(metrics)
-    try:
-        from repro.bookshelf import write_bookshelf
-
-        write_bookshelf(db, handle.result_dir)
-    except Exception as exc:  # noqa: BLE001 — artifacts are best-effort
-        handle.events.emit(EventType.RUN_FAILED,
-                           error=f"result write failed: {exc}")
-    handle.set_status(STATUS_COMPLETE, attempts=attempt)
-    handle.events.emit(EventType.RUN_COMPLETE,
-                       hpwl=metrics["hpwl"]["final"],
-                       iterations=metrics["iterations"],
-                       recoveries=metrics["recoveries"])
-    handle.close()
-    return JobOutcome(job_hash=job_hash, directory=handle.directory,
-                      status=STATUS_COMPLETE, design=spec.design.name,
-                      resumed_from=resumed_from, metrics=metrics,
-                      result=result)

@@ -174,6 +174,30 @@ class JobSpec:
         })
         return hashlib.sha256(payload.encode()).hexdigest()
 
+    def fallback_hash(self) -> str:
+        """Deterministic run key for a job whose design cannot load.
+
+        The content hash folds in the netlist fingerprint, which needs
+        a loaded database — but a job that fails at design load still
+        deserves a run directory recording the failure.  This key
+        substitutes the design *reference* for the netlist content and
+        marks the payload (``"netlist": None``) so it can never collide
+        with a real job hash.  It is stable across processes, so every
+        retry of the same broken job lands in the same directory.
+        """
+        params = self.effective_params().to_dict()
+        for name in HASH_NEUTRAL_PARAMS:
+            params.pop(name, None)
+        payload = canonical_json({
+            "schema": SPEC_SCHEMA_VERSION,
+            "code_version": repro.__version__,
+            "params": params,
+            "stages": list(self.stages),
+            "netlist": None,
+            "design_ref": self.design.to_dict(),
+        })
+        return hashlib.sha256(payload.encode()).hexdigest()
+
     def with_param_overrides(self, **kwargs) -> "JobSpec":
         """A copy with some placement parameters replaced."""
         return replace(self, params=self.params.with_overrides(**kwargs))

@@ -1,10 +1,13 @@
-"""Serial-but-queue-shaped job scheduler and parameter-sweep expander.
+"""Job scheduler and parameter-sweep expander (serial or multi-process).
 
 The :class:`Scheduler` drains a FIFO of :class:`JobSpec`s through
 ``execute_job`` with the operational policy a batch service needs:
 
 - **failure isolation** — one crashing job never takes down the queue;
-  its outcome records the error and the next job runs.
+  its outcome records the error and the next job runs.  With
+  ``workers > 1`` this extends to *worker death*: a SIGKILLed child
+  process is reaped, its orphaned run directory recovered through the
+  store's lease machinery, and the job retried on a fresh worker.
 - **retry with backoff** — failed jobs are retried up to
   ``max_retries`` times with exponential backoff (``backoff *
   2**attempt`` seconds; the sleep function is injectable so tests run
@@ -12,16 +15,21 @@ The :class:`Scheduler` drains a FIFO of :class:`JobSpec`s through
   and a retry would spend the same wall clock to die the same way —
   but the run keeps its checkpoint, so an explicit ``resume`` (or a
   resubmission with a larger timeout) continues it.
-- **warm design reuse** — jobs sharing a design reference share one
-  loaded :class:`PlacementDB`: the netlist/hypergraph construction and
-  synthetic generation run once per design per scheduler, not once per
-  job.  (Sharing is safe because global placement re-initializes all
-  movable positions from the seed and the routability loop restores
-  inflated cell widths on exit.)
+- **warm design reuse** (serial mode) — jobs sharing a design reference
+  share one loaded :class:`PlacementDB`: the netlist/hypergraph
+  construction and synthetic generation run once per design per
+  scheduler, not once per job.  (Sharing is safe because global
+  placement re-initializes all movable positions from the seed and the
+  routability loop restores inflated cell widths on exit.)
 
-The scheduler is deliberately single-worker: jobs are CPU-bound and
-the queue discipline (ordering, retries, events, caching) is exactly
-what a future multi-worker/sharded executor slots into.
+``workers=N`` (default 1) turns the same queue into a **multi-process
+pool**: each job attempt runs in a fresh ``spawn`` child
+(:mod:`repro.runner.worker`) that loads its design in-process, the
+per-run store leases guarantee no two workers share a run directory,
+and the dispatcher merges per-job outcomes back **in submission
+order**, so :meth:`run`'s return contract is identical in both modes.
+``workers=1`` preserves today's serial semantics exactly, including
+warm design reuse and in-process ``result`` objects on the outcomes.
 
 ``expand_sweep`` turns one base spec plus a parameter grid into the
 cross-product of jobs — the hundreds-of-rollouts workhorse of
@@ -32,15 +40,16 @@ from __future__ import annotations
 
 import itertools
 import time
+from collections import deque
 from dataclasses import fields
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional
 
 from repro.core.params import PlacementParams
 from repro.runner.cache import ResultCache
 from repro.runner.events import EventLog, EventType
 from repro.runner.execute import JobOutcome, execute_job
 from repro.runner.job import JobSpec
-from repro.runner.store import STATUS_FAILED, RunStore
+from repro.runner.store import LEASE_TIMEOUT, STATUS_FAILED, RunStore
 
 
 def expand_sweep(base: JobSpec, grid: dict) -> list:
@@ -68,7 +77,11 @@ def expand_sweep(base: JobSpec, grid: dict) -> list:
 
 
 class Scheduler:
-    """Serial queue of placement jobs over one run store."""
+    """FIFO queue of placement jobs over one run store.
+
+    ``workers=1`` (default) drains the queue serially in-process;
+    ``workers=N`` dispatches jobs to N concurrent spawn children.
+    """
 
     def __init__(self, store: RunStore,
                  cache: Optional[ResultCache] = None,
@@ -77,6 +90,8 @@ class Scheduler:
                  timeout: Optional[float] = None,
                  checkpoint_every: int = 25,
                  profile: bool = False,
+                 workers: int = 1,
+                 lease_timeout: float = LEASE_TIMEOUT,
                  sleep: Callable[[float], None] = time.sleep):
         self.store = store
         self.cache = cache
@@ -85,10 +100,15 @@ class Scheduler:
         self.timeout = timeout
         self.checkpoint_every = int(checkpoint_every)
         self.profile = profile
+        self.workers = max(1, int(workers))
+        self.lease_timeout = float(lease_timeout)
         self._sleep = sleep
-        self._queue: list = []
+        # deque: run() drains from the left, and a sweep of thousands
+        # of jobs must not pay list.pop(0)'s O(n) shift per job
+        self._queue: deque = deque()
         #: design-ref key -> loaded PlacementDB (warm netlist reuse)
         self._designs: dict = {}
+        self._spawned = 0  # worker labels across the scheduler lifetime
 
     # ------------------------------------------------------------------
     def submit(self, spec: JobSpec) -> None:
@@ -113,23 +133,24 @@ class Scheduler:
         return self._designs[key]
 
     def run(self) -> list:
-        """Drain the queue serially; returns one outcome per job."""
-        outcomes = []
-        while self._queue:
-            spec = self._queue.pop(0)
-            outcomes.append(self._run_one(spec))
-        return outcomes
+        """Drain the queue; one outcome per job, in submission order."""
+        if self.workers <= 1:
+            outcomes = []
+            while self._queue:
+                spec = self._queue.popleft()
+                outcomes.append(self._run_one(spec))
+            return outcomes
+        return self._run_pool()
 
-    # ------------------------------------------------------------------
+    # -- serial path ---------------------------------------------------
     def _run_one(self, spec: JobSpec) -> JobOutcome:
         try:
             db = self._load_design(spec)
-        except Exception as exc:  # noqa: BLE001 — isolate bad designs
-            return JobOutcome(
-                job_hash="", directory="", status=STATUS_FAILED,
-                design=spec.design.name,
-                error=f"design load failed: {type(exc).__name__}: {exc}",
-            )
+        except Exception:  # noqa: BLE001 — isolate bad designs
+            # let execute_job re-attempt the load and persist the
+            # failure in a (fallback-keyed) run directory, so the bad
+            # design is visible to `runs` instead of vanishing
+            db = None
 
         attempt = 0
         while True:
@@ -141,6 +162,7 @@ class Scheduler:
                 resume=attempt > 1,  # retries continue the checkpoint
                 profile=self.profile,
                 attempt=attempt,
+                lease_timeout=self.lease_timeout,
             )
             if outcome.status != STATUS_FAILED:
                 # complete, cached — or timeout, which is never retried
@@ -149,9 +171,98 @@ class Scheduler:
                 return outcome
             if attempt > self.max_retries:
                 return outcome
-            delay = self.backoff * (2.0 ** (attempt - 1))
-            if outcome.directory:
-                with EventLog(f"{outcome.directory}/events.jsonl") as log:
-                    log.emit(EventType.RETRY, attempt=attempt,
-                             delay=delay, error=outcome.error)
-            self._sleep(delay)
+            self._retry_backoff(outcome, attempt)
+
+    def _retry_backoff(self, outcome: JobOutcome, attempt: int) -> None:
+        delay = self.backoff * (2.0 ** (attempt - 1))
+        if outcome.directory:
+            with EventLog(f"{outcome.directory}/events.jsonl") as log:
+                log.emit(EventType.RETRY, attempt=attempt,
+                         delay=delay, error=outcome.error)
+        self._sleep(delay)
+
+    # -- multi-process path --------------------------------------------
+    def _next_worker_label(self) -> str:
+        label = f"w{self._spawned}"
+        self._spawned += 1
+        return label
+
+    def _spawn(self, index: int, spec: JobSpec, attempt: int,
+               resume: bool):
+        from repro.runner.worker import WorkerHandle, WorkerTask
+
+        task = WorkerTask(
+            index=index, attempt=attempt, spec=spec.to_dict(),
+            store_root=self.store.root,
+            worker=self._next_worker_label(),
+            use_cache=self.cache is not None,
+            checkpoint_every=self.checkpoint_every,
+            timeout=self.timeout, resume=resume, profile=self.profile,
+            lease_timeout=self.lease_timeout,
+        )
+        return WorkerHandle(task)
+
+    def _collect_outcome(self, handle, spec: JobSpec) -> JobOutcome:
+        """Reap one worker; a JobOutcome even if the worker died."""
+        payload = handle.collect()
+        if payload is not None and "worker_error" not in payload:
+            outcome = JobOutcome(**payload)
+        else:
+            # the worker died without reporting (SIGKILL, OOM, infra
+            # bug): recover any run directory it left locked mid-run so
+            # the retry can resume its checkpoint
+            error = (payload or {}).get("worker_error") or (
+                f"worker died (pid {handle.pid}, "
+                f"exitcode {handle.exitcode})"
+            )
+            recovered = self.store.recover_orphans(
+                lease_timeout=self.lease_timeout, pids={handle.pid})
+            if recovered:
+                rec = recovered[0]
+                outcome = JobOutcome(
+                    job_hash=rec.job_hash, directory=rec.directory,
+                    status=STATUS_FAILED, design=spec.design.name,
+                    error=error)
+            else:
+                outcome = JobOutcome(
+                    job_hash=spec.fallback_hash(), directory="",
+                    status=STATUS_FAILED, design=spec.design.name,
+                    error=error)
+        if self.cache is not None:
+            # child-side cache stats die with the child; fold the
+            # observable part into the dispatcher's counters
+            if outcome.cached:
+                self.cache.stats.hits += 1
+                if outcome.artifact_error:
+                    self.cache.stats.degraded_hits += 1
+            else:
+                self.cache.stats.misses += 1
+        return outcome
+
+    def _run_pool(self) -> list:
+        from multiprocessing.connection import wait as wait_sentinels
+
+        jobs = []
+        while self._queue:
+            jobs.append(self._queue.popleft())
+        outcomes: list = [None] * len(jobs)
+        # (index, spec, attempt, resume) — retries re-enter this queue
+        ready: deque = deque(
+            (i, spec, 1, False) for i, spec in enumerate(jobs))
+        active: dict = {}  # sentinel -> (handle, index, spec, attempt)
+
+        while ready or active:
+            while ready and len(active) < self.workers:
+                index, spec, attempt, resume = ready.popleft()
+                handle = self._spawn(index, spec, attempt, resume)
+                active[handle.sentinel] = (handle, index, spec, attempt)
+            for sentinel in wait_sentinels(list(active)):
+                handle, index, spec, attempt = active.pop(sentinel)
+                outcome = self._collect_outcome(handle, spec)
+                if outcome.status == STATUS_FAILED \
+                        and attempt <= self.max_retries:
+                    self._retry_backoff(outcome, attempt)
+                    ready.append((index, spec, attempt + 1, True))
+                else:
+                    outcomes[index] = outcome
+        return outcomes

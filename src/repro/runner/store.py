@@ -19,17 +19,30 @@ killed process never leaves a torn ``status.json``; the checkpoint
 writer does the same.  Statuses: ``running`` -> ``complete`` |
 ``failed`` | ``timeout``; a ``running`` directory found on disk with a
 checkpoint is a resumable crash victim.
+
+With multiple workers (``repro.runner.worker``) each live run holds an
+advisory **lease**: a ``lock.json`` in the run directory recording the
+owner pid/host/worker plus acquisition and heartbeat timestamps.  The
+lease is acquired with an atomic ``O_CREAT | O_EXCL`` create, refreshed
+from the GP iteration hook, and released on close; a second opener of
+the same run raises :class:`RunLocked`.  A lease whose owner is a dead
+pid (same host) or whose heartbeat is older than ``lease_timeout`` is
+*stale* and may be stolen; :meth:`RunStore.recover_orphans` turns such
+``running`` directories into ``failed``-with-checkpoint runs that
+``resume`` (or a retry) continues, instead of leaving them stuck
+``running`` forever after a SIGKILLed worker.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import socket
 import time
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.runner.events import EventLog
+from repro.runner.events import EventLog, EventType
 from repro.runner.job import JobSpec
 
 STORE_SCHEMA_VERSION = 1
@@ -42,6 +55,18 @@ STATUS_RUNNING = "running"
 STATUS_COMPLETE = "complete"
 STATUS_FAILED = "failed"
 STATUS_TIMEOUT = "timeout"
+
+#: a lease whose heartbeat is older than this is considered abandoned
+LEASE_TIMEOUT = 30.0
+#: minimum seconds between heartbeat rewrites (refreshes are rate-limited
+#: so per-iteration touches cost nothing on fast loops)
+LEASE_REFRESH = 5.0
+
+_HOSTNAME = socket.gethostname()
+
+
+class RunLocked(RuntimeError):
+    """Another live worker holds this run directory's lease."""
 
 
 def _atomic_write_json(path: str, data: dict) -> None:
@@ -58,6 +83,107 @@ def _read_json(path: str) -> Optional[dict]:
             return json.load(handle)
     except (OSError, json.JSONDecodeError):
         return None
+
+
+class RunLease:
+    """Advisory per-run lock file with owner identity and heartbeat.
+
+    Creation is atomic (``O_CREAT | O_EXCL``), so exactly one process
+    acquires a free lease.  Stealing a stale lease goes through an
+    atomic rename, so when several contenders detect the same dead
+    owner, exactly one wins and the rest re-examine the fresh lock.
+    """
+
+    def __init__(self, path: str, worker: Optional[str] = None,
+                 lease_timeout: float = LEASE_TIMEOUT,
+                 refresh_every: float = LEASE_REFRESH):
+        self.path = str(path)
+        self.worker = worker
+        self.lease_timeout = float(lease_timeout)
+        self.refresh_every = float(refresh_every)
+        self._held = False
+        self._acquired_at = 0.0
+        self._last_refresh = 0.0
+
+    # ------------------------------------------------------------------
+    def _payload(self) -> dict:
+        return {
+            "pid": os.getpid(),
+            "host": _HOSTNAME,
+            "worker": self.worker,
+            "acquired": self._acquired_at,
+            "heartbeat": time.time(),
+        }
+
+    def is_stale(self, info: Optional[dict]) -> bool:
+        """Is a lock with this payload abandoned by a dead owner?"""
+        if info is None:
+            # unreadable lock (torn write): fall back to file age
+            try:
+                age = time.time() - os.path.getmtime(self.path)
+            except OSError:
+                return True  # vanished underneath us: free
+            return age > self.lease_timeout
+        pid = info.get("pid")
+        if pid and info.get("host") == _HOSTNAME:
+            try:
+                os.kill(int(pid), 0)
+            except (ProcessLookupError, ValueError):
+                return True  # owner process is gone
+            except PermissionError:
+                pass  # alive, just not ours to signal
+        heartbeat = float(info.get("heartbeat")
+                          or info.get("acquired") or 0.0)
+        return (time.time() - heartbeat) > self.lease_timeout
+
+    # ------------------------------------------------------------------
+    def acquire(self) -> "RunLease":
+        while True:
+            try:
+                fd = os.open(self.path,
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                info = _read_json(self.path)
+                if not self.is_stale(info):
+                    owner = (info or {}).get("pid", "?")
+                    raise RunLocked(
+                        f"run directory {os.path.dirname(self.path)} is "
+                        f"locked by pid {owner} "
+                        f"(worker {(info or {}).get('worker')})"
+                    )
+                # steal via rename: only one contender gets the file
+                stale = f"{self.path}.stale.{os.getpid()}"
+                try:
+                    os.rename(self.path, stale)
+                except FileNotFoundError:
+                    continue  # someone else stole or released it first
+                os.unlink(stale)
+                continue
+            self._acquired_at = time.time()
+            with os.fdopen(fd, "w") as handle:
+                json.dump(self._payload(), handle)
+            self._held = True
+            self._last_refresh = self._acquired_at
+            return self
+
+    def refresh(self, force: bool = False) -> None:
+        """Re-stamp the heartbeat (rate-limited unless ``force``)."""
+        if not self._held:
+            return
+        now = time.time()
+        if not force and now - self._last_refresh < self.refresh_every:
+            return
+        _atomic_write_json(self.path, self._payload())
+        self._last_refresh = now
+
+    def release(self) -> None:
+        if not self._held:
+            return
+        self._held = False
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass  # a contender (wrongly) stole it; nothing to release
 
 
 @dataclass
@@ -83,8 +209,17 @@ class RunRecord:
         return self.state == STATUS_COMPLETE and self.metrics is not None
 
     @property
+    def artifact_error(self) -> Optional[str]:
+        """Set when the run completed but its Bookshelf write failed."""
+        return (self.status or {}).get("artifact_error")
+
+    @property
     def events_path(self) -> str:
         return os.path.join(self.directory, "events.jsonl")
+
+    @property
+    def lock_path(self) -> str:
+        return os.path.join(self.directory, "lock.json")
 
     @property
     def checkpoint_path(self) -> str:
@@ -103,10 +238,12 @@ class RunRecord:
 class RunHandle:
     """Live interface to one run directory while a job executes."""
 
-    def __init__(self, store: "RunStore", job_hash: str, directory: str):
+    def __init__(self, store: "RunStore", job_hash: str, directory: str,
+                 lease: Optional[RunLease] = None):
         self.store = store
         self.job_hash = job_hash
         self.directory = directory
+        self.lease = lease
         self.events = EventLog(os.path.join(directory, "events.jsonl"))
 
     # -- paths ---------------------------------------------------------
@@ -126,7 +263,8 @@ class RunHandle:
         )
 
     def set_status(self, status: str, error: Optional[str] = None,
-                   attempts: Optional[int] = None) -> None:
+                   attempts: Optional[int] = None,
+                   artifact_error: Optional[str] = None) -> None:
         path = os.path.join(self.directory, "status.json")
         current = _read_json(path) or {
             "created": time.time(), "attempts": 0,
@@ -135,6 +273,7 @@ class RunHandle:
             job_hash=self.job_hash,
             status=status,
             error=error,
+            artifact_error=artifact_error,
             updated=time.time(),
         )
         if attempts is not None:
@@ -146,8 +285,16 @@ class RunHandle:
             os.path.join(self.directory, "metrics.json"), metrics
         )
 
+    def touch_lease(self) -> None:
+        """Heartbeat the advisory lease (rate-limited; cheap to call
+        every GP iteration)."""
+        if self.lease is not None:
+            self.lease.refresh()
+
     def close(self) -> None:
         self.events.close()
+        if self.lease is not None:
+            self.lease.release()
 
 
 class RunStore:
@@ -165,13 +312,78 @@ class RunStore:
     def run_dir(self, job_hash: str) -> str:
         return os.path.join(self.runs_root, job_hash[:SHORT_HASH_LEN])
 
-    def open_run(self, spec: JobSpec, job_hash: str) -> RunHandle:
-        """Create (or reopen, for resume/overwrite) the run directory."""
+    def open_run(self, spec: JobSpec, job_hash: str,
+                 worker: Optional[str] = None,
+                 lock: bool = True,
+                 lease_timeout: float = LEASE_TIMEOUT) -> RunHandle:
+        """Create (or reopen, for resume/overwrite) the run directory.
+
+        Acquires the run's advisory lease first (unless ``lock=False``):
+        a second concurrent opener raises :class:`RunLocked`, so two
+        workers can never execute into the same ``runs/<hash16>/``.  A
+        stale lease (dead owner pid or expired heartbeat) is stolen.
+        """
         directory = self.run_dir(job_hash)
         os.makedirs(directory, exist_ok=True)
-        handle = RunHandle(self, job_hash, directory)
+        lease = None
+        if lock:
+            lease = RunLease(
+                os.path.join(directory, "lock.json"), worker=worker,
+                lease_timeout=lease_timeout,
+            ).acquire()
+        handle = RunHandle(self, job_hash, directory, lease=lease)
         handle.write_spec(spec)
         return handle
+
+    def recover_orphans(self, lease_timeout: float = LEASE_TIMEOUT,
+                        pids: Optional[set] = None) -> list:
+        """Turn abandoned ``running`` directories into resumable runs.
+
+        A run is an orphan when its status is ``running`` but its lease
+        is stale (owner pid dead on this host, or heartbeat older than
+        ``lease_timeout``) — the worker was SIGKILLed between status
+        writes.  Each orphan is marked ``failed`` (with an ``orphaned``
+        flag and an event), its lock removed and its checkpoint left in
+        place, so a retry or an explicit ``resume`` continues it instead
+        of the directory sitting ``running`` forever.
+
+        ``pids`` restricts recovery to leases owned by those pids (the
+        pool dispatcher passes the pid of a worker it just reaped).
+        Returns the recovered :class:`RunRecord` list.
+        """
+        recovered = []
+        for record in self.list_runs():
+            if record.state != STATUS_RUNNING:
+                continue
+            info = _read_json(record.lock_path)
+            has_lock = os.path.exists(record.lock_path)
+            if pids is not None:
+                if info is None or info.get("pid") not in pids:
+                    continue
+            elif has_lock:
+                lease = RunLease(record.lock_path,
+                                 lease_timeout=lease_timeout)
+                if not lease.is_stale(info):
+                    continue  # live owner: not an orphan
+            # mark failed-with-checkpoint, eligible for resume
+            owner = (info or {}).get("pid", "?")
+            error = (f"orphaned: worker (pid {owner}) died without "
+                     f"updating the run status")
+            status_path = os.path.join(record.directory, "status.json")
+            current = _read_json(status_path) or {}
+            current.update(status=STATUS_FAILED, error=error,
+                           orphaned=True, updated=time.time())
+            _atomic_write_json(status_path, current)
+            with EventLog(record.events_path) as log:
+                log.emit(EventType.ORPHANED, error=error, pid=owner,
+                         checkpoint=os.path.exists(record.checkpoint_path))
+            try:
+                os.unlink(record.lock_path)
+            except FileNotFoundError:
+                pass
+            record.status = current
+            recovered.append(record)
+        return recovered
 
     # ------------------------------------------------------------------
     def load(self, ref: str) -> RunRecord:

@@ -1,0 +1,209 @@
+"""Multi-process job execution for the batch scheduler.
+
+The pool model is **one spawned child process per job attempt**: the
+parent ships a :class:`WorkerTask` (a pure-data payload — spec dict,
+store root, execution policy) to a fresh ``spawn`` child, which
+rehydrates the :class:`JobSpec`, loads the design *in-process*, runs
+``execute_job`` against its own :class:`RunStore`/:class:`ResultCache`
+instances and sends the outcome back over a pipe.
+
+Why process-per-job instead of a persistent worker pool:
+
+- **spawn safety** — nothing is inherited but the picklable task, so
+  the child never sees half-initialized numpy/scipy state from a fork,
+  and the entrypoint works identically on every platform.
+- **death isolation** — a SIGKILLed/OOM-killed child takes down exactly
+  one attempt.  The dispatcher reaps it, recovers the orphaned run
+  directory through the store's lease machinery, and retries on a
+  *fresh* worker; the queue survives (this is why
+  ``concurrent.futures.ProcessPoolExecutor``, which breaks the whole
+  pool on a worker death, is not used).
+- **cheap relative to the work** — a placement job runs seconds to
+  hours; interpreter startup is noise, and jobs sharing a design pay
+  the load once per *attempt*, which the content-addressed cache keeps
+  honest across reruns.
+
+Store safety comes from the per-run advisory leases
+(:class:`repro.runner.store.RunLease`): two workers can never open the
+same ``runs/<hash16>/`` directory, and a worker that dies mid-run
+leaves a stale lease that :meth:`RunStore.recover_orphans` turns into a
+resumable ``failed`` run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+from dataclasses import dataclass
+from typing import Optional
+
+#: environment knob for crash-safety tests:
+#: ``REPRO_WORKER_KILL_AT=<iteration>:<sentinel-path>`` makes the first
+#: worker to reach <iteration> create the sentinel file and SIGKILL
+#: itself; every later worker (including the retry of the killed job)
+#: sees the sentinel and runs normally.  This simulates an OOM kill at
+#: a deterministic point without patching any production code path.
+KILL_SWITCH_ENV = "REPRO_WORKER_KILL_AT"
+
+_spawn_ctx = None
+
+
+def spawn_context():
+    """The shared ``spawn`` multiprocessing context (lazily created)."""
+    global _spawn_ctx
+    if _spawn_ctx is None:
+        _spawn_ctx = multiprocessing.get_context("spawn")
+    return _spawn_ctx
+
+
+@dataclass
+class WorkerTask:
+    """Everything a child process needs to run one job attempt.
+
+    Pure data (dicts, strings, numbers) so the payload pickles across
+    the spawn boundary without dragging any live state along.
+    """
+
+    index: int                     # submission-order slot of the job
+    attempt: int
+    spec: dict                     # JobSpec.to_dict()
+    store_root: str
+    worker: str                    # display label, e.g. "w3"
+    use_cache: bool = True
+    checkpoint_every: int = 25
+    timeout: Optional[float] = None
+    resume: bool = False
+    profile: bool = False
+    lease_timeout: Optional[float] = None
+
+
+def _fault_hook():
+    """Iteration hook implementing the :data:`KILL_SWITCH_ENV` knob."""
+    raw = os.environ.get(KILL_SWITCH_ENV)
+    if not raw:
+        return None
+    text, _, sentinel = raw.partition(":")
+    target = int(text)
+
+    def hook(placer, info):
+        if info["iteration"] < target or not sentinel:
+            return
+        try:
+            fd = os.open(sentinel,
+                         os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return  # someone already died here; run normally
+        os.close(fd)
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    return hook
+
+
+def outcome_payload(outcome) -> dict:
+    """A :class:`JobOutcome` as a small picklable dict.
+
+    Drops the in-process-only ``result`` object (live ``PlacementResult``
+    with full position arrays); everything the dispatcher's return
+    contract needs is already persisted or in the metrics dict.
+    """
+    return {
+        "job_hash": outcome.job_hash,
+        "directory": outcome.directory,
+        "status": outcome.status,
+        "design": outcome.design,
+        "cached": outcome.cached,
+        "resumed_from": outcome.resumed_from,
+        "metrics": outcome.metrics,
+        "error": outcome.error,
+        "artifact_error": outcome.artifact_error,
+    }
+
+
+def worker_main(conn, task: WorkerTask) -> None:
+    """Spawn entrypoint: rehydrate the spec, run the job, ship the outcome.
+
+    Runs in a child process with nothing shared but ``task``: the
+    design is loaded in-process, the store/cache are reopened from
+    their on-disk roots, and ``execute_job`` provides the same failure
+    isolation it gives the serial scheduler.  Anything escaping it is
+    an infrastructure bug, reported as a ``worker_error`` payload.
+    """
+    # imports happen in the child so a spawn never ships module state
+    from repro.runner.cache import ResultCache
+    from repro.runner.execute import execute_job
+    from repro.runner.job import JobSpec
+    from repro.runner.store import LEASE_TIMEOUT, RunStore
+
+    try:
+        spec = JobSpec.from_dict(task.spec)
+        store = RunStore(task.store_root)
+        cache = ResultCache(store) if task.use_cache else None
+        outcome = execute_job(
+            spec, store, cache=cache,
+            checkpoint_every=task.checkpoint_every,
+            timeout=task.timeout, resume=task.resume,
+            profile=task.profile, attempt=task.attempt,
+            worker=task.worker, iteration_hook=_fault_hook(),
+            lease_timeout=(LEASE_TIMEOUT if task.lease_timeout is None
+                           else task.lease_timeout),
+        )
+        conn.send(outcome_payload(outcome))
+    except BaseException as exc:  # pragma: no cover — infra failures
+        try:
+            conn.send({"worker_error": f"{type(exc).__name__}: {exc}"})
+        except (OSError, ValueError):
+            pass
+        raise
+    finally:
+        conn.close()
+
+
+class WorkerHandle:
+    """Parent-side handle on one in-flight job attempt.
+
+    Owns the child process and the read end of its outcome pipe.  The
+    dispatcher waits on :attr:`sentinel` (the process's OS-level done
+    signal, usable with :func:`multiprocessing.connection.wait`) and
+    then calls :meth:`collect`.
+    """
+
+    def __init__(self, task: WorkerTask):
+        self.task = task
+        ctx = spawn_context()
+        self._recv, child_end = ctx.Pipe(duplex=False)
+        self.process = ctx.Process(
+            target=worker_main, args=(child_end, task),
+            name=f"repro-{task.worker}",
+        )
+        self.process.start()
+        child_end.close()  # the parent keeps only the read end
+
+    @property
+    def sentinel(self) -> int:
+        return self.process.sentinel
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid
+
+    @property
+    def exitcode(self) -> Optional[int]:
+        return self.process.exitcode
+
+    def collect(self) -> Optional[dict]:
+        """Reap the child; its outcome payload, or None if it died.
+
+        A child that was SIGKILLed (or crashed before reporting) never
+        wrote to the pipe — the dispatcher treats ``None`` as a worker
+        death and runs orphan recovery on the store.
+        """
+        payload = None
+        try:
+            if self._recv.poll(0):
+                payload = self._recv.recv()
+        except (EOFError, OSError):
+            payload = None
+        self.process.join()
+        self._recv.close()
+        return payload

@@ -32,6 +32,7 @@ from repro.runner import (
     JobSpec,
     PlacerCheckpoint,
     ResultCache,
+    RunLocked,
     RunStore,
     Scheduler,
     count_events,
@@ -39,7 +40,13 @@ from repro.runner import (
     expand_sweep,
     read_events,
 )
-from repro.runner.store import STATUS_COMPLETE, STATUS_FAILED, STATUS_TIMEOUT
+from repro.runner.store import (
+    STATUS_COMPLETE,
+    STATUS_FAILED,
+    STATUS_RUNNING,
+    STATUS_TIMEOUT,
+    _atomic_write_json,
+)
 
 
 def make_db(seed=5, num_cells=60):
@@ -54,6 +61,15 @@ def gp_spec(**overrides) -> JobSpec:
     params = PlacementParams(max_global_iters=120, **overrides)
     return JobSpec(design=DesignRef("runnertest", scale=1),
                    params=params, stages=("gp",))
+
+
+def _dead_pid() -> int:
+    """A pid that existed a moment ago and is certainly gone now."""
+    import subprocess
+
+    proc = subprocess.Popen(["true"])
+    proc.wait()  # reaped: os.kill(pid, 0) now raises ProcessLookupError
+    return proc.pid
 
 
 # ----------------------------------------------------------------------
@@ -518,3 +534,269 @@ class TestCli:
         out = capsys.readouterr().out
         assert "batch: 2 job(s)" in out
         assert len(RunStore(store).list_runs()) == 2
+
+    def test_workers_flag_parses(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        assert parser.parse_args(["sweep", "d"]).workers == 1
+        assert parser.parse_args(
+            ["sweep", "d", "--workers", "4"]).workers == 4
+        assert parser.parse_args(
+            ["batch", "jobs.json", "--workers", "2"]).workers == 2
+
+
+# ----------------------------------------------------------------------
+class TestArtifactErrorRegression:
+    """A failed Bookshelf write must not produce silent artifact-less
+    cache hits (it used to emit RUN_FAILED then mark complete anyway)."""
+
+    def test_bookshelf_failure_completes_but_degraded(self, tmp_path,
+                                                      monkeypatch):
+        import repro.bookshelf as bookshelf
+
+        def boom(db, directory):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(bookshelf, "write_bookshelf", boom)
+        db = make_db()
+        store = RunStore(str(tmp_path / "store"))
+        cache = ResultCache(store)
+        outcome = execute_job(gp_spec(), store, cache=cache, db=db)
+        # metrics persisted, so the run is complete — but flagged
+        assert outcome.ok
+        assert "disk full" in outcome.artifact_error
+        record = store.load(outcome.job_hash[:16])
+        assert record.state == STATUS_COMPLETE
+        assert "disk full" in record.artifact_error
+        counts = count_events(record.events_path)
+        assert counts["artifact_error"] == 1
+        assert counts.get("run_failed", 0) == 0  # not a failure event
+
+        # the cache serves the hit but surfaces the degraded state
+        hit = execute_job(gp_spec(), store, cache=cache, db=db)
+        assert hit.cached and hit.ok
+        assert "disk full" in hit.artifact_error
+        assert cache.stats.hits == 1
+        assert cache.stats.degraded_hits == 1
+
+    def test_metrics_failure_fails_the_run(self, tmp_path, monkeypatch):
+        from repro.runner.store import RunHandle
+
+        def boom(self, metrics):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(RunHandle, "write_metrics", boom)
+        db = make_db()
+        store = RunStore(str(tmp_path / "store"))
+        cache = ResultCache(store)
+        outcome = execute_job(gp_spec(), store, cache=cache, db=db)
+        assert outcome.status == STATUS_FAILED
+        assert "metrics write failed" in outcome.error
+        assert store.load(outcome.job_hash[:16]).state == STATUS_FAILED
+        monkeypatch.undo()
+        assert cache.lookup(outcome.job_hash) is None  # never a hit
+
+
+# ----------------------------------------------------------------------
+class TestDesignLoadFailureRegression:
+    """A design-load failure must leave a visible run directory (it
+    used to return an outcome with empty hash/directory — no status,
+    no events, invisible to `runs`/`resume`)."""
+
+    def test_load_failure_persists_a_run(self, tmp_path):
+        store = RunStore(str(tmp_path / "store"))
+        scheduler = Scheduler(store, max_retries=0)
+        scheduler.submit(JobSpec(
+            design=DesignRef("no-such-design-anywhere"), stages=("gp",)))
+        outcome = scheduler.run()[0]
+        assert outcome.status == STATUS_FAILED
+        assert "design load failed" in outcome.error
+        # the failure now has a home in the store
+        assert outcome.job_hash and outcome.directory
+        assert os.path.isdir(outcome.directory)
+        record = store.load(outcome.job_hash[:16])
+        assert record.state == STATUS_FAILED
+        assert "design load failed" in record.status["error"]
+        assert list(read_events(record.events_path, type="run_failed"))
+        assert record.load_spec().design.name == "no-such-design-anywhere"
+
+    def test_fallback_hash_is_deterministic_and_distinct(self):
+        spec = JobSpec(design=DesignRef("missing"), stages=("gp",))
+        assert spec.fallback_hash() == spec.fallback_hash()
+        other_design = JobSpec(design=DesignRef("missing2"),
+                               stages=("gp",))
+        assert spec.fallback_hash() != other_design.fallback_hash()
+        other_params = spec.with_param_overrides(seed=123)
+        assert spec.fallback_hash() != other_params.fallback_hash()
+        # retries of the same broken job share one directory
+        assert JobSpec(design=DesignRef("missing"),
+                       stages=("gp",)).fallback_hash() \
+            == spec.fallback_hash()
+
+
+# ----------------------------------------------------------------------
+class TestTimeoutClockRegression:
+    """The cooperative deadline must start at entry, not after the
+    design load — a cold load used to escape the budget entirely."""
+
+    def test_design_load_counts_against_the_budget(self, tmp_path,
+                                                   monkeypatch):
+        db = make_db()
+        import repro.runner.execute as execute_mod
+
+        clock = _FakeClock()
+        monkeypatch.setattr(execute_mod, "time", clock)
+
+        def slow_load(self):
+            clock.now += 10.0  # the load burns 10 "seconds"
+            return db
+
+        monkeypatch.setattr(DesignRef, "load", slow_load)
+        # budget 5s, load costs 10s: with the deadline started at entry
+        # the very first iteration must observe the blown budget
+        outcome = execute_job(gp_spec(), RunStore(str(tmp_path / "s")),
+                              timeout=5.0)
+        assert outcome.status == STATUS_TIMEOUT
+        events = list(read_events(
+            os.path.join(outcome.directory, "events.jsonl"),
+            type="timeout"))
+        assert events and events[-1]["iteration"] == 1
+
+
+# ----------------------------------------------------------------------
+class TestQueueDiscipline:
+    """The queue is a deque drained with popleft — O(1) per job instead
+    of list.pop(0)'s O(n) shift — and stays strictly FIFO."""
+
+    def test_queue_is_a_deque_and_fifo(self, tmp_path, monkeypatch):
+        from collections import deque
+
+        import repro.runner.scheduler as sched_mod
+
+        ran = []
+
+        def stub_execute(spec, store, **kwargs):
+            ran.append(spec.params.seed)
+            return JobOutcomeStub(spec)
+
+        class JobOutcomeStub:
+            def __init__(self, spec):
+                self.job_hash = "0" * 64
+                self.directory = ""
+                self.status = STATUS_COMPLETE
+                self.design = spec.design.name
+                self.cached = False
+                self.ok = True
+
+        monkeypatch.setattr(sched_mod, "execute_job", stub_execute)
+        scheduler = Scheduler(RunStore(str(tmp_path / "store")))
+        assert isinstance(scheduler._queue, deque)
+        for seed in (3, 1, 2):
+            scheduler.submit(gp_spec(seed=seed))
+        outcomes = scheduler.run()
+        assert ran == [3, 1, 2]  # submission order, not sorted
+        assert len(outcomes) == 3
+
+
+# ----------------------------------------------------------------------
+class TestRunLease:
+    """Advisory per-run locks: contention, stealing, orphan recovery."""
+
+    def test_second_open_of_a_locked_run_raises(self, tmp_path):
+        store = RunStore(str(tmp_path / "store"))
+        spec = gp_spec()
+        handle = store.open_run(spec, "ab" * 32)
+        with pytest.raises(RunLocked):
+            store.open_run(spec, "ab" * 32)
+        handle.close()  # releasing the lease frees the run
+        store.open_run(spec, "ab" * 32).close()
+
+    def test_dead_owner_lease_is_stolen(self, tmp_path):
+        import socket
+        import time as time_mod
+
+        store = RunStore(str(tmp_path / "store"))
+        spec = gp_spec()
+        directory = store.run_dir("cd" * 32)
+        os.makedirs(directory)
+        _atomic_write_json(os.path.join(directory, "lock.json"), {
+            "pid": _dead_pid(), "host": socket.gethostname(),
+            "heartbeat": time_mod.time(),  # fresh — pid check must win
+        })
+        handle = store.open_run(spec, "cd" * 32)  # steals, no raise
+        assert handle.lease is not None
+        handle.close()
+
+    def test_expired_heartbeat_is_stolen_live_is_not(self, tmp_path):
+        import time as time_mod
+
+        store = RunStore(str(tmp_path / "store"))
+        spec = gp_spec()
+        directory = store.run_dir("ef" * 32)
+        os.makedirs(directory)
+        lock_path = os.path.join(directory, "lock.json")
+        # another *host* (pid liveness unknowable) with an expired lease
+        _atomic_write_json(lock_path, {
+            "pid": 1, "host": "some-other-host",
+            "heartbeat": time_mod.time() - 9999.0,
+        })
+        store.open_run(spec, "ef" * 32).close()
+        # fresh heartbeat from another host: genuinely held
+        _atomic_write_json(lock_path, {
+            "pid": 1, "host": "some-other-host",
+            "heartbeat": time_mod.time(),
+        })
+        with pytest.raises(RunLocked):
+            store.open_run(spec, "ef" * 32)
+
+    def test_recover_orphans_marks_failed_with_checkpoint(
+            self, tmp_path, monkeypatch):
+        import socket
+        import time as time_mod
+
+        db = make_db()
+        store = RunStore(str(tmp_path / "store"))
+        cache = ResultCache(store)
+        import repro.runner.execute as execute_mod
+
+        # leave a checkpoint behind via a deterministic timeout
+        monkeypatch.setattr(execute_mod, "time", _FakeClock())
+        killed = execute_job(gp_spec(), store, db=db,
+                             checkpoint_every=10, timeout=12.0)
+        monkeypatch.undo()
+        assert os.path.exists(
+            os.path.join(killed.directory, "checkpoint.pkl"))
+
+        # simulate SIGKILL: status stuck `running`, stale lock on disk
+        status_path = os.path.join(killed.directory, "status.json")
+        status = json.loads(open(status_path).read())
+        status["status"] = STATUS_RUNNING
+        _atomic_write_json(status_path, status)
+        _atomic_write_json(os.path.join(killed.directory, "lock.json"), {
+            "pid": _dead_pid(), "host": socket.gethostname(),
+            "heartbeat": time_mod.time(),
+        })
+
+        recovered = store.recover_orphans()
+        assert [r.job_hash for r in recovered] == [killed.job_hash]
+        record = store.load(killed.job_hash[:16])
+        assert record.state == STATUS_FAILED
+        assert record.status["orphaned"] is True
+        assert "orphaned" in record.status["error"]
+        assert not os.path.exists(record.lock_path)  # lock cleared
+        assert os.path.exists(record.checkpoint_path)  # kept
+        assert list(read_events(record.events_path, type="orphaned"))
+        assert cache.lookup(killed.job_hash) is None  # not a hit
+
+        # ...and the orphan is resumable from its checkpoint
+        resumed = execute_job(gp_spec(), store, db=db, resume=True)
+        assert resumed.ok
+        assert resumed.resumed_from == 10
+
+    def test_recover_orphans_spares_live_runs(self, tmp_path):
+        store = RunStore(str(tmp_path / "store"))
+        handle = store.open_run(gp_spec(), "aa" * 32)
+        handle.set_status(STATUS_RUNNING, attempts=1)
+        assert store.recover_orphans() == []  # our own live lease
+        handle.close()

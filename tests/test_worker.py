@@ -1,0 +1,194 @@
+"""Tests for the multi-process worker pool (repro.runner.worker).
+
+Covers the concurrency acceptance criteria:
+
+- a 2x2 sweep under ``workers=4`` produces a run store equivalent to
+  the serial run — identical job hashes, byte-identical specs and
+  final positions, identical metrics (wall-clock runtime excluded),
+- SIGKILLing a worker mid-GP leaves the store uncorrupted: the
+  orphaned run's lease is recovered, the job retries from its
+  checkpoint on a fresh worker, and the full sweep completes with
+  bit-exact results,
+- worker/pid telemetry and submission-order outcome merging.
+
+These tests spawn real child processes (placement jobs are tiny so the
+interpreter startup dominates); everything cheap-to-check lives in
+``test_runner.py`` instead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.benchgen import CircuitSpec, generate
+from repro.bookshelf import write_bookshelf
+from repro.core import PlacementParams
+from repro.runner import (
+    DesignRef,
+    JobSpec,
+    ResultCache,
+    RunStore,
+    Scheduler,
+    read_events,
+)
+from repro.runner.worker import KILL_SWITCH_ENV, WorkerTask, outcome_payload
+
+
+@pytest.fixture(scope="module")
+def aux_design(tmp_path_factory):
+    """A tiny Bookshelf design on disk that spawn children can load."""
+    directory = tmp_path_factory.mktemp("design")
+    db = generate(CircuitSpec(name="workertest", num_cells=60,
+                              num_ios=8, utilization=0.6, seed=5))
+    return str(write_bookshelf(db, str(directory)))
+
+
+def sweep_base(aux: str, max_iters: int = 40) -> JobSpec:
+    return JobSpec(
+        design=DesignRef.parse(aux),
+        params=PlacementParams(max_global_iters=max_iters,
+                               min_global_iters=5),
+        stages=("gp",),
+    )
+
+
+GRID = {"seed": [1, 2], "target_density": [0.85, 1.0]}
+
+
+def _comparable_metrics(path: str) -> dict:
+    metrics = json.loads(open(path).read())
+    metrics.pop("runtime")  # wall clock legitimately differs
+    return metrics
+
+
+class TestParallelEquivalence:
+    def test_2x2_sweep_workers4_matches_serial_store(self, tmp_path,
+                                                     aux_design):
+        serial_store = RunStore(str(tmp_path / "serial"))
+        serial = Scheduler(serial_store, cache=ResultCache(serial_store))
+        serial.submit_sweep(sweep_base(aux_design), GRID)
+        serial_outcomes = serial.run()
+        assert all(o.ok for o in serial_outcomes)
+
+        pool_store = RunStore(str(tmp_path / "pool"))
+        pool = Scheduler(pool_store, cache=ResultCache(pool_store),
+                         workers=4)
+        pool.submit_sweep(sweep_base(aux_design), GRID)
+        pool_outcomes = pool.run()
+        assert all(o.ok for o in pool_outcomes)
+        assert not any(o.cached for o in pool_outcomes)
+
+        # outcomes merge in submission order: hash sequences align
+        assert [o.job_hash for o in pool_outcomes] \
+            == [o.job_hash for o in serial_outcomes]
+
+        for serial_out, pool_out in zip(serial_outcomes, pool_outcomes):
+            sdir, pdir = serial_out.directory, pool_out.directory
+            # byte-identical spec and final positions
+            assert open(os.path.join(sdir, "spec.json"), "rb").read() \
+                == open(os.path.join(pdir, "spec.json"), "rb").read()
+            name = "workertest.pl"
+            assert open(os.path.join(sdir, "result", name), "rb").read() \
+                == open(os.path.join(pdir, "result", name), "rb").read()
+            # identical metrics modulo wall clock
+            assert _comparable_metrics(
+                os.path.join(sdir, "metrics.json")) \
+                == _comparable_metrics(os.path.join(pdir, "metrics.json"))
+            # no leftover leases
+            assert not os.path.exists(os.path.join(pdir, "lock.json"))
+
+        # run_start telemetry identifies the executing worker + pid
+        parent = os.getpid()
+        for outcome in pool_outcomes:
+            starts = list(read_events(
+                os.path.join(outcome.directory, "events.jsonl"),
+                type="run_start"))
+            assert starts
+            assert starts[-1]["worker"].startswith("w")
+            assert starts[-1]["pid"] != parent  # ran out-of-process
+
+    def test_parallel_rerun_is_all_cache_hits(self, tmp_path,
+                                              aux_design):
+        store = RunStore(str(tmp_path / "store"))
+        first = Scheduler(store, cache=ResultCache(store), workers=2)
+        first.submit_sweep(sweep_base(aux_design), {"seed": [1, 2]})
+        assert all(o.ok for o in first.run())
+
+        cache = ResultCache(store)
+        again = Scheduler(store, cache=cache, workers=2)
+        again.submit_sweep(sweep_base(aux_design), {"seed": [1, 2]})
+        outcomes = again.run()
+        assert all(o.ok and o.cached for o in outcomes)
+        # child-side hits fold into the dispatcher's cache stats
+        assert cache.stats.hits == 2 and cache.stats.misses == 0
+
+
+class TestWorkerDeath:
+    def test_sigkilled_worker_recovers_and_sweep_completes(
+            self, tmp_path, aux_design, monkeypatch):
+        """Acceptance: kill -9 one worker mid-GP; the lease expires,
+        the job resumes from its checkpoint and the sweep finishes."""
+        sentinel = str(tmp_path / "killed.sentinel")
+        monkeypatch.setenv(KILL_SWITCH_ENV, f"15:{sentinel}")
+        store = RunStore(str(tmp_path / "store"))
+        scheduler = Scheduler(store, cache=ResultCache(store),
+                              workers=2, max_retries=1, backoff=0.01,
+                              checkpoint_every=10)
+        scheduler.submit_sweep(sweep_base(aux_design, max_iters=60),
+                               {"seed": [1, 2]})
+        outcomes = scheduler.run()
+        assert os.path.exists(sentinel)  # exactly one worker died
+        assert len(outcomes) == 2
+        assert all(o.ok for o in outcomes)
+
+        resumed = [o for o in outcomes if o.resumed_from is not None]
+        assert len(resumed) == 1
+        assert resumed[0].resumed_from == 10  # the pre-kill checkpoint
+        events = os.path.join(resumed[0].directory, "events.jsonl")
+        assert list(read_events(events, type="orphaned"))
+        assert list(read_events(events, type="retry"))
+        assert list(read_events(events, type="resume"))
+
+        # the recovered run is bit-exact vs an uninterrupted serial run
+        monkeypatch.delenv(KILL_SWITCH_ENV)
+        ref_store = RunStore(str(tmp_path / "ref"))
+        ref = Scheduler(ref_store, cache=ResultCache(ref_store))
+        ref.submit_sweep(sweep_base(aux_design, max_iters=60),
+                         {"seed": [1, 2]})
+        for ref_out, out in zip(ref.run(), outcomes):
+            assert ref_out.job_hash == out.job_hash
+            assert _comparable_metrics(
+                os.path.join(ref_out.directory, "metrics.json")) \
+                == _comparable_metrics(
+                    os.path.join(out.directory, "metrics.json"))
+
+
+class TestWorkerPlumbing:
+    def test_outcome_payload_drops_live_result(self):
+        from repro.runner.execute import JobOutcome
+
+        outcome = JobOutcome(job_hash="a" * 64, directory="/tmp/x",
+                             status="complete", design="d",
+                             metrics={"hpwl": {"final": 1.0}},
+                             result=object())
+        payload = outcome_payload(outcome)
+        assert "result" not in payload
+        assert JobOutcome(**payload).job_hash == outcome.job_hash
+
+    def test_worker_task_is_picklable(self, aux_design):
+        import pickle
+
+        task = WorkerTask(index=0, attempt=1,
+                          spec=sweep_base(aux_design).to_dict(),
+                          store_root="/tmp/store", worker="w0")
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone.spec == task.spec and clone.worker == "w0"
+
+    def test_fault_hook_inactive_without_env(self, monkeypatch):
+        from repro.runner.worker import _fault_hook
+
+        monkeypatch.delenv(KILL_SWITCH_ENV, raising=False)
+        assert _fault_hook() is None
