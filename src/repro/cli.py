@@ -67,6 +67,7 @@ def _cmd_place(args) -> int:
         verbose=args.verbose,
         enable_recovery=not args.no_recovery,
         max_recoveries=args.max_recoveries,
+        graph_capture=not args.no_capture,
     )
     print(f"placing {db} ...")
     if args.profile or args.profile_alloc:
@@ -75,6 +76,9 @@ def _cmd_place(args) -> int:
         with Profiler(trace_alloc=args.profile_alloc) as prof:
             result = DreamPlacer(db, params).run()
         print(prof.table(title="per-op breakdown (Fig. 9 style)"))
+        split = prof.closure_split_line()
+        if split is not None:
+            print(split)
     else:
         result = DreamPlacer(db, params).run()
     print(f"HPWL     : {result.hpwl_final:,.0f} "
@@ -475,6 +479,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "checkpoint but never retry)")
     place.add_argument("--max-recoveries", type=int, default=3,
                        help="rollback budget per GP run before giving up")
+    place.add_argument("--no-capture", action="store_true",
+                       help="disable the captured-tape replay engine "
+                            "(evaluate the objective eagerly every "
+                            "iteration)")
     place.add_argument("--profile", action="store_true",
                        help="print a per-op runtime breakdown after the run")
     place.add_argument("--profile-alloc", action="store_true",

@@ -39,6 +39,7 @@ from repro.nn.optim import (
     NesterovLineSearch,
     RMSProp,
 )
+from repro.nn.tape import TapeInvalidated, capture
 from repro.nn.tensor import Parameter
 from repro.ops.density_op import ElectricDensity
 from repro.ops.density_overflow import density_overflow, fixed_free_area
@@ -106,6 +107,12 @@ class GlobalPlacer:
         # iteration so capture_loop_state() (checkpointing) can reach
         # every piece of loop state from an on_iteration callback
         self._loop_ctx: dict | None = None
+        # captured objective tape (repro.nn.tape): recorded on the first
+        # closure evaluation of a place() call, replayed afterwards, and
+        # dropped on every structural event (rollback, warm restart,
+        # resume, set_positions) so the next closure recaptures
+        self._tape = None
+        self._capture_ok = True
 
     # ------------------------------------------------------------------
     def _build_variables(self) -> None:
@@ -294,10 +301,16 @@ class GlobalPlacer:
             gamma=self.objective.gamma,
         )
 
+    def invalidate_tape(self) -> None:
+        """Drop the captured objective tape (recapture on next closure)."""
+        self._tape = None
+        self._capture_ok = True
+
     def _restore_snapshot(self, snap: PlacerSnapshot, optimizer, scheduler,
                           weight, lambda_damping: float = 1.0) -> None:
         """Roll the loop back to ``snap`` exactly, optionally damping
         lambda so the retry does not diverge the same way again."""
+        self.invalidate_tape()
         self.pos.data = snap.pos.copy()
         if snap.optimizer_state is not None:
             optimizer.load_state_dict(snap.optimizer_state)
@@ -350,6 +363,7 @@ class GlobalPlacer:
 
     def _restore_loop_state(self, state: dict, monitor: ConvergenceMonitor):
         """Rebuild every loop variable from :meth:`capture_loop_state`."""
+        self.invalidate_tape()
         params = self.params
         if self._optimizer is None:
             self._optimizer, self._scheduler = self._build_optimizer()
@@ -457,11 +471,43 @@ class GlobalPlacer:
             best_wl_snap = PlacerSnapshot(0, hpwl, overflow, best_snap.pos)
             first_iter = 1
 
-        def closure():
-            self.pos.zero_grad()
+        self.invalidate_tape()
+        # capture freezes the Python control flow of the first forward,
+        # so a user-supplied wirelength module (which may branch per
+        # call) forces eager evaluation
+        graph_capture = (params.graph_capture
+                         and self.wirelength_factory is None)
+
+        def eager_closure():
             obj = self.objective(self.pos)
             obj.backward()
             return obj
+
+        def closure():
+            self.pos.zero_grad()
+            tape = self._tape
+            if tape is not None:
+                with profiled("gp.replay"):
+                    try:
+                        loss = tape.replay()
+                    except TapeInvalidated:
+                        # a structural event slipped past the explicit
+                        # invalidation points: recapture below
+                        self._tape = tape = None
+                if tape is not None:
+                    obj = self.objective
+                    obj.last_wirelength = tape.watched("wirelength")
+                    obj.last_density = tape.watched("density")
+                    return loss
+            if not graph_capture or not self._capture_ok:
+                with profiled("gp.eager"):
+                    return eager_closure()
+            with profiled("gp.graph_build"):
+                loss, self._tape = capture(eager_closure)
+            # an untapeable graph (e.g. a custom wirelength op that is
+            # not capture-safe) permanently falls back to eager mode
+            self._capture_ok = self._tape is not None
+            return loss
 
         converged = False
         diverged = False
@@ -613,6 +659,7 @@ class GlobalPlacer:
 
     def set_positions(self, x: np.ndarray, y: np.ndarray) -> None:
         """Warm-start the cell coordinates (e.g. between inflation rounds)."""
+        self.invalidate_tape()
         n = self.db.num_cells + self.num_fillers
         data = self.pos.data
         data[:self.db.num_cells] = np.asarray(x, dtype=data.dtype)

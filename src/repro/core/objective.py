@@ -8,7 +8,10 @@ autograd engine, so one ``backward()`` produces the full gradient.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.nn.module import Module
+from repro.nn.tape import active_recorder
 from repro.nn.tensor import Tensor
 
 
@@ -18,16 +21,36 @@ class PlacementObjective(Module):
     def __init__(self, wirelength_op: Module, density_op: Module):
         self.wirelength = wirelength_op
         self.density = density_op
-        self.density_weight = 0.0
+        # lambda lives in a persistent leaf tensor so a captured tape
+        # reads the current value through .data on every replay; the
+        # property below keeps the float-valued interface unchanged
+        self._weight = Tensor(0.0)
         self.last_wirelength = float("nan")
         self.last_density = float("nan")
+
+    @property
+    def density_weight(self) -> float:
+        return float(self._weight.data)
+
+    @density_weight.setter
+    def density_weight(self, value: float) -> None:
+        self._weight.data = np.asarray(float(value),
+                                       dtype=self._weight.data.dtype)
 
     def forward(self, pos: Tensor) -> Tensor:
         wl = self.wirelength(pos)
         density = self.density(pos)
         self.last_wirelength = wl.item()
         self.last_density = density.item()
-        return wl + self.density_weight * density
+        if self._weight.data.dtype != density.dtype:
+            self._weight.data = self._weight.data.astype(density.dtype)
+        recorder = active_recorder()
+        if recorder is not None:
+            # replay skips this method entirely; the GP loop refreshes
+            # last_wirelength/last_density from these watched slots
+            recorder.watch("wirelength", wl)
+            recorder.watch("density", density)
+        return wl + density * self._weight
 
     @property
     def gamma(self) -> float:

@@ -31,6 +31,12 @@ class PlacementParams:
     #: (zero steady-state allocations); False restores the original
     #: allocate-per-call kernels (the pooling benchmarks' baseline)
     workspace_pooling: bool = True
+    #: capture the GP objective graph on the first closure evaluation
+    #: and replay it as a precompiled straight-line tape afterwards
+    #: (bit-exact against eager; recaptured on structural events and
+    #: automatically disabled for graphs with capture-unsafe ops).
+    #: False (CLI ``--no-capture``) forces eager execution throughout
+    graph_capture: bool = True
 
     # -- density system ------------------------------------------------
     target_density: float = 1.0

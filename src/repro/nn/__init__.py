@@ -14,6 +14,8 @@ from repro.nn.function import Function
 from repro.nn.module import Module
 from repro.nn import functional
 from repro.nn import optim
+from repro.nn import tape
+from repro.nn.tape import CapturedTape, CaptureError, TapeInvalidated, capture
 
 __all__ = [
     "Tensor",
@@ -23,4 +25,9 @@ __all__ = [
     "functional",
     "optim",
     "no_grad",
+    "tape",
+    "CapturedTape",
+    "CaptureError",
+    "TapeInvalidated",
+    "capture",
 ]

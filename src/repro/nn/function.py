@@ -14,6 +14,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.nn import tape as _tape
 from repro.nn.tensor import Tensor, is_grad_enabled
 
 
@@ -24,6 +25,13 @@ class Function:
     operator through :meth:`apply`; a fresh instance per call acts as the
     autograd-graph node and as the context object (``save_for_backward``).
     """
+
+    #: opt-in to :mod:`repro.nn.tape` capture: replaying this node's
+    #: recorded ``forward``/``backward`` (same instance, refreshed saved
+    #: context, live kwargs) must be semantically identical to a fresh
+    #: ``apply``.  Ops holding per-call state outside the node, or whose
+    #: forward has side effects that must not repeat, stay False.
+    capture_safe = False
 
     def __init__(self):
         self.inputs: tuple[Tensor, ...] = ()
@@ -44,6 +52,18 @@ class Function:
     def backward(self, grad_output: np.ndarray):
         raise NotImplementedError
 
+    def compile_replay(self, kwargs: dict):
+        """Optional tape-replay specialization hook.
+
+        Called once at capture finalization with the recorded kwargs.
+        Return ``(forward, backward)`` callables to substitute on the
+        tape — both must be *bit-identical* to the eager pair (the fast
+        paths batch work across axes/transforms without changing any
+        reduction order) — or ``None`` to replay the node's own
+        ``forward``/``backward`` verbatim.
+        """
+        return None
+
     # -- invocation -------------------------------------------------------
     @classmethod
     def apply(cls, *inputs, **kwargs) -> Tensor:
@@ -63,4 +83,7 @@ class Function:
         if requires:
             node.inputs = tensors
             output._creator = node
+        recorder = _tape._RECORDER
+        if recorder is not None:
+            recorder.record_apply(node, inputs, kwargs, output, requires)
         return output

@@ -9,6 +9,8 @@ from repro.nn.tensor import Tensor
 
 
 class _Add(Function):
+    capture_safe = True
+
     def forward(self, a, b):
         return a + b
 
@@ -17,6 +19,8 @@ class _Add(Function):
 
 
 class _Sub(Function):
+    capture_safe = True
+
     def forward(self, a, b):
         return a - b
 
@@ -25,6 +29,8 @@ class _Sub(Function):
 
 
 class _Mul(Function):
+    capture_safe = True
+
     def forward(self, a, b):
         self.save_for_backward(a, b)
         return a * b
@@ -35,6 +41,8 @@ class _Mul(Function):
 
 
 class _Div(Function):
+    capture_safe = True
+
     def forward(self, a, b):
         self.save_for_backward(a, b)
         return a / b
@@ -45,6 +53,8 @@ class _Div(Function):
 
 
 class _Sum(Function):
+    capture_safe = True
+
     def forward(self, a):
         self.save_for_backward(a.shape, a.dtype)
         return np.asarray(a.sum(), dtype=a.dtype)
@@ -55,6 +65,8 @@ class _Sum(Function):
 
 
 class _Abs(Function):
+    capture_safe = True
+
     def forward(self, a):
         self.save_for_backward(np.sign(a))
         return np.abs(a)
@@ -65,6 +77,8 @@ class _Abs(Function):
 
 
 class _Square(Function):
+    capture_safe = True
+
     def forward(self, a):
         self.save_for_backward(a)
         return a * a

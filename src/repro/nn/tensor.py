@@ -16,6 +16,10 @@ import numpy as np
 
 _grad_enabled = True
 
+#: set by :func:`repro.nn.tape.capture` for the duration of a capture;
+#: called as ``hook(root_tensor, explicit_grad)`` when backward() starts
+_capture_root_hook = None
+
 
 @contextlib.contextmanager
 def no_grad():
@@ -120,6 +124,8 @@ class Tensor:
             Upstream gradient.  Defaults to 1 for scalar tensors, matching
             the usual ``loss.backward()`` idiom.
         """
+        if _capture_root_hook is not None:
+            _capture_root_hook(self, grad)
         if grad is None:
             if self.data.size != 1:
                 raise RuntimeError(
@@ -129,18 +135,23 @@ class Tensor:
             grad = np.ones_like(self.data)
         grad = _as_array(grad, self.data.dtype)
 
+        # iterative DFS building the same postorder the old recursive
+        # build() produced, without its RecursionError ceiling on deep
+        # graphs (a 10k-op chain overflows CPython's default stack)
         topo: list[Tensor] = []
         visited: set[int] = set()
-
-        def build(t: Tensor) -> None:
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            t, expanded = stack.pop()
+            if expanded:
+                topo.append(t)
+                continue
             if id(t) in visited or t._creator is None:
-                return
+                continue
             visited.add(id(t))
-            for parent in t._creator.inputs:
-                build(parent)
-            topo.append(t)
-
-        build(self)
+            stack.append((t, True))
+            for parent in reversed(t._creator.inputs):
+                stack.append((parent, False))
 
         grads: dict[int, np.ndarray] = {id(self): grad}
         if self.requires_grad and self._creator is None:

@@ -48,6 +48,7 @@ __all__ = [
     "idxst_n",
     "dct2d_fft2", "idct2d_fft2",
     "dct2d", "idct2d", "idxst_idct", "idct_idxst",
+    "dct2d_fft2_pooled", "idct2d_sine_batch",
 ]
 
 
@@ -238,13 +239,54 @@ def dct2d_fft2(x: np.ndarray) -> np.ndarray:
     spectrum = np.fft.rfft2(pre)  # (n1, h2 + 1)
     # eq. (11) postprocess on the half spectrum
     w1, w1c, w2, wrap1 = _plan(("dct2d", n1, n2), lambda: _dct2d_plan(n1, n2))
-    half = w1 * spectrum + w1c * spectrum[wrap1, :]
+    # complex-multiply operands are bound to names so numpy cannot
+    # elide them into aliased in-place products (see idct2d_fft2)
+    wrapped = spectrum[wrap1, :]
+    half = w1 * spectrum + w1c * wrapped
     out = np.empty((n1, n2), dtype=np.float64)
     out[:, :h2 + 1] = 0.5 * np.real(w2[:, :h2 + 1] * half)
-    out[:, h2 + 1:] = 0.5 * np.real(
-        w2[:, h2 + 1:] * np.conj(half[:, h2 - 1:0:-1])
-    )
+    tail = np.conj(half[:, h2 - 1:0:-1])
+    out[:, h2 + 1:] = 0.5 * np.real(w2[:, h2 + 1:] * tail)
     return out.astype(x.dtype)
+
+
+def dct2d_fft2_pooled(x: np.ndarray, ws) -> np.ndarray:
+    """:func:`dct2d_fft2` on workspace buffers (replay fast path).
+
+    Bit-identical: same ufuncs on the same operands in the same order,
+    written into persistent buffers instead of fresh arrays.  ``x`` must
+    be float64; the result is a pooled buffer valid until the next call.
+    """
+    x = np.asarray(x)
+    n1, n2 = x.shape
+    _check_even(n1)
+    _check_even(n2)
+    h1, h2 = n1 // 2, n2 // 2
+    w1, w1c, w2, wrap1 = _plan(("dct2d", n1, n2), lambda: _dct2d_plan(n1, n2))
+    pre = ws.acquire("dctf.pre", (n1, n2), np.float64)
+    pre[:h1, :h2] = x[0::2, 0::2]
+    pre[h1:, :h2] = x[::-1, :][0::2, 0::2]
+    pre[:h1, h2:] = x[:, ::-1][0::2, 0::2]
+    pre[h1:, h2:] = x[::-1, ::-1][0::2, 0::2]
+    spectrum = np.fft.rfft2(pre)
+    half = ws.acquire("dctf.half", (n1, h2 + 1), np.complex128)
+    tmp = ws.acquire("dctf.tmp", (n1, h2 + 1), np.complex128)
+    tmp2 = ws.acquire("dctf.tmp2", (n1, h2 + 1), np.complex128)
+    # complex products go to distinct buffers: the aliased in-place
+    # multiply rounds differently above numpy's buffering threshold
+    np.take(spectrum, wrap1, axis=0, out=tmp, mode="clip")
+    np.multiply(w1c, tmp, out=tmp2)
+    np.multiply(w1, spectrum, out=half)
+    np.add(half, tmp2, out=half)
+    out = ws.acquire("dctf.out", (n1, n2), np.float64)
+    np.multiply(w2[:, :h2 + 1], half, out=tmp)
+    np.multiply(tmp.real, 0.5, out=out[:, :h2 + 1])
+    tail = tmp[:, :h2 - 1]  # consumed above; reuse for the mirror columns
+    tail2 = tmp2[:, :h2 - 1]
+    np.conjugate(half[:, h2 - 1:0:-1], out=tail)
+    np.multiply(w2[:, h2 + 1:], tail, out=tail2)
+    np.multiply(tail2.real, 0.5, out=out[:, h2 + 1:])
+    return out
 
 
 def _idct2d_plan(n1: int, n2: int):
@@ -276,7 +318,12 @@ def idct2d_fft2(x: np.ndarray) -> np.ndarray:
     both = _flip_zero(_flip_zero(x, 0), 1)  # x(N1-n1, N2-n2)
     row = _flip_zero(x, 0)  # x(N1-n1, n2)
     col = _flip_zero(x, 1)  # x(n1, N2-n2)
-    pre = w12 * ((x - both) - 1j * (row + col))
+    # the multiplicand is bound to a name so numpy cannot elide the
+    # temporary into an in-place product: the aliased complex-multiply
+    # loop rounds differently from the out-of-place one on large
+    # arrays, which would make results depend on the array size
+    z = (x - both) - 1j * (row + col)
+    pre = w12 * z
     h2 = n2 // 2
     hermitian = 0.5 * (pre[:, :h2 + 1] + np.conj(pre[wrap1, wrap2]))
     signal = np.fft.irfft2(hermitian, s=(n1, n2))
@@ -332,3 +379,87 @@ def idct_idxst(x: np.ndarray, impl: str = "2d") -> np.ndarray:
         lambda: np.where(np.arange(x.shape[1]) % 2 == 0, 1.0, -1.0),
     )
     return out * signs[None, :]
+
+
+def idct2d_sine_batch(xc: np.ndarray, xs0: np.ndarray, xs1: np.ndarray, ws):
+    """The Poisson solver's three inverse transforms in one batched FFT.
+
+    Returns ``(idct2d_fft2(xc), idxst_idct(xs0), idct_idxst(xs1))``
+    bit-identically: the eq. (12) preprocessing of each input runs into
+    pooled buffers with the exact arithmetic of :func:`idct2d_fft2`
+    (same operand order, in-place complex multiply being bitwise equal
+    to out-of-place), the three Hermitian half-spectra are stacked, and
+    a single ``irfft2`` over ``axes=(-2, -1)`` replaces three separate
+    inverse FFTs (batched and per-slice real inverse FFTs agree
+    bitwise).  ``ws`` is a workspace providing ``acquire``; the returned
+    arrays are its persistent buffers, valid until the next call.
+    """
+    xc = np.asarray(xc)
+    n1, n2 = xc.shape
+    _check_even(n1)
+    _check_even(n2)
+    h1, h2 = n1 // 2, n2 // 2
+    w12, wrap1, wrap2 = _plan(
+        ("idct2d", n1, n2), lambda: _idct2d_plan(n1, n2)
+    )
+    wrapflat3 = _plan(
+        ("idct2d_wrapflat3", n1, n2),
+        lambda: ((wrap1 * n2 + wrap2)[None, :, :]
+                 + (np.arange(3) * (n1 * n2)).reshape(3, 1, 1)),
+    )
+    herm = ws.acquire("dctb.herm", (3, n1, h2 + 1), np.complex128)
+    pre = ws.acquire("dctb.pre", (3, n1, n2), np.complex128)
+    stack = ws.acquire("dctb.x", (3, n1, n2), np.float64)
+    scratch = ws.acquire("dctb.scratch", (3, 3, n1, n2), np.float64)
+    # IDXST along an axis = flip-and-zero (eq. 16) + plain 2-D IDCT;
+    # the three preprocessed inputs are stacked so every eq. (12) step
+    # below is one strided dispatch instead of a per-slice Python loop
+    np.copyto(stack[0], xc)
+    x1 = stack[1]
+    x1[0, :] = 0.0
+    x1[1:, :] = xs0[:0:-1, :]
+    x2 = stack[2]
+    x2[:, 0] = 0.0
+    x2[:, 1:] = xs1[:, :0:-1]
+    both, row, col = scratch[0], scratch[1], scratch[2]
+    row[:, 0, :] = 0.0
+    row[:, 1:, :] = stack[:, :0:-1, :]
+    col[:, :, 0] = 0.0
+    col[:, :, 1:] = stack[:, :, :0:-1]
+    both[:, 0, :] = 0.0
+    both[:, :, 0] = 0.0
+    both[:, 1:, 1:] = stack[:, :0:-1, :0:-1]
+    # pre = w12 * ((x - both) - 1j * (row + col)), componentwise
+    np.subtract(stack, both, out=pre.real)
+    t = both  # consumed above; reuse as the row+col scratch
+    np.add(row, col, out=t)
+    np.negative(t, out=pre.imag)
+    # complex multiply needs w12 as the first operand AND a distinct
+    # output buffer: numpy's complex product is bitwise sensitive both
+    # to operand order and to output aliasing (the in-place loop
+    # rounds differently above the buffering threshold), and
+    # idct2d_fft2 computes w12 * pre out of place
+    prew = ws.acquire("dctb.prew", (3, n1, n2), np.complex128)
+    np.multiply(w12, pre, out=prew)
+    np.take(prew.ravel(), wrapflat3, out=herm, mode="clip")
+    np.conjugate(herm, out=herm)
+    herm += prew[:, :, :h2 + 1]
+    herm *= 0.5
+    signal = np.fft.irfft2(herm, s=(n1, n2), axes=(-2, -1))
+    out3 = ws.acquire("dctb.out", (3, n1, n2), np.float64)
+    out3[:, 0::2, 0::2] = signal[:, :h1, :h2]
+    out3[:, 1::2, 0::2] = signal[:, ::-1, :][:, :h1, :h2]
+    out3[:, 0::2, 1::2] = signal[:, :, ::-1][:, :h1, :h2]
+    out3[:, 1::2, 1::2] = signal[:, ::-1, ::-1][:, :h1, :h2]
+    out3 *= n1 * n2 / 4.0
+    signs0 = _plan(
+        ("signs", n1),
+        lambda: np.where(np.arange(n1) % 2 == 0, 1.0, -1.0),
+    )
+    signs1 = _plan(
+        ("signs", n2),
+        lambda: np.where(np.arange(n2) % 2 == 0, 1.0, -1.0),
+    )
+    out3[1] *= signs0[:, None]
+    out3[2] *= signs1[None, :]
+    return out3[0], out3[1], out3[2]

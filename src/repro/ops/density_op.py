@@ -57,6 +57,39 @@ def stretch_sizes(width: np.ndarray, height: np.ndarray,
 class _DensityFunction(Function):
     """Autograd node: pos (2*N,) -> scalar density penalty."""
 
+    capture_safe = True
+
+    def compile_replay(self, kwargs):
+        """Tape fast path: pooled forward with the batched spectral solve.
+
+        The filler-bounds check ran when the graph was captured and the
+        participant index is iteration-invariant, so replay skips it;
+        everything else is the regular pooled pipeline with the solver's
+        three inverse transforms fused into one batched ``irfft2``.
+        """
+        op = kwargs["op"]
+        if not op.pooled:
+            return None
+        idx = op.participant_index
+        solve = op.solver.solve_captured
+        batches: dict = {}  # n -> concatenated x/y gather plan
+
+        def fwd(pos):
+            with profiled("density.forward"):
+                n = pos.shape[0] // 2
+                batch = batches.get(n)
+                if batch is None:
+                    batch = batches[n] = (
+                        np.concatenate([idx, n + idx]),
+                        np.concatenate([op.off_x, op.off_y]),
+                        np.concatenate([op.part_w, op.part_h]),
+                    )
+                return self._forward_pooled(pos, op, n, idx, solve, batch)
+
+        # the pooled backward already reuses the forward's overlap plan
+        # and is scalar-constant-free; nothing left to specialize
+        return fwd, self.backward
+
     def forward(self, pos: np.ndarray, *, op: "ElectricDensity"):
         with profiled("density.forward"):
             n = pos.shape[0] // 2
@@ -84,29 +117,48 @@ class _DensityFunction(Function):
             self.save_for_backward(op, xl, yl, solution, n, None)
             return np.asarray(energy, dtype=op.dtype)
 
-    def _forward_pooled(self, pos, op, n, idx):
+    def _forward_pooled(self, pos, op, n, idx, solve=None, batch=None):
+        if solve is None:
+            solve = op.solver.solve
         ws = op.ws
         m = idx.shape[0]
         pos = pos.astype(op.dtype, copy=False)
-        xl = ws.acquire("den.xl", m, op.dtype)
-        yl = ws.acquire("den.yl", m, op.dtype)
-        xh = ws.acquire("den.xh", m, op.dtype)
-        yh = ws.acquire("den.yh", m, op.dtype)
-        np.take(pos[:n], idx, out=xl, mode="clip")
-        xl += op.off_x
-        np.take(pos[n:], idx, out=yl, mode="clip")
-        yl += op.off_y
-        np.add(xl, op.part_w, out=xh)
-        np.add(yl, op.part_h, out=yh)
-        with profiled("density.scatter"):
-            plan = build_overlap_plan(op.grid, xl, yl, xh, yh,
-                                      op.part_scale, ws, "den")
-            rho_mov = scatter_density_pooled(op.grid, plan, ws, "den.rho",
-                                             op.dtype)
+        if batch is not None:
+            # replay fast path: one gather over the concatenated x/y
+            # index (same elements, same elementwise adds); the plan
+            # builder then runs on per-axis views of the stacks
+            bidx, boff, bsize = batch
+            xy = ws.acquire("den.xy", 2 * m, op.dtype)
+            xyh = ws.acquire("den.xyh", 2 * m, op.dtype)
+            np.take(pos, bidx, out=xy, mode="clip")
+            xy += boff
+            np.add(xy, bsize, out=xyh)
+            with profiled("density.scatter"):
+                plan = build_overlap_plan(op.grid, xy[:m], xy[m:],
+                                          xyh[:m], xyh[m:],
+                                          op.part_scale, ws, "den")
+                rho_mov = scatter_density_pooled(op.grid, plan, ws,
+                                                 "den.rho", op.dtype)
+        else:
+            xl = ws.acquire("den.xl", m, op.dtype)
+            yl = ws.acquire("den.yl", m, op.dtype)
+            xh = ws.acquire("den.xh", m, op.dtype)
+            yh = ws.acquire("den.yh", m, op.dtype)
+            np.take(pos[:n], idx, out=xl, mode="clip")
+            xl += op.off_x
+            np.take(pos[n:], idx, out=yl, mode="clip")
+            yl += op.off_y
+            np.add(xl, op.part_w, out=xh)
+            np.add(yl, op.part_h, out=yh)
+            with profiled("density.scatter"):
+                plan = build_overlap_plan(op.grid, xl, yl, xh, yh,
+                                          op.part_scale, ws, "den")
+                rho_mov = scatter_density_pooled(op.grid, plan, ws,
+                                                 "den.rho", op.dtype)
         rho = ws.acquire("den.rho_total", op.grid.shape, op.dtype)
         np.add(rho_mov, op.fixed_density, out=rho)
         with profiled("density.solve"):
-            solution = op.solver.solve(rho)
+            solution = solve(rho)
         # rho consumed by the solve; reuse it for the energy product
         np.multiply(rho_mov, solution.potential, out=rho)
         energy = float(rho.sum())

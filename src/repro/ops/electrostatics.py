@@ -75,3 +75,33 @@ class PoissonSolver:
         np.multiply(coeff, self._wv, out=buf)
         xi_y = _dct.idct_idxst(buf, impl=self.impl)
         return FieldSolution(potential=psi, field_x=xi_x, field_y=xi_y)
+
+    def solve_captured(self, rho: np.ndarray) -> FieldSolution:
+        """:meth:`solve` with the three inverse transforms batched.
+
+        Bit-identical to :meth:`solve` (see
+        :func:`repro.ops.dct.idct2d_sine_batch`); used on the captured
+        tape's replay path.  Implementations other than "2d" have no
+        batched form and fall back to the regular solve.
+        """
+        if self.impl != "2d":
+            return self.solve(rho)
+        if rho.shape != self.grid.shape:
+            raise ValueError(
+                f"density map shape {rho.shape} != grid {self.grid.shape}"
+            )
+        if rho.dtype != np.float64:
+            cast = self.ws.acquire("psn.rho64", rho.shape, np.float64)
+            np.copyto(cast, rho)
+            rho = cast
+        coeff = _dct.dct2d_fft2_pooled(rho, self.ws)
+        coeff *= self._kernel
+        coeff[0, 0] = 0.0
+        # the sequential solve reuses one spectral buffer; here both
+        # sine inputs must be alive at once for the batched transform
+        bx = self.ws.acquire("psn.bx", coeff.shape, coeff.dtype)
+        by = self.ws.acquire("psn.by", coeff.shape, coeff.dtype)
+        np.multiply(coeff, self._wu, out=bx)
+        np.multiply(coeff, self._wv, out=by)
+        psi, xi_x, xi_y = _dct.idct2d_sine_batch(coeff, bx, by, self.ws)
+        return FieldSolution(potential=psi, field_x=xi_x, field_y=xi_y)

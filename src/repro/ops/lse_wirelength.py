@@ -22,7 +22,12 @@ from repro.netlist.database import PlacementDB
 from repro.nn.function import Function
 from repro.nn.module import Module
 from repro.nn.tensor import Tensor
-from repro.ops.wa_wirelength import _build_pin_precompute, _pin_op_pooled
+from repro.ops.wa_wirelength import (
+    _axis_total,
+    _build_pin_precompute,
+    _compile_pin_replay,
+    _pin_op_pooled,
+)
 from repro.perf.profiler import profiled
 from repro.perf.workspace import NullWorkspace, Workspace
 
@@ -82,7 +87,7 @@ def _lse_1d_pooled(p, op, ws, gamma):
     t *= gamma
     t += x_max
     t *= op.net_weight_eff
-    total = p.dtype.type(t.sum())
+    total = _axis_total(t, op, p.dtype)
     # grad = pin_weight * (a+/b+ - a-/b-)
     g = ws.acquire("lse.g", num_pins, p.dtype)
     h = ws.acquire("lse.h", num_pins, p.dtype)
@@ -96,6 +101,15 @@ def _lse_1d_pooled(p, op, ws, gamma):
 
 
 class _LSEFunction(Function):
+    capture_safe = True
+
+    def compile_replay(self, kwargs):
+        """Tape fast path: both axes batched into one pooled kernel call."""
+        op = kwargs["op"]
+        if not op.pooled:
+            return None
+        return _compile_pin_replay(self, op, _lse_1d_pooled)
+
     def forward(self, pos: np.ndarray, *, op: "LogSumExpWirelength"):
         with profiled("wl.forward"):
             n = pos.shape[0] // 2

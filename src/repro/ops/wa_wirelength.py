@@ -154,6 +154,21 @@ _KERNELS: dict[str, Callable] = {
 # pooled kernels: identical math, zero steady-state allocations.  Every
 # temporary is a named workspace buffer written with out=/in-place ufuncs.
 # ---------------------------------------------------------------------------
+def _axis_total(t, op, dtype):
+    """Total WL from the per-net array, honoring a batched axis split.
+
+    On the tape-replay fast path ``op`` is a :class:`_BatchPlan` whose
+    per-net array holds the x nets followed by the y nets; summing each
+    half separately and adding keeps the reduction order — and therefore
+    every rounding — identical to two independent per-axis kernel calls.
+    """
+    split = getattr(op, "axis_split", None)
+    if split is None:
+        return dtype.type(t.sum())
+    total = dtype.type(0.0)
+    total += dtype.type(t[:split].sum())
+    total += dtype.type(t[split:].sum())
+    return total
 def _wa_finish_pooled(p, op, ws, a_pos, a_neg, pa,
                       x_max, x_min, b_pos, b_neg, c_pos, c_neg, gamma):
     """Shared WL reduction + eq. (6) gradient over net intermediates.
@@ -168,7 +183,7 @@ def _wa_finish_pooled(p, op, ws, a_pos, a_neg, pa,
     np.divide(c_neg, b_neg, out=x_min)
     x_max -= x_min
     x_max *= op.net_weight_eff
-    total = p.dtype.type(x_max.sum())
+    total = _axis_total(x_max, op, p.dtype)
     # gradient: g+ = ((1 + p/γ)·b+ - c+/γ) / b+² read per pin
     t1 = ws.acquire("wa.t1", num_pins, p.dtype)
     t2 = ws.acquire("wa.t2", num_pins, p.dtype)
@@ -316,12 +331,113 @@ _POOLED_KERNELS: dict[str, Callable] = {
 }
 
 
+class _BatchPlan:
+    """Both-axis replay plan: the x and y pin problems concatenated.
+
+    The tape-replay fast path runs one kernel call over ``2P`` pins and
+    ``2E`` net segments instead of two calls over ``P``/``E``.  Every
+    index array is the per-axis one concatenated with its y-shifted
+    copy, so each segment reduction, scatter and gather processes
+    exactly the same elements in exactly the same order as the two
+    per-axis calls — concatenated ``reduceat``/``ufunc.at`` results are
+    bit-identical to separate ones — and :func:`_axis_total` keeps the
+    final scalar reduction per-axis as well.  Exposes the ``op``
+    attributes the pooled kernels read, so they run unmodified.
+    """
+
+    def __init__(self, op, n: int):
+        num_pins = op.pin_cell_sorted.shape[0]
+        num_nets = op.starts.shape[0] - 1
+        self.n = n
+        self.num_pins = 2 * num_pins
+        self.axis_split = num_nets
+        self.starts = np.concatenate([op.starts[:-1], num_pins + op.starts])
+        self.seg = self.starts[:-1]
+        self.net_of_pin = np.concatenate(
+            [op.net_of_pin, num_nets + op.net_of_pin])
+        self.net_weight_eff = np.concatenate(
+            [op.net_weight_eff, op.net_weight_eff])
+        self.pin_weight = np.concatenate([op.pin_weight, op.pin_weight])
+        # gather pin coordinates for both axes straight out of the
+        # (x..., y...) position vector
+        self.pin_index = np.concatenate(
+            [op.pin_cell_sorted, n + op.pin_cell_sorted])
+        self.offsets = np.concatenate(
+            [op.pin_offset_x_sorted, op.pin_offset_y_sorted])
+        self.cell_order = np.concatenate(
+            [op.cell_order, num_pins + op.cell_order])
+        self.cell_seg = np.concatenate(
+            [op.cell_seg, num_pins + op.cell_seg])
+        self.scatter_index = np.concatenate(
+            [op.cells_with_pins, n + op.cells_with_pins])
+        self.fixed_index = np.concatenate([op.fixed_idx, n + op.fixed_idx])
+        self.cell_grad_buf = np.empty(2 * op.cell_seg.shape[0],
+                                      dtype=op.dtype)
+
+
+def _pin_op_batch(pos, op, plan, ws, gamma, kernel):
+    """Both axes of the pooled pin pipeline in one batched kernel call.
+
+    The replay-only counterpart of :func:`_pin_op_pooled`: same math,
+    same rounding (see :class:`_BatchPlan`), half the numpy dispatches.
+    Returns (grad buffer of length 2n, total).
+    """
+    n = plan.n
+    grad = ws.acquire("wa.grad", 2 * n, op.dtype)
+    if plan.num_pins == 0:
+        grad.fill(0)
+        return grad, op.dtype.type(0.0)
+    p = ws.acquire("wa.p2", plan.num_pins, op.dtype)
+    np.take(pos, plan.pin_index, out=p, mode="clip")
+    p += plan.offsets
+    total, g = kernel(p, plan, ws, gamma)
+    gs = ws.acquire("wa.gsort2", plan.num_pins, op.dtype)
+    np.take(g, plan.cell_order, out=gs, mode="clip")
+    np.add.reduceat(gs, plan.cell_seg, out=plan.cell_grad_buf)
+    grad.fill(0)
+    grad[plan.scatter_index] = plan.cell_grad_buf
+    grad[plan.fixed_index] = 0.0
+    return grad, total
+
+
+def _batch_plan_for(op, n: int) -> _BatchPlan:
+    plan = getattr(op, "_batch_plan", None)
+    if plan is None or plan.n != n:
+        plan = op._batch_plan = _BatchPlan(op, n)
+    return plan
+
+
+def _compile_pin_replay(node, op, kernel):
+    """Shared ``compile_replay`` body of the WA and LSE nodes."""
+
+    def fwd(pos):
+        with profiled("wl.forward"):
+            pos = pos.astype(op.dtype, copy=False)
+            n = pos.shape[0] // 2
+            gamma = op.dtype.type(op.gamma)
+            plan = _batch_plan_for(op, n)
+            grad, total = _pin_op_batch(pos, op, plan, op.ws, gamma, kernel)
+            node.save_for_backward(op, grad)
+            return np.asarray(total, dtype=op.dtype)
+
+    return fwd, node.backward
+
+
 class _WAFunction(Function):
     """Autograd node: pos (2*N,) -> scalar WA wirelength.
 
     ``N`` may exceed ``db.num_cells`` when filler cells are appended to
     the position vector; fillers carry no pins and get zero gradient.
     """
+
+    capture_safe = True
+
+    def compile_replay(self, kwargs):
+        """Tape fast path: both axes batched into one pooled kernel call."""
+        op = kwargs["op"]
+        if not op.pooled or op.strategy not in ("atomic", "merged"):
+            return None
+        return _compile_pin_replay(self, op, _POOLED_KERNELS[op.strategy])
 
     def forward(self, pos: np.ndarray, *, op: "WeightedAverageWirelength"):
         with profiled("wl.forward"):

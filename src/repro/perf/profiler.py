@@ -114,6 +114,32 @@ class Profiler:
     def total_self_seconds(self) -> float:
         return sum(s.self_seconds for s in self.stats.values())
 
+    #: the three mutually exclusive GP closure execution modes
+    CLOSURE_MODES = ("gp.graph_build", "gp.replay", "gp.eager")
+
+    def closure_split(self) -> dict[str, OpStats] | None:
+        """Stats of the GP closure modes seen, or None if none ran.
+
+        ``gp.graph_build`` covers closure evaluations that recorded the
+        objective tape (capture attempts), ``gp.replay`` the tape
+        replays, and ``gp.eager`` plain define-by-run evaluations (tape
+        disabled or capture-unsafe graph).
+        """
+        split = {m: self.stats[m] for m in self.CLOSURE_MODES
+                 if m in self.stats}
+        return split or None
+
+    def closure_split_line(self) -> str | None:
+        """One-line eager-vs-replay summary, or None if no closure ran."""
+        split = self.closure_split()
+        if split is None:
+            return None
+        parts = [
+            f"{name.removeprefix('gp.')} {s.calls}x {s.seconds:.4f}s"
+            for name, s in split.items()
+        ]
+        return "closure split: " + ", ".join(parts)
+
     def as_dict(self) -> dict[str, dict]:
         """Machine-readable stats (used by the benchmark harness)."""
         return {
