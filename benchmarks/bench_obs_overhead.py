@@ -1,0 +1,99 @@
+"""Tracing overhead micro-benchmark: disabled tracing must be free.
+
+``trace_span`` guards the hot GP loop (every iteration and every
+profiled kernel op), so its disabled path has to be a single global
+read plus an early return.  This bench measures per-iteration GP time
+three ways — no tracer installed, a tracer collecting spans, and the
+raw ``trace_span`` call in isolation — and asserts the acceptance
+criterion: with tracing *disabled*, the instrumented loop adds no
+measurable per-iteration overhead versus the enabled run's span cost.
+"""
+
+import time
+
+from _support import get_design, once, print_header, print_row, record
+from repro.core import GlobalPlacer, PlacementParams
+from repro.obs import Tracer, trace_span
+
+DESIGN = "adaptec1"
+WARMUP = 5
+ITERS = 40
+CALL_REPS = 200_000
+
+
+def _gp_iteration(db):
+    """One primed GP-loop iteration (the instrumented hot path)."""
+    placer = GlobalPlacer(db, PlacementParams())
+    overflow = placer.overflow()
+    placer.objective.gamma = placer.gamma_schedule(overflow)
+    weight = placer._init_density_weight()
+    placer.objective.density_weight = weight.value
+    optimizer, _ = placer._build_optimizer()
+
+    def closure():
+        placer.pos.zero_grad()
+        obj = placer.objective(placer.pos)
+        obj.backward()
+        return obj
+
+    def iteration():
+        with trace_span("gp.iteration"):
+            optimizer.step(closure)
+            optimizer.project(placer._clamp)
+            placer.hpwl()
+            placer.overflow()
+
+    return iteration
+
+
+def _time_loop(iteration) -> float:
+    for _ in range(WARMUP):
+        iteration()
+    start = time.perf_counter()
+    for _ in range(ITERS):
+        iteration()
+    return (time.perf_counter() - start) / ITERS
+
+
+def _time_bare_span() -> float:
+    """Seconds per disabled trace_span call, measured in isolation."""
+    start = time.perf_counter()
+    for _ in range(CALL_REPS):
+        with trace_span("noop"):
+            pass
+    return (time.perf_counter() - start) / CALL_REPS
+
+
+def test_disabled_tracing_adds_no_overhead(benchmark):
+    db = get_design(DESIGN)
+    iteration = _gp_iteration(db)
+
+    t_disabled = _time_loop(iteration)
+    with Tracer() as tracer:
+        t_enabled = _time_loop(iteration)
+    per_span = _time_bare_span()
+
+    print_header("observability overhead",
+                 ["mode", "ms/iter", "ratio"])
+    print_row(["disabled", f"{t_disabled * 1e3:.3f}", "1.00x"])
+    print_row(["enabled", f"{t_enabled * 1e3:.3f}",
+               f"{t_enabled / t_disabled:.2f}x"])
+    print(f"-- disabled trace_span: {per_span * 1e9:.0f} ns/call, "
+          f"{len(tracer.trace)} spans collected while enabled")
+    record("obs_overhead", {
+        "design": DESIGN,
+        "ms_per_iter_disabled": t_disabled * 1e3,
+        "ms_per_iter_enabled": t_enabled * 1e3,
+        "ns_per_disabled_span": per_span * 1e9,
+    })
+
+    once(benchmark, iteration)
+
+    assert len(tracer.trace) >= ITERS + WARMUP
+    # the acceptance criterion: the disabled guard costs sub-µs against
+    # millisecond iterations — under 0.5% of an iteration, i.e. no
+    # measurable per-iteration overhead
+    assert per_span < 0.005 * t_disabled, (
+        f"disabled trace_span costs {per_span * 1e9:.0f} ns against "
+        f"{t_disabled * 1e3:.3f} ms iterations"
+    )

@@ -69,18 +69,33 @@ def _cmd_place(args) -> int:
         max_recoveries=args.max_recoveries,
         graph_capture=not args.no_capture,
     )
-    print(f"placing {db} ...")
-    if args.profile or args.profile_alloc:
-        from repro.perf import Profiler
+    import contextlib
 
-        with Profiler(trace_alloc=args.profile_alloc) as prof:
-            result = DreamPlacer(db, params).run()
-        print(prof.table(title="per-op breakdown (Fig. 9 style)"))
-        split = prof.closure_split_line()
-        if split is not None:
-            print(split)
-    else:
-        result = DreamPlacer(db, params).run()
+    from repro.obs import IterationRecorder, MetricsRegistry, Tracer
+
+    registry = None
+    on_iteration = None
+    if args.metrics_out:
+        registry = MetricsRegistry()
+        on_iteration = IterationRecorder(registry)
+    tracer = (Tracer(process_label="repro place")
+              if args.trace_out else None)
+
+    print(f"placing {db} ...")
+    with (tracer if tracer is not None else contextlib.nullcontext()):
+        if args.profile or args.profile_alloc:
+            from repro.perf import Profiler
+
+            with Profiler(trace_alloc=args.profile_alloc) as prof:
+                result = DreamPlacer(db, params).run(
+                    on_iteration=on_iteration)
+            print(prof.table(title="per-op breakdown (Fig. 9 style)"))
+            split = prof.closure_split_line()
+            if split is not None:
+                print(split)
+        else:
+            result = DreamPlacer(db, params).run(
+                on_iteration=on_iteration)
     print(f"HPWL     : {result.hpwl_final:,.0f} "
           f"(GP {result.hpwl_global:,.0f}, LG {result.hpwl_legal:,.0f})")
     print(f"overflow : {result.overflow:.4f} after {result.iterations} iters")
@@ -107,6 +122,10 @@ def _cmd_place(args) -> int:
         from repro.viz import write_placement_svg
 
         print(f"wrote    : {write_placement_svg(db, args.svg)}")
+    if registry is not None:
+        print(f"wrote    : {registry.save_prometheus(args.metrics_out)}")
+    if tracer is not None:
+        print(f"wrote    : {tracer.trace.save(args.trace_out)}")
     return 0
 
 
@@ -253,10 +272,16 @@ def _coerce_param(key: str, text: str):
 
 def _make_scheduler(args):
     """Build (scheduler, store, cache) from common runner options."""
+    from repro.obs import MetricsRegistry, Tracer
     from repro.runner import ResultCache, RunStore, Scheduler
 
     store = RunStore(args.store)
     cache = None if args.no_cache else ResultCache(store)
+    # the fleet registry is always on (merging counters is noise-level
+    # work and gives every sweep per-run metrics artifacts); tracing is
+    # opt-in because span collection grows with iteration count
+    tracer = (Tracer(process_label="repro dispatcher")
+              if getattr(args, "trace_out", None) else None)
     scheduler = Scheduler(
         store, cache=cache,
         max_retries=args.retries,
@@ -264,8 +289,20 @@ def _make_scheduler(args):
         checkpoint_every=args.checkpoint_every,
         profile=getattr(args, "profile", False),
         workers=getattr(args, "workers", 1),
+        registry=MetricsRegistry(),
+        tracer=tracer,
     )
     return scheduler, store, cache
+
+
+def _write_obs(args, scheduler) -> None:
+    """Persist the fleet trace/metrics where the flags asked for them."""
+    if getattr(args, "metrics_out", None):
+        path = scheduler.registry.save_prometheus(args.metrics_out)
+        print(f"wrote: {path}")
+    if getattr(args, "trace_out", None) and scheduler.tracer is not None:
+        path = scheduler.tracer.trace.save(args.trace_out)
+        print(f"wrote: {path}")
 
 
 def _outcome_dict(outcome) -> dict:
@@ -322,6 +359,7 @@ def _cmd_batch(args) -> int:
         scheduler.submit(spec)
     print(f"batch: {len(specs)} job(s) -> {store.root}")
     outcomes = scheduler.run()
+    _write_obs(args, scheduler)
     code = _print_outcomes(outcomes, cache)
     if args.json:
         payload = {"outcomes": [_outcome_dict(o) for o in outcomes]}
@@ -350,6 +388,7 @@ def _cmd_sweep(args) -> int:
     count = scheduler.submit_sweep(base, grid)
     print(f"sweep: {count} job(s) -> {store.root}")
     outcomes = scheduler.run()
+    _write_obs(args, scheduler)
     code = _print_outcomes(outcomes, cache)
     if args.json:
         payload = {"outcomes": [_outcome_dict(o) for o in outcomes]}
@@ -392,10 +431,44 @@ def _record_dict(record) -> dict:
     }
 
 
+def _runs_stats(args, store) -> int:
+    """Aggregate per-run observability metrics across the store.
+
+    Every non-cached run persists ``obs_metrics.json`` (the mergeable
+    twin of its ``metrics.prom``); folding them through
+    ``MetricsRegistry.merge`` recovers fleet totals — the same numbers
+    a live ``--metrics-out`` would have reported.
+    """
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    records = store.list_runs()
+    merged = 0
+    for record in records:
+        path = os.path.join(record.directory, "obs_metrics.json")
+        if not os.path.exists(path):
+            continue
+        try:
+            with open(path) as handle:
+                registry.merge(json.load(handle))
+        except (OSError, ValueError, KeyError):
+            continue  # a torn/legacy dump must not sink the report
+        merged += 1
+    print(f"stats: {merged} of {len(records)} run(s) carry "
+          f"observability metrics")
+    if merged:
+        print(registry.to_prometheus(), end="")
+    if args.json:
+        print(f"wrote: {_write_json(args.json, registry.as_dict())}")
+    return 0
+
+
 def _cmd_runs(args) -> int:
     from repro.runner import RunStore, count_events
 
     store = RunStore(args.store)
+    if args.stats:
+        return _runs_stats(args, store)
     if args.run:
         record = store.load(args.run)
         status = record.status or {}
@@ -493,6 +566,11 @@ def build_parser() -> argparse.ArgumentParser:
     place.add_argument("--json",
                        help="write machine-readable metrics here (same "
                             "schema the run store persists)")
+    place.add_argument("--trace-out",
+                       help="write a Chrome trace-event JSON here "
+                            "(load in chrome://tracing or Perfetto)")
+    place.add_argument("--metrics-out",
+                       help="write Prometheus text metrics here")
     place.set_defaults(func=_cmd_place)
 
     gen = sub.add_parser("generate", help="synthesize a benchmark")
@@ -542,6 +620,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "in-process, with warm design reuse)")
         p.add_argument("--json",
                        help="write outcome summaries here")
+        p.add_argument("--trace-out",
+                       help="write the fleet Chrome trace-event JSON "
+                            "here (one lane per worker; load in "
+                            "chrome://tracing or Perfetto)")
+        p.add_argument("--metrics-out",
+                       help="write aggregated Prometheus text metrics "
+                            "here (counters merge across workers)")
         if profile:
             p.add_argument("--profile", action="store_true",
                            help="record per-op profile events")
@@ -588,6 +673,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="run store root directory")
     runs.add_argument("--json",
                       help="write the listing/record here")
+    runs.add_argument("--stats", action="store_true",
+                      help="aggregate observability metrics across the "
+                           "store and print Prometheus text")
     runs.set_defaults(func=_cmd_runs)
     return parser
 

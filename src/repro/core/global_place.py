@@ -45,6 +45,7 @@ from repro.ops.density_op import ElectricDensity
 from repro.ops.density_overflow import density_overflow, fixed_free_area
 from repro.ops.lse_wirelength import LogSumExpWirelength
 from repro.ops.wa_wirelength import WeightedAverageWirelength
+from repro.obs.trace import trace_span
 from repro.perf.profiler import profiled
 from repro.perf.workspace import NullWorkspace, Workspace
 
@@ -514,115 +515,124 @@ class GlobalPlacer:
         iteration = first_iter - 1
 
         for iteration in range(first_iter, max_iters + 1):
-            with profiled("gp.step"):
-                loss = optimizer.step(closure)
-                optimizer.project(self._clamp)
-                if scheduler is not None:
-                    scheduler.step()
+            with trace_span("gp.iteration",
+                            iteration=iteration) as _span:
+                with profiled("gp.step"):
+                    loss = optimizer.step(closure)
+                    optimizer.project(self._clamp)
+                    if scheduler is not None:
+                        scheduler.step()
 
-            if np.all(np.isfinite(self.pos.data)):
-                hpwl = self.hpwl()
-                overflow = self.overflow()
-            else:
-                # poisoned step: the overflow scatter would crash casting
-                # NaN coordinates to bin indices, so skip the metrics and
-                # let the monitor flag the iterate as non-finite
-                hpwl = math.nan
-                overflow = math.nan
-            hpwl_trace.append(hpwl)
-            overflow_trace.append(overflow)
-            if math.isfinite(hpwl):
-                best_hpwl = min(best_hpwl, hpwl)
+                if np.all(np.isfinite(self.pos.data)):
+                    hpwl = self.hpwl()
+                    overflow = self.overflow()
+                else:
+                    # poisoned step: the overflow scatter would crash casting
+                    # NaN coordinates to bin indices, so skip the metrics and
+                    # let the monitor flag the iterate as non-finite
+                    hpwl = math.nan
+                    overflow = math.nan
+                hpwl_trace.append(hpwl)
+                overflow_trace.append(overflow)
+                if math.isfinite(hpwl):
+                    best_hpwl = min(best_hpwl, hpwl)
 
-            status = monitor.observe(
-                iteration, hpwl, overflow,
-                loss=None if loss is None else float(loss.item()),
-                grad=self.pos.grad, pos=self.pos.data,
-            )
-            if status is IterationStatus.NON_FINITE or (
-                status is IterationStatus.DIVERGING
-                and iteration > params.min_global_iters
-            ):
-                if (params.enable_recovery
-                        and recoveries < params.max_recoveries):
-                    with profiled("gp.rollback"):
-                        self._restore_snapshot(
-                            best_snap, optimizer, scheduler, weight,
-                            lambda_damping=params.recovery_lambda_damping,
-                        )
-                    monitor.notify_rollback(best_snap.hpwl)
-                    recoveries += 1
-                    if params.verbose:
-                        print(
-                            f"[GP] iter {iteration:4d} {status.value}: "
-                            f"rolled back to iter {best_snap.iteration} "
-                            f"(hpwl {best_snap.hpwl:.4e}), lambda "
-                            f"{weight.value:.3g}"
-                        )
-                    self._loop_ctx = dict(
-                        iteration=iteration, hpwl=best_snap.hpwl,
-                        overflow=best_snap.overflow, optimizer=optimizer,
-                        scheduler=scheduler, weight=weight, monitor=monitor,
-                        best_snap=best_snap, best_wl_snap=best_wl_snap,
-                        hpwl_trace=hpwl_trace, overflow_trace=overflow_trace,
-                        best_hpwl=best_hpwl, recoveries=recoveries,
-                    )
-                    if on_iteration is not None:
-                        on_iteration(self, {
-                            "iteration": iteration, "hpwl": best_snap.hpwl,
-                            "overflow": best_snap.overflow,
-                            "status": status.value,
-                            "recoveries": recoveries,
-                        })
-                    continue
-                diverged = True
-                break
-            if monitor.progress_improved:
-                with profiled("gp.snapshot"):
-                    best_snap = self._capture_snapshot(
-                        iteration, hpwl, overflow,
-                        optimizer, scheduler, weight,
-                    )
-            if monitor.wirelength_improved:
-                best_wl_snap = PlacerSnapshot(
-                    iteration, hpwl, overflow, self.pos.data.copy(),
+                status = monitor.observe(
+                    iteration, hpwl, overflow,
+                    loss=None if loss is None else float(loss.item()),
+                    grad=self.pos.grad, pos=self.pos.data,
                 )
+                if _span is not None:
+                    # NaN is not valid JSON: non-finite iterates carry
+                    # their status, finite ones the actual metrics
+                    if math.isfinite(hpwl):
+                        _span["hpwl"] = hpwl
+                        _span["overflow"] = overflow
+                    _span["status"] = status.value
+                if status is IterationStatus.NON_FINITE or (
+                    status is IterationStatus.DIVERGING
+                    and iteration > params.min_global_iters
+                ):
+                    if (params.enable_recovery
+                            and recoveries < params.max_recoveries):
+                        with profiled("gp.rollback"):
+                            self._restore_snapshot(
+                                best_snap, optimizer, scheduler, weight,
+                                lambda_damping=params.recovery_lambda_damping,
+                            )
+                        monitor.notify_rollback(best_snap.hpwl)
+                        recoveries += 1
+                        if params.verbose:
+                            print(
+                                f"[GP] iter {iteration:4d} {status.value}: "
+                                f"rolled back to iter {best_snap.iteration} "
+                                f"(hpwl {best_snap.hpwl:.4e}), lambda "
+                                f"{weight.value:.3g}"
+                            )
+                        self._loop_ctx = dict(
+                            iteration=iteration, hpwl=best_snap.hpwl,
+                            overflow=best_snap.overflow, optimizer=optimizer,
+                            scheduler=scheduler, weight=weight, monitor=monitor,
+                            best_snap=best_snap, best_wl_snap=best_wl_snap,
+                            hpwl_trace=hpwl_trace, overflow_trace=overflow_trace,
+                            best_hpwl=best_hpwl, recoveries=recoveries,
+                        )
+                        if on_iteration is not None:
+                            on_iteration(self, {
+                                "iteration": iteration, "hpwl": best_snap.hpwl,
+                                "overflow": best_snap.overflow,
+                                "status": status.value,
+                                "recoveries": recoveries,
+                            })
+                        continue
+                    diverged = True
+                    break
+                if monitor.progress_improved:
+                    with profiled("gp.snapshot"):
+                        best_snap = self._capture_snapshot(
+                            iteration, hpwl, overflow,
+                            optimizer, scheduler, weight,
+                        )
+                if monitor.wirelength_improved:
+                    best_wl_snap = PlacerSnapshot(
+                        iteration, hpwl, overflow, self.pos.data.copy(),
+                    )
 
-            self.objective.gamma = self.gamma_schedule(overflow)
-            if iteration % self.lambda_period == 0:
-                self.objective.density_weight = weight.update(hpwl)
+                self.objective.gamma = self.gamma_schedule(overflow)
+                if iteration % self.lambda_period == 0:
+                    self.objective.density_weight = weight.update(hpwl)
 
-            if params.verbose and iteration % 50 == 0:
-                print(
-                    f"[GP] iter {iteration:4d} hpwl {hpwl:.4e} "
-                    f"overflow {overflow:.4f} gamma "
-                    f"{self.objective.gamma:.3g} lambda {weight.value:.3g}"
+                if params.verbose and iteration % 50 == 0:
+                    print(
+                        f"[GP] iter {iteration:4d} hpwl {hpwl:.4e} "
+                        f"overflow {overflow:.4f} gamma "
+                        f"{self.objective.gamma:.3g} lambda {weight.value:.3g}"
+                    )
+                # the loop context is refreshed after the gamma/lambda
+                # updates so a checkpoint captured here resumes directly
+                # into the next iteration
+                self._loop_ctx = dict(
+                    iteration=iteration, hpwl=hpwl, overflow=overflow,
+                    optimizer=optimizer, scheduler=scheduler, weight=weight,
+                    monitor=monitor, best_snap=best_snap,
+                    best_wl_snap=best_wl_snap, hpwl_trace=hpwl_trace,
+                    overflow_trace=overflow_trace, best_hpwl=best_hpwl,
+                    recoveries=recoveries,
                 )
-            # the loop context is refreshed after the gamma/lambda
-            # updates so a checkpoint captured here resumes directly
-            # into the next iteration
-            self._loop_ctx = dict(
-                iteration=iteration, hpwl=hpwl, overflow=overflow,
-                optimizer=optimizer, scheduler=scheduler, weight=weight,
-                monitor=monitor, best_snap=best_snap,
-                best_wl_snap=best_wl_snap, hpwl_trace=hpwl_trace,
-                overflow_trace=overflow_trace, best_hpwl=best_hpwl,
-                recoveries=recoveries,
-            )
-            if on_iteration is not None:
-                on_iteration(self, {
-                    "iteration": iteration, "hpwl": hpwl,
-                    "overflow": overflow, "status": status.value,
-                    "recoveries": recoveries,
-                })
-            if overflow <= stop and iteration >= params.min_global_iters:
-                converged = True
-                break
-            # plateau guard: overflow stopped improving well above the
-            # target — further lambda growth only degrades wirelength
-            if monitor.plateau_exceeded and \
-                    iteration >= params.min_global_iters:
-                break
+                if on_iteration is not None:
+                    on_iteration(self, {
+                        "iteration": iteration, "hpwl": hpwl,
+                        "overflow": overflow, "status": status.value,
+                        "recoveries": recoveries,
+                    })
+                if overflow <= stop and iteration >= params.min_global_iters:
+                    converged = True
+                    break
+                # plateau guard: overflow stopped improving well above the
+                # target — further lambda growth only degrades wirelength
+                if monitor.plateau_exceeded and \
+                        iteration >= params.min_global_iters:
+                    break
 
         # never hand back a worse answer than the best checkpoint: a
         # diverged run falls back to the lowest-wirelength iterate, any

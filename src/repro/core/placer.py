@@ -22,6 +22,7 @@ from repro.dp.detailed_placer import DetailedPlacer, DetailedPlaceStats
 from repro.lg.checker import LegalityReport, check_legal
 from repro.lg.legalizer import legalize
 from repro.netlist.database import PlacementDB
+from repro.obs.trace import trace_span
 
 
 @dataclass
@@ -104,9 +105,13 @@ class DreamPlacer:
             )
         else:
             start = time.perf_counter()
-            placer = GlobalPlacer(db, params)
-            gp_result = placer.place(on_iteration=on_iteration,
-                                     resume_state=resume_state)
+            with trace_span("stage.gp") as span:
+                placer = GlobalPlacer(db, params)
+                gp_result = placer.place(on_iteration=on_iteration,
+                                         resume_state=resume_state)
+                if span is not None:
+                    span["iterations"] = gp_result.iterations
+                    span["converged"] = gp_result.converged
             times.global_place = time.perf_counter() - start
             route_info = None
 
@@ -117,7 +122,8 @@ class DreamPlacer:
         legality = None
         if params.legalize:
             start = time.perf_counter()
-            x, y = legalize(db, x, y)
+            with trace_span("stage.lg"):
+                x, y = legalize(db, x, y)
             times.legalize = time.perf_counter() - start
             hpwl_legal = db.hpwl(x, y)
             legality = check_legal(db, x, y)
@@ -126,8 +132,9 @@ class DreamPlacer:
         dp_stats = None
         if params.legalize and params.detailed:
             start = time.perf_counter()
-            dp = DetailedPlacer(db, passes=params.detailed_passes)
-            x, y, dp_stats = dp.run(x, y)
+            with trace_span("stage.dp"):
+                dp = DetailedPlacer(db, passes=params.detailed_passes)
+                x, y, dp_stats = dp.run(x, y)
             times.detailed = time.perf_counter() - start
             hpwl_final = db.hpwl(x, y)
             legality = check_legal(db, x, y)
@@ -193,15 +200,16 @@ class DreamPlacer:
                 if warm is not None:
                     placer.set_positions(*warm)
                 start = time.perf_counter()
-                if rounds < params.inflation_max_rounds:
-                    # run down to the inflation trigger overflow (20%)
-                    result = placer.place(
-                        stop_overflow=params.inflation_overflow_trigger,
-                        monitor=monitor, on_iteration=on_iteration,
-                    )
-                else:
-                    result = placer.place(monitor=monitor,
-                                          on_iteration=on_iteration)
+                with trace_span("stage.gp", round=rounds):
+                    if rounds < params.inflation_max_rounds:
+                        # run down to the inflation trigger overflow (20%)
+                        result = placer.place(
+                            stop_overflow=params.inflation_overflow_trigger,
+                            monitor=monitor, on_iteration=on_iteration,
+                        )
+                    else:
+                        result = placer.place(monitor=monitor,
+                                              on_iteration=on_iteration)
                 times.global_place += time.perf_counter() - start
                 recoveries += result.recoveries
 
@@ -212,7 +220,8 @@ class DreamPlacer:
                 if router is None:
                     router = self._make_router(result.x, result.y)
                 start = time.perf_counter()
-                routing = router.route(result.x, result.y)
+                with trace_span("stage.route", round=rounds):
+                    routing = router.route(result.x, result.y)
                 times.global_route += time.perf_counter() - start
                 router_calls += 1
 
@@ -234,8 +243,9 @@ class DreamPlacer:
                     )
                     placer.set_positions(result.x, result.y)
                     start = time.perf_counter()
-                    result = placer.place(monitor=monitor,
-                                          on_iteration=on_iteration)
+                    with trace_span("stage.gp", round=rounds, final=True):
+                        result = placer.place(monitor=monitor,
+                                              on_iteration=on_iteration)
                     times.global_place += time.perf_counter() - start
                     recoveries += result.recoveries
                     result.recoveries = recoveries
@@ -264,7 +274,8 @@ class DreamPlacer:
         """Route the final placement to report RC and sHPWL (Table V)."""
         router = self._make_router(x, y)
         start = time.perf_counter()
-        routing = router.route(x, y)
+        with trace_span("stage.route", final=True):
+            routing = router.route(x, y)
         times.global_route += time.perf_counter() - start
         hpwl = self.db.hpwl(x, y)
         return routing.rc, scaled_hpwl(hpwl, routing.rc)

@@ -1,0 +1,46 @@
+"""Unified observability layer: tracing and metrics.
+
+The profiler (:mod:`repro.perf`) answers "where did *this run* spend
+its time" as a text table; the run store's event log answers "what
+happened to *this job*" as JSONL.  ``repro.obs`` is the layer both feed
+into for machine-readable, cross-run observability:
+
+- :mod:`repro.obs.trace` — a span tracer (:func:`trace_span`,
+  :class:`Tracer`) with monotonic timing and Chrome trace-event JSON
+  export (``chrome://tracing`` / Perfetto).  Profiled kernel ops, GP
+  iterations, flow stages and runner jobs all open spans.
+- :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges and fixed-bucket histograms with Prometheus-text and JSON
+  exposition, mergeable across worker processes so a sweep aggregates
+  fleet-level series.
+
+CLI surfacing: ``--trace-out``/``--metrics-out`` on ``place``/``batch``/
+``sweep``, and ``repro runs --stats`` for run-store aggregates.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    RATIO_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.recorders import IterationRecorder
+from repro.obs.trace import Span, Trace, Tracer, trace_span
+from repro.obs.trace import active as active_tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "RATIO_BUCKETS",
+    "IterationRecorder",
+    "Span",
+    "Trace",
+    "Tracer",
+    "trace_span",
+    "active_tracer",
+]

@@ -1,0 +1,286 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` holds named metrics (optionally labelled,
+Prometheus-style) and exposes them two ways:
+
+- :meth:`MetricsRegistry.to_prometheus` — the text exposition format
+  (``# HELP`` / ``# TYPE`` headers, ``name{label="v"} value`` samples,
+  cumulative ``_bucket``/``_sum``/``_count`` histogram series),
+- :meth:`MetricsRegistry.as_dict` / :meth:`to_json` — a JSON-safe dump
+  that round-trips through :meth:`merge`, the worker-pool wire format.
+
+Merging is the fleet-aggregation primitive: counters and histograms
+add, gauges take the incoming value (last writer wins).  Counter and
+histogram addition is order-independent for the integer amounts the
+runner records, so a ``workers=N`` sweep merges to bit-for-bit the same
+counters as the serial run.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from typing import Optional
+
+#: default histogram buckets, tuned for seconds-scale timings
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: buckets for unitless relative deltas (e.g. per-iteration HPWL change)
+RATIO_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0)
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    kind = "counter"
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0: {amount}")
+        self.value += amount
+
+    def state(self) -> dict:
+        return {"value": self.value}
+
+    def combine(self, state: dict) -> None:
+        self.value += float(state["value"])
+
+
+class Gauge:
+    """Last-observed value (overflow, queue depth, lambda)."""
+
+    kind = "gauge"
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def state(self) -> dict:
+        return {"value": self.value}
+
+    def combine(self, state: dict) -> None:
+        # gauges have no meaningful sum; the incoming value wins
+        self.value = float(state["value"])
+
+
+class Histogram:
+    """Fixed-bucket histogram with Prometheus bucket semantics.
+
+    ``buckets`` are upper bounds; counts are stored per bucket plus an
+    implicit ``+Inf`` overflow bucket, and exported cumulatively.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, buckets: tuple = DEFAULT_BUCKETS):
+        self.buckets = tuple(float(b) for b in buckets)
+        if list(self.buckets) != sorted(self.buckets):
+            raise ValueError(f"histogram buckets must ascend: {buckets}")
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> list:
+        """Cumulative counts per bucket (``+Inf`` last == ``count``)."""
+        out = []
+        running = 0
+        for count in self.counts:
+            running += count
+            out.append(running)
+        return out
+
+    def state(self) -> dict:
+        return {"buckets": list(self.buckets), "counts": list(self.counts),
+                "sum": self.sum, "count": self.count}
+
+    def combine(self, state: dict) -> None:
+        if tuple(float(b) for b in state["buckets"]) != self.buckets:
+            raise ValueError(
+                f"cannot merge histograms with different buckets: "
+                f"{state['buckets']} vs {list(self.buckets)}"
+            )
+        for i, count in enumerate(state["counts"]):
+            self.counts[i] += int(count)
+        self.sum += float(state["sum"])
+        self.count += int(state["count"])
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _escape(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _format_labels(labels: tuple, extra: Optional[tuple] = None) -> str:
+    pairs = list(labels) + list(extra or ())
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _format_value(value) -> str:
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _format_bound(bound: float) -> str:
+    return _format_value(bound)
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create accessors and merge support."""
+
+    def __init__(self):
+        #: (name, label_key) -> metric instance
+        self._metrics: dict = {}
+        self._kinds: dict = {}   # name -> kind (a name has one type)
+        self._help: dict = {}    # name -> help text
+
+    # ------------------------------------------------------------------
+    def _get(self, name: str, kind: str, labels: dict,
+             help: str = "", buckets: Optional[tuple] = None):
+        known = self._kinds.get(name)
+        if known is not None and known != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {known}, "
+                f"not {kind}"
+            )
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            if kind == "histogram":
+                metric = Histogram(buckets or DEFAULT_BUCKETS)
+            else:
+                metric = _KINDS[kind]()
+            self._metrics[key] = metric
+            self._kinds[name] = kind
+            if help and name not in self._help:
+                self._help[name] = help
+        return metric
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._get(name, "counter", labels, help=help)
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        return self._get(name, "gauge", labels, help=help)
+
+    def histogram(self, name: str, buckets: Optional[tuple] = None,
+                  help: str = "", **labels) -> Histogram:
+        return self._get(name, "histogram", labels, help=help,
+                         buckets=buckets)
+
+    # ------------------------------------------------------------------
+    def value(self, name: str, **labels):
+        """The current value of a counter/gauge (tests, stats views);
+        None when the metric was never recorded."""
+        metric = self._metrics.get((name, _label_key(labels)))
+        if metric is None:
+            return None
+        return metric.value if hasattr(metric, "value") else metric
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __bool__(self) -> bool:
+        # an empty registry is still a registry; never let truthiness
+        # collapse to "no metrics recorded yet"
+        return True
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """JSON-safe dump; the input format of :meth:`merge`."""
+        metrics = []
+        for (name, label_key), metric in sorted(self._metrics.items()):
+            metrics.append({
+                "name": name,
+                "kind": metric.kind,
+                "help": self._help.get(name, ""),
+                "labels": {k: v for k, v in label_key},
+                "state": metric.state(),
+            })
+        return {"metrics": metrics}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def merge(self, other) -> "MetricsRegistry":
+        """Fold another registry (or its :meth:`as_dict` dump) in."""
+        data = other.as_dict() if isinstance(other, MetricsRegistry) \
+            else other
+        for entry in data.get("metrics", []):
+            state = entry["state"]
+            buckets = tuple(state["buckets"]) \
+                if entry["kind"] == "histogram" else None
+            metric = self._get(entry["name"], entry["kind"],
+                               entry.get("labels") or {},
+                               help=entry.get("help", ""),
+                               buckets=buckets)
+            metric.combine(state)
+        return self
+
+    # ------------------------------------------------------------------
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (version 0.0.4) of every metric."""
+        by_name: dict = {}
+        for (name, label_key), metric in self._metrics.items():
+            by_name.setdefault(name, []).append((label_key, metric))
+        lines = []
+        for name in sorted(by_name):
+            help_text = self._help.get(name, "")
+            if help_text:
+                lines.append(f"# HELP {name} {_escape(help_text)}")
+            lines.append(f"# TYPE {name} {self._kinds[name]}")
+            for label_key, metric in sorted(by_name[name]):
+                labels = _format_labels(label_key)
+                if metric.kind == "histogram":
+                    cumulative = metric.cumulative()
+                    bounds = [_format_bound(b) for b in metric.buckets]
+                    bounds.append("+Inf")
+                    for bound, count in zip(bounds, cumulative):
+                        bucket_labels = _format_labels(
+                            label_key, extra=(("le", bound),))
+                        lines.append(
+                            f"{name}_bucket{bucket_labels} {count}")
+                    lines.append(
+                        f"{name}_sum{labels} {_format_value(metric.sum)}")
+                    lines.append(f"{name}_count{labels} {metric.count}")
+                else:
+                    lines.append(
+                        f"{name}{labels} {_format_value(metric.value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def save_prometheus(self, path: str) -> str:
+        import os
+
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "w") as handle:
+            handle.write(self.to_prometheus())
+        return path

@@ -1,0 +1,82 @@
+"""Standard metric recorders shared by the CLI and the batch runner.
+
+The GP loop reports iterations through its ``on_iteration`` hook; both
+``repro place --metrics-out`` and ``execute_job`` translate those
+callbacks into the *same* registry series via
+:class:`IterationRecorder`, so a one-shot placement and a fleet sweep
+expose identical metric names.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable
+
+from repro.obs.metrics import RATIO_BUCKETS, MetricsRegistry
+
+#: canonical series names (one place, so dashboards never chase renames)
+GP_ITERATIONS = "repro_gp_iterations_total"
+GP_ITERATION_SECONDS = "repro_gp_iteration_seconds"
+GP_OVERFLOW = "repro_gp_overflow"
+GP_HPWL_DELTA = "repro_gp_hpwl_rel_delta"
+GP_RECOVERIES = "repro_gp_recoveries_total"
+CACHE_HITS = "repro_cache_hits_total"
+CACHE_MISSES = "repro_cache_misses_total"
+CACHE_DEGRADED = "repro_cache_degraded_hits_total"
+RUNS_TOTAL = "repro_runs_total"
+RETRIES = "repro_retries_total"
+WORKER_DEATHS = "repro_worker_deaths_total"
+CHECKPOINTS = "repro_checkpoints_total"
+
+
+class IterationRecorder:
+    """Turns GP ``on_iteration`` callbacks into registry updates.
+
+    Iteration *timing* uses an injectable monotonic clock (histograms
+    must never record a negative duration because NTP stepped the wall
+    clock back mid-run); the counter series are pure functions of the
+    deterministic placement trajectory, which is what makes a
+    ``workers=N`` sweep merge to bit-for-bit the serial counters.
+    """
+
+    def __init__(self, registry: MetricsRegistry,
+                 monotonic: Callable[[], float] = time.monotonic):
+        self.registry = registry
+        self._monotonic = monotonic
+        self._last_t = monotonic()
+        self._last_hpwl: float | None = None
+        self._recoveries = 0
+
+    def __call__(self, placer, info: dict) -> None:
+        reg = self.registry
+        now = self._monotonic()
+        reg.counter(GP_ITERATIONS,
+                    help="GP iterations executed").inc()
+        reg.histogram(GP_ITERATION_SECONDS,
+                      help="wall time per GP iteration").observe(
+            max(now - self._last_t, 0.0))
+        self._last_t = now
+
+        hpwl = float(info["hpwl"])
+        overflow = float(info["overflow"])
+        if math.isfinite(overflow):
+            reg.gauge(GP_OVERFLOW,
+                      help="density overflow at the last GP "
+                           "iteration").set(overflow)
+        if (self._last_hpwl is not None and math.isfinite(hpwl)
+                and math.isfinite(self._last_hpwl)
+                and self._last_hpwl != 0.0):
+            delta = abs(hpwl - self._last_hpwl) / abs(self._last_hpwl)
+            reg.histogram(GP_HPWL_DELTA, buckets=RATIO_BUCKETS,
+                          help="relative HPWL change per GP "
+                               "iteration").observe(delta)
+        if math.isfinite(hpwl):
+            self._last_hpwl = hpwl
+
+        recoveries = int(info.get("recoveries", 0))
+        if recoveries > self._recoveries:
+            reg.counter(GP_RECOVERIES,
+                        help="divergence rollbacks performed").inc(
+                recoveries - self._recoveries)
+            self._recoveries = recoveries

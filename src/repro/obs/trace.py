@@ -1,0 +1,216 @@
+"""Span-based tracing with Chrome trace-event export.
+
+One :class:`Tracer` is installed process-wide (the same active-context
+pattern as :class:`repro.perf.Profiler`); code reports regions through
+the near-free :func:`trace_span` context manager, which is a single
+global read plus an early return when no tracer is installed.  Spans
+record a **monotonic** start/duration (``time.perf_counter``) so
+durations survive wall-clock steps; the start is anchored to the wall
+clock once, at tracer creation, so spans from different processes (the
+worker pool) line up on one timeline.
+
+The collected :class:`Trace` exports as Chrome trace-event JSON
+(``ph: "X"`` complete events with microsecond ``ts``/``dur``) loadable
+in ``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_;
+nesting is implied by interval containment per pid/tid, so the GP
+iteration spans visually contain the kernel op spans they ran.
+
+Usage::
+
+    with Tracer(process_label="repro main") as tracer:
+        with trace_span("stage.gp", design="adaptec1"):
+            ...
+    tracer.trace.save("trace.json")
+
+Worker processes build their own :class:`Tracer`, ship
+``tracer.trace.as_dicts()`` over the outcome pipe, and the dispatcher
+merges them with :meth:`Trace.extend_dicts` — every span carries the
+pid/tid it ran on, so a fleet trace shows one lane per worker.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Span:
+    """One completed region: wall-anchored start, monotonic duration.
+
+    ``ts`` and ``dur`` are microseconds (the Chrome trace unit); ``ts``
+    is anchored to the tracer's wall-clock epoch, ``dur`` is a pure
+    ``perf_counter`` difference and never goes negative under NTP steps.
+    """
+
+    name: str
+    ts: float
+    dur: float
+    pid: int
+    tid: int
+    args: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "ts": self.ts, "dur": self.dur,
+                "pid": self.pid, "tid": self.tid, "args": dict(self.args)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        return cls(name=data["name"], ts=float(data["ts"]),
+                   dur=float(data["dur"]), pid=int(data["pid"]),
+                   tid=int(data["tid"]), args=dict(data.get("args") or {}))
+
+
+class Trace:
+    """An ordered collection of spans, mergeable across processes."""
+
+    def __init__(self):
+        self.spans: list[Span] = []
+        #: pid -> human label, exported as Chrome ``process_name``
+        #: metadata so the pool's lanes read "worker w3", not "pid 1234"
+        self.process_labels: dict[int, str] = {}
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def add(self, span: Span) -> None:
+        self.spans.append(span)
+
+    # -- serialization -------------------------------------------------
+    def as_dicts(self) -> list[dict]:
+        """Spans as plain dicts (the worker -> dispatcher wire format)."""
+        return [span.to_dict() for span in self.spans]
+
+    def extend_dicts(self, spans: list,
+                     process_labels: dict | None = None) -> None:
+        """Merge spans shipped from another process."""
+        for data in spans:
+            self.spans.append(Span.from_dict(data))
+        if process_labels:
+            for pid, label in process_labels.items():
+                self.process_labels[int(pid)] = str(label)
+
+    def to_chrome_events(self) -> list[dict]:
+        """The ``traceEvents`` list of the Chrome trace format."""
+        events = []
+        for pid in sorted(self.process_labels):
+            events.append({
+                "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                "args": {"name": self.process_labels[pid]},
+            })
+        for span in self.spans:
+            events.append({
+                "name": span.name, "cat": "repro", "ph": "X",
+                "ts": span.ts, "dur": span.dur,
+                "pid": span.pid, "tid": span.tid,
+                "args": span.args,
+            })
+        return events
+
+    def to_chrome_json(self, indent: int | None = None) -> str:
+        """Chrome trace-event JSON (chrome://tracing / Perfetto)."""
+        payload = {
+            "traceEvents": self.to_chrome_events(),
+            "displayTimeUnit": "ms",
+        }
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+    def save(self, path: str, indent: int | None = None) -> str:
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "w") as handle:
+            handle.write(self.to_chrome_json(indent=indent))
+            handle.write("\n")
+        return path
+
+
+class Tracer:
+    """Collects spans while installed as the process-wide active tracer.
+
+    Entering the context installs the tracer consulted by
+    :func:`trace_span`; exiting restores the previous one (tracers
+    nest).  Span appends are lock-protected so threaded callers (the
+    pool dispatcher vs. a main-thread span) never tear the list.
+    """
+
+    def __init__(self, trace: Trace | None = None,
+                 process_label: str | None = None):
+        self.trace = trace if trace is not None else Trace()
+        # wall anchor taken once: spans use monotonic time internally
+        # and only this single offset references the wall clock, so a
+        # mid-run NTP step cannot corrupt any recorded duration
+        self._epoch_wall = time.time()
+        self._epoch_mono = time.perf_counter()
+        self._lock = threading.Lock()
+        self._previous: "Tracer | None" = None
+        if process_label is not None:
+            self.trace.process_labels[os.getpid()] = process_label
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Tracer":
+        global _ACTIVE
+        self._previous = _ACTIVE
+        _ACTIVE = self
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _ACTIVE
+        _ACTIVE = self._previous
+        self._previous = None
+
+    # ------------------------------------------------------------------
+    def _timestamp_us(self, mono: float) -> float:
+        return (self._epoch_wall + (mono - self._epoch_mono)) * 1e6
+
+    @contextlib.contextmanager
+    def span(self, name: str, **attrs):
+        """Record one region; yields the span's mutable ``args`` dict so
+        the caller can attach values computed inside the region."""
+        start = time.perf_counter()
+        try:
+            yield attrs
+        finally:
+            end = time.perf_counter()
+            span = Span(
+                name=name,
+                ts=self._timestamp_us(start),
+                dur=(end - start) * 1e6,
+                pid=os.getpid(),
+                tid=threading.get_ident(),
+                args=attrs,
+            )
+            with self._lock:
+                self.trace.spans.append(span)
+
+
+_ACTIVE: Tracer | None = None
+
+
+def active() -> Tracer | None:
+    """The currently installed tracer, or None."""
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def trace_span(name: str, **attrs):
+    """Report a span to the active tracer; near-free when none is.
+
+    Yields the span's mutable attribute dict (or ``None`` when tracing
+    is disabled), so instrumented code can attach late values::
+
+        with trace_span("gp.iteration", iteration=i) as span:
+            ...
+            if span is not None:
+                span["hpwl"] = hpwl
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        yield None
+        return
+    with tracer.span(name, **attrs) as args:
+        yield args

@@ -24,6 +24,8 @@ import time
 import tracemalloc
 from dataclasses import dataclass, field
 
+from repro.obs.trace import active as _active_tracer
+
 
 @dataclass
 class OpStats:
@@ -155,7 +157,6 @@ class Profiler:
 
     def table(self, title: str = "per-op breakdown") -> str:
         """A Fig.-9-style text table, sorted by self time."""
-        total = self.total_self_seconds or 1.0
         header = (
             f"== {title} ==\n"
             f"{'op':<24} {'calls':>8} {'total s':>10} {'self s':>10} "
@@ -164,6 +165,12 @@ class Profiler:
         lines = [header]
         if self.trace_alloc:
             lines[0] += f" {'alloc':>10} {'peak':>10}"
+        if not self.stats:
+            # an all-zero table with fabricated 0.0% shares would read
+            # as "everything was free"; say what actually happened
+            lines.append("(no ops recorded)")
+            return "\n".join(lines)
+        total = self.total_self_seconds or 1.0
         for name, s in sorted(
             self.stats.items(), key=lambda kv: -kv[1].self_seconds
         ):
@@ -180,11 +187,14 @@ class Profiler:
 
 
 def _fmt_bytes(n: int) -> str:
-    for unit in ("B", "KB", "MB", "GB"):
-        if abs(n) < 1024 or unit == "GB":
-            return f"{n:.0f}{unit}" if unit == "B" else f"{n:.1f}{unit}"
-        n /= 1024
-    return f"{n:.1f}GB"
+    # scale a separate accumulator: mutating the argument made the GB
+    # branch see an already-divided value (and repeat calls disagree)
+    value = float(n)
+    for unit in ("B", "KB", "MB"):
+        if abs(value) < 1024:
+            return f"{value:.0f}B" if unit == "B" else f"{value:.1f}{unit}"
+        value /= 1024
+    return f"{value:.1f}GB"
 
 
 _ACTIVE: Profiler | None = None
@@ -197,10 +207,25 @@ def active() -> Profiler | None:
 
 @contextlib.contextmanager
 def profiled(name: str):
-    """Report a region to the active profiler; near-free when none is."""
+    """Report a region to the active profiler *and* the active tracer.
+
+    Profiled ops double as trace spans (``repro.obs``): the same
+    instrumentation point feeds the Fig.-9 table and the Chrome trace.
+    Near-free when neither a profiler nor a tracer is installed (two
+    global reads).
+    """
     prof = _ACTIVE
-    if prof is None:
+    tracer = _active_tracer()
+    if prof is None and tracer is None:
         yield None
         return
-    with prof.op(name):
-        yield prof
+    if tracer is None:
+        with prof.op(name):
+            yield prof
+        return
+    with tracer.span(name):
+        if prof is None:
+            yield None
+        else:
+            with prof.op(name):
+                yield prof

@@ -48,13 +48,25 @@ class EventType:
 class EventLog:
     """Append-only JSONL event writer for one run.
 
-    ``clock`` is injectable for deterministic tests.  The log may be
-    reopened across process restarts (resume appends to the same file).
+    Every record carries two timestamps: wall-clock ``t`` (``clock``,
+    for humans and cross-host correlation) and monotonic ``dt``
+    (``monotonic_clock``, seconds since this log handle opened) — event
+    *deltas* computed over ``dt`` survive NTP steps that make ``t`` go
+    backwards.  Both clocks are injectable for deterministic tests.
+
+    The log may be reopened across process restarts (resume appends to
+    the same file), and :meth:`emit` transparently reopens a closed
+    handle: the file contract is append-only, so a late event from a
+    teardown race (an ``atexit``/``finally`` hook firing after
+    ``close()``) is appended rather than raising ``ValueError``.
     """
 
-    def __init__(self, path: str, clock: Callable[[], float] = time.time):
+    def __init__(self, path: str, clock: Callable[[], float] = time.time,
+                 monotonic_clock: Callable[[], float] = time.monotonic):
         self.path = str(path)
         self._clock = clock
+        self._monotonic = monotonic_clock
+        self._mono0 = monotonic_clock()
         parent = os.path.dirname(self.path)
         if parent:
             os.makedirs(parent, exist_ok=True)
@@ -62,8 +74,16 @@ class EventLog:
 
     def emit(self, type: str, **fields) -> dict:
         """Append one event; returns the record written."""
-        record = {"type": type, "t": self._clock()}
+        record = {
+            "type": type,
+            "t": self._clock(),
+            "dt": round(self._monotonic() - self._mono0, 6),
+        }
         record.update(fields)
+        if self._handle.closed:
+            # teardown/late-hook race: a closed handle must not turn an
+            # append-only telemetry write into a ValueError
+            self._handle = open(self.path, "a")
         self._handle.write(json.dumps(record, sort_keys=True) + "\n")
         self._handle.flush()
         return record

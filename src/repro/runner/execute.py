@@ -39,6 +39,17 @@ from typing import Callable, Optional
 
 from repro.core import DreamPlacer, placement_result_metrics
 from repro.netlist.database import PlacementDB
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorders import (
+    CACHE_DEGRADED,
+    CACHE_HITS,
+    CACHE_MISSES,
+    CHECKPOINTS,
+    RUNS_TOTAL,
+    IterationRecorder,
+)
+from repro.obs.trace import Trace, trace_span
+from repro.obs.trace import active as active_tracer
 from repro.runner.cache import ResultCache
 from repro.runner.checkpoint import PlacerCheckpoint
 from repro.runner.events import EventLog, EventType
@@ -120,7 +131,8 @@ def execute_job(spec: JobSpec, store: RunStore,
                 attempt: int = 1,
                 worker: Optional[str] = None,
                 iteration_hook: Optional[Callable] = None,
-                lease_timeout: float = LEASE_TIMEOUT) -> JobOutcome:
+                lease_timeout: float = LEASE_TIMEOUT,
+                registry: Optional[MetricsRegistry] = None) -> JobOutcome:
     """Run one job against the store; see module docstring for the flow.
 
     The timeout is *cooperative*: it is checked on every GP iteration,
@@ -134,14 +146,79 @@ def execute_job(spec: JobSpec, store: RunStore,
     pool dispatcher passes it); ``iteration_hook(placer, info)`` runs
     after the built-in per-iteration bookkeeping (telemetry, progress
     relays, test fault injection).
+
+    Observability: the whole job runs inside a ``job`` span of the
+    active tracer (``repro.obs``), every GP iteration feeds a job-local
+    :class:`MetricsRegistry`, and — when a tracer or a fleet
+    ``registry`` is present — the per-job trace/Prometheus dumps are
+    persisted as ``trace.json``/``metrics.prom`` next to the run's
+    other artifacts.  The job-local registry is merged into
+    ``registry`` (the scheduler's fleet aggregate) on every exit path.
     """
+    job_reg = MetricsRegistry()
+    tracer = active_tracer()
+    span_start = len(tracer.trace.spans) if tracer is not None else 0
+    with trace_span("job", design=spec.design.name,
+                    attempt=attempt, worker=worker) as span:
+        outcome = _execute_job(
+            spec, store, cache=cache, db=db,
+            checkpoint_every=checkpoint_every, timeout=timeout,
+            resume=resume, profile=profile, attempt=attempt,
+            worker=worker, iteration_hook=iteration_hook,
+            lease_timeout=lease_timeout, job_reg=job_reg,
+        )
+        if span is not None:
+            span["job_hash"] = outcome.job_hash[:16]
+            span["status"] = outcome.status
+            span["cached"] = outcome.cached
+        job_reg.counter(RUNS_TOTAL, help="job outcomes by final status",
+                        status=outcome.status).inc()
+        if (outcome.directory and not outcome.cached
+                and (registry is not None or tracer is not None)):
+            # best-effort artifacts: observability must never turn a
+            # finished placement into a failure
+            try:
+                job_reg.save_prometheus(
+                    os.path.join(outcome.directory, "metrics.prom"))
+                # the JSON twin round-trips through registry.merge(),
+                # which `repro runs --stats` uses to aggregate a store
+                with open(os.path.join(outcome.directory,
+                                       "obs_metrics.json"), "w") as fh:
+                    fh.write(job_reg.to_json())
+                    fh.write("\n")
+                if tracer is not None:
+                    job_trace = Trace()
+                    job_trace.spans = list(
+                        tracer.trace.spans[span_start:])
+                    job_trace.save(
+                        os.path.join(outcome.directory, "trace.json"))
+            except OSError:
+                pass
+    if registry is not None:
+        registry.merge(job_reg)
+    return outcome
+
+
+def _execute_job(spec: JobSpec, store: RunStore,
+                 cache: Optional[ResultCache],
+                 db: Optional[PlacementDB],
+                 checkpoint_every: int,
+                 timeout: Optional[float],
+                 resume: bool,
+                 profile: bool,
+                 attempt: int,
+                 worker: Optional[str],
+                 iteration_hook: Optional[Callable],
+                 lease_timeout: float,
+                 job_reg: MetricsRegistry) -> JobOutcome:
     # the budget covers design load too (a cold load once escaped it)
     deadline = None if timeout is None else time.monotonic() + timeout
     pid = os.getpid()
 
     if db is None:
         try:
-            db = spec.design.load()
+            with trace_span("design.load", design=spec.design.name):
+                db = spec.design.load()
         except Exception as exc:  # noqa: BLE001 — isolate bad designs
             return _record_design_failure(spec, store, exc, attempt,
                                           worker, lease_timeout)
@@ -150,6 +227,12 @@ def execute_job(spec: JobSpec, store: RunStore,
     if cache is not None:
         record = cache.lookup(job_hash)
         if record is not None:
+            job_reg.counter(CACHE_HITS,
+                            help="result-cache hits").inc()
+            if record.artifact_error:
+                job_reg.counter(CACHE_DEGRADED,
+                                help="cache hits served without a "
+                                     "Bookshelf artifact").inc()
             with EventLog(record.events_path) as events:
                 events.emit(EventType.CACHE_HIT, job_hash=job_hash,
                             attempt=attempt, worker=worker, pid=pid)
@@ -159,6 +242,7 @@ def execute_job(spec: JobSpec, store: RunStore,
                 cached=True, metrics=record.metrics,
                 artifact_error=record.artifact_error,
             )
+        job_reg.counter(CACHE_MISSES, help="result-cache misses").inc()
 
     try:
         handle = store.open_run(spec, job_hash, worker=worker,
@@ -194,9 +278,11 @@ def execute_job(spec: JobSpec, store: RunStore,
             resumed_from = ckpt.iteration
 
         seen_recoveries = 0
+        record_iteration = IterationRecorder(job_reg)
 
         def on_iteration(placer, info):
             nonlocal seen_recoveries
+            record_iteration(placer, info)
             handle.touch_lease()
             handle.events.emit(
                 EventType.ITERATION,
@@ -215,6 +301,8 @@ def execute_job(spec: JobSpec, store: RunStore,
                     job_hash=job_hash, iteration=info["iteration"],
                     loop_state=state,
                 ).save(handle.checkpoint_path)
+                job_reg.counter(CHECKPOINTS,
+                                help="GP checkpoints persisted").inc()
                 handle.events.emit(EventType.CHECKPOINT,
                                    iteration=info["iteration"])
             if iteration_hook is not None:

@@ -45,6 +45,10 @@ from dataclasses import fields
 from typing import Callable, Optional
 
 from repro.core.params import PlacementParams
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorders import RETRIES, WORKER_DEATHS
+from repro.obs.trace import Tracer
+from repro.obs.trace import active as active_tracer
 from repro.runner.cache import ResultCache
 from repro.runner.events import EventLog, EventType
 from repro.runner.execute import JobOutcome, execute_job
@@ -92,9 +96,20 @@ class Scheduler:
                  profile: bool = False,
                  workers: int = 1,
                  lease_timeout: float = LEASE_TIMEOUT,
-                 sleep: Callable[[float], None] = time.sleep):
+                 sleep: Callable[[float], None] = time.sleep,
+                 registry: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None):
         self.store = store
         self.cache = cache
+        #: fleet metrics aggregate — serial jobs record into it
+        #: directly, pool workers ship their job-local registries back
+        #: over the outcome pipe and they are merged here, so the
+        #: counters are bit-for-bit identical either way
+        self.registry = registry
+        #: fleet trace — installed for the duration of :meth:`run`;
+        #: pool workers ship their spans back and they merge into one
+        #: timeline (one lane per worker pid)
+        self.tracer = tracer
         self.max_retries = int(max_retries)
         self.backoff = float(backoff)
         self.timeout = timeout
@@ -134,6 +149,12 @@ class Scheduler:
 
     def run(self) -> list:
         """Drain the queue; one outcome per job, in submission order."""
+        if self.tracer is not None and active_tracer() is not self.tracer:
+            with self.tracer:
+                return self._drain()
+        return self._drain()
+
+    def _drain(self) -> list:
         if self.workers <= 1:
             outcomes = []
             while self._queue:
@@ -163,6 +184,7 @@ class Scheduler:
                 profile=self.profile,
                 attempt=attempt,
                 lease_timeout=self.lease_timeout,
+                registry=self.registry,
             )
             if outcome.status != STATUS_FAILED:
                 # complete, cached — or timeout, which is never retried
@@ -175,6 +197,9 @@ class Scheduler:
 
     def _retry_backoff(self, outcome: JobOutcome, attempt: int) -> None:
         delay = self.backoff * (2.0 ** (attempt - 1))
+        if self.registry is not None:
+            self.registry.counter(RETRIES,
+                                  help="job attempts retried").inc()
         if outcome.directory:
             with EventLog(f"{outcome.directory}/events.jsonl") as log:
                 log.emit(EventType.RETRY, attempt=attempt,
@@ -199,12 +224,17 @@ class Scheduler:
             checkpoint_every=self.checkpoint_every,
             timeout=self.timeout, resume=resume, profile=self.profile,
             lease_timeout=self.lease_timeout,
+            collect_trace=self.tracer is not None,
         )
         return WorkerHandle(task)
 
     def _collect_outcome(self, handle, spec: JobSpec) -> JobOutcome:
         """Reap one worker; a JobOutcome even if the worker died."""
         payload = handle.collect()
+        # the observability side-channel rides the outcome payload; it
+        # must be stripped before JobOutcome(**payload) sees the dict
+        obs = payload.pop("obs", None) if payload is not None else None
+        self._merge_obs(obs)
         if payload is not None and "worker_error" not in payload:
             outcome = JobOutcome(**payload)
         else:
@@ -215,6 +245,11 @@ class Scheduler:
                 f"worker died (pid {handle.pid}, "
                 f"exitcode {handle.exitcode})"
             )
+            if self.registry is not None:
+                self.registry.counter(
+                    WORKER_DEATHS,
+                    help="pool workers that died without reporting",
+                ).inc()
             recovered = self.store.recover_orphans(
                 lease_timeout=self.lease_timeout, pids={handle.pid})
             if recovered:
@@ -239,8 +274,20 @@ class Scheduler:
                 self.cache.stats.misses += 1
         return outcome
 
+    def _merge_obs(self, obs: Optional[dict]) -> None:
+        """Fold a worker's shipped metrics/trace into the fleet views."""
+        if not obs:
+            return
+        if self.registry is not None and obs.get("metrics"):
+            self.registry.merge(obs["metrics"])
+        trace = obs.get("trace")
+        if self.tracer is not None and trace:
+            self.tracer.trace.extend_dicts(
+                trace.get("spans") or [],
+                trace.get("process_labels"))
+
     def _run_pool(self) -> list:
-        from multiprocessing.connection import wait as wait_sentinels
+        from multiprocessing.connection import wait as wait_channels
 
         jobs = []
         while self._queue:
@@ -249,15 +296,20 @@ class Scheduler:
         # (index, spec, attempt, resume) — retries re-enter this queue
         ready: deque = deque(
             (i, spec, 1, False) for i, spec in enumerate(jobs))
-        active: dict = {}  # sentinel -> (handle, index, spec, attempt)
+        active: dict = {}  # pipe channel -> (handle, index, spec, attempt)
 
         while ready or active:
             while ready and len(active) < self.workers:
                 index, spec, attempt, resume = ready.popleft()
                 handle = self._spawn(index, spec, attempt, resume)
-                active[handle.sentinel] = (handle, index, spec, attempt)
-            for sentinel in wait_sentinels(list(active)):
-                handle, index, spec, attempt = active.pop(sentinel)
+                active[handle.channel] = (handle, index, spec, attempt)
+            # wait on the outcome pipes, not the process sentinels: a
+            # payload bigger than the pipe buffer (a shipped trace)
+            # keeps the child alive in send() until the parent drains
+            # it, so waiting for process exit would deadlock; the pipe
+            # also signals EOF when a child dies without reporting
+            for channel in wait_channels(list(active)):
+                handle, index, spec, attempt = active.pop(channel)
                 outcome = self._collect_outcome(handle, spec)
                 if outcome.status == STATUS_FAILED \
                         and attempt <= self.max_retries:

@@ -25,9 +25,11 @@ advisory **lease**: a ``lock.json`` in the run directory recording the
 owner pid/host/worker plus acquisition and heartbeat timestamps.  The
 lease is acquired with an atomic ``O_CREAT | O_EXCL`` create, refreshed
 from the GP iteration hook, and released on close; a second opener of
-the same run raises :class:`RunLocked`.  A lease whose owner is a dead
-pid (same host) or whose heartbeat is older than ``lease_timeout`` is
-*stale* and may be stolen; :meth:`RunStore.recover_orphans` turns such
+the same run raises :class:`RunLocked`.  Staleness is decided by
+pid-liveness first (same host: a live owner is never stale, a dead one
+always is) and by heartbeat age — negative ages clamped to 0 so clock
+steps never fake expiry — only for cross-host or unreadable locks;
+such stale leases may be stolen, and :meth:`RunStore.recover_orphans` turns
 ``running`` directories into ``failed``-with-checkpoint runs that
 ``resume`` (or a retry) continues, instead of leaving them stuck
 ``running`` forever after a SIGKILLed worker.
@@ -40,7 +42,7 @@ import os
 import socket
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.runner.events import EventLog, EventType
 from repro.runner.job import JobSpec
@@ -69,6 +71,17 @@ class RunLocked(RuntimeError):
     """Another live worker holds this run directory's lease."""
 
 
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for a pid on this host."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # alive, just not ours to signal
+    return True
+
+
 def _atomic_write_json(path: str, data: dict) -> None:
     tmp = f"{path}.tmp.{os.getpid()}"
     with open(tmp, "w") as handle:
@@ -92,17 +105,38 @@ class RunLease:
     acquires a free lease.  Stealing a stale lease goes through an
     atomic rename, so when several contenders detect the same dead
     owner, exactly one wins and the rest re-examine the fresh lock.
+
+    **Staleness clocking.**  Heartbeats are wall-clock timestamps (they
+    must compare across hosts), which makes raw age arithmetic unsafe
+    under NTP steps: a backwards jump turns a fresh heartbeat into a
+    "future" one and a forwards jump ages a live worker into theft
+    range.  :meth:`is_stale` therefore prefers **pid-liveness** for
+    same-host locks (a live owner pid is never stale, a dead one is
+    stale immediately) and only falls back to heartbeat age — with
+    negative ages clamped to 0, so a backwards-stepped clock reads
+    "fresh", never "expired" — for cross-host or unreadable locks.  The
+    local refresh rate-limit runs on the monotonic clock, immune to
+    steps in either direction.  ``clock``/``monotonic_clock`` are
+    injectable so skew scenarios are deterministic in tests.
     """
 
     def __init__(self, path: str, worker: Optional[str] = None,
                  lease_timeout: float = LEASE_TIMEOUT,
-                 refresh_every: float = LEASE_REFRESH):
+                 refresh_every: float = LEASE_REFRESH,
+                 clock: Callable[[], float] = time.time,
+                 monotonic_clock: Callable[[], float] = time.monotonic,
+                 pid_alive: Optional[Callable[[int], bool]] = None):
         self.path = str(path)
         self.worker = worker
         self.lease_timeout = float(lease_timeout)
         self.refresh_every = float(refresh_every)
+        self._clock = clock
+        self._monotonic = monotonic_clock
+        self._pid_alive = pid_alive or _pid_alive
         self._held = False
         self._acquired_at = 0.0
+        # monotonic: a wall-clock step must not suppress (or force)
+        # heartbeat rewrites through the rate limiter
         self._last_refresh = 0.0
 
     # ------------------------------------------------------------------
@@ -112,29 +146,41 @@ class RunLease:
             "host": _HOSTNAME,
             "worker": self.worker,
             "acquired": self._acquired_at,
-            "heartbeat": time.time(),
+            "heartbeat": self._clock(),
         }
 
+    def _heartbeat_age(self, stamp: float) -> float:
+        # clamp: a heartbeat "in the future" means our clock stepped
+        # back (or the writer's is ahead) — that is a *fresh* lease
+        return max(self._clock() - stamp, 0.0)
+
     def is_stale(self, info: Optional[dict]) -> bool:
-        """Is a lock with this payload abandoned by a dead owner?"""
+        """Is a lock with this payload abandoned by a dead owner?
+
+        Same-host locks are decided by pid-liveness alone; heartbeat
+        age (negative ages clamped to 0) only decides cross-host and
+        unreadable locks, where no liveness probe is possible.
+        """
         if info is None:
             # unreadable lock (torn write): fall back to file age
             try:
-                age = time.time() - os.path.getmtime(self.path)
+                age = self._heartbeat_age(os.path.getmtime(self.path))
             except OSError:
                 return True  # vanished underneath us: free
             return age > self.lease_timeout
         pid = info.get("pid")
         if pid and info.get("host") == _HOSTNAME:
             try:
-                os.kill(int(pid), 0)
-            except (ProcessLookupError, ValueError):
-                return True  # owner process is gone
-            except PermissionError:
-                pass  # alive, just not ours to signal
+                # pid-liveness outranks the heartbeat: a live owner is
+                # never stolen because a clock skewed its timestamps,
+                # and a dead owner is recovered without waiting out a
+                # (possibly backwards-jumped) heartbeat age
+                return not self._pid_alive(int(pid))
+            except (TypeError, ValueError):
+                pass  # garbage pid: fall through to the heartbeat
         heartbeat = float(info.get("heartbeat")
                           or info.get("acquired") or 0.0)
-        return (time.time() - heartbeat) > self.lease_timeout
+        return self._heartbeat_age(heartbeat) > self.lease_timeout
 
     # ------------------------------------------------------------------
     def acquire(self) -> "RunLease":
@@ -159,18 +205,24 @@ class RunLease:
                     continue  # someone else stole or released it first
                 os.unlink(stale)
                 continue
-            self._acquired_at = time.time()
+            self._acquired_at = self._clock()
             with os.fdopen(fd, "w") as handle:
                 json.dump(self._payload(), handle)
             self._held = True
-            self._last_refresh = self._acquired_at
+            self._last_refresh = self._monotonic()
             return self
 
     def refresh(self, force: bool = False) -> None:
-        """Re-stamp the heartbeat (rate-limited unless ``force``)."""
+        """Re-stamp the heartbeat (rate-limited unless ``force``).
+
+        The rate limit runs on the monotonic clock: a backwards wall
+        step used to freeze refreshes for the length of the jump
+        (heartbeat goes stale everywhere else), and a forwards step
+        forced a rewrite every iteration.
+        """
         if not self._held:
             return
-        now = time.time()
+        now = self._monotonic()
         if not force and now - self._last_refresh < self.refresh_every:
             return
         _atomic_write_json(self.path, self._payload())

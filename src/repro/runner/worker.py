@@ -76,6 +76,9 @@ class WorkerTask:
     resume: bool = False
     profile: bool = False
     lease_timeout: Optional[float] = None
+    #: when True the child installs a Tracer and ships its spans back
+    #: in the outcome payload's ``obs`` key (metrics always ship)
+    collect_trace: bool = False
 
 
 def _fault_hook():
@@ -130,6 +133,10 @@ def worker_main(conn, task: WorkerTask) -> None:
     an infrastructure bug, reported as a ``worker_error`` payload.
     """
     # imports happen in the child so a spawn never ships module state
+    import contextlib
+
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import Tracer
     from repro.runner.cache import ResultCache
     from repro.runner.execute import execute_job
     from repro.runner.job import JobSpec
@@ -139,16 +146,30 @@ def worker_main(conn, task: WorkerTask) -> None:
         spec = JobSpec.from_dict(task.spec)
         store = RunStore(task.store_root)
         cache = ResultCache(store) if task.use_cache else None
-        outcome = execute_job(
-            spec, store, cache=cache,
-            checkpoint_every=task.checkpoint_every,
-            timeout=task.timeout, resume=task.resume,
-            profile=task.profile, attempt=task.attempt,
-            worker=task.worker, iteration_hook=_fault_hook(),
-            lease_timeout=(LEASE_TIMEOUT if task.lease_timeout is None
-                           else task.lease_timeout),
-        )
-        conn.send(outcome_payload(outcome))
+        registry = MetricsRegistry()
+        tracer = (Tracer(process_label=f"repro worker {task.worker}")
+                  if task.collect_trace else None)
+        with (tracer if tracer is not None
+              else contextlib.nullcontext()):
+            outcome = execute_job(
+                spec, store, cache=cache,
+                checkpoint_every=task.checkpoint_every,
+                timeout=task.timeout, resume=task.resume,
+                profile=task.profile, attempt=task.attempt,
+                worker=task.worker, iteration_hook=_fault_hook(),
+                lease_timeout=(LEASE_TIMEOUT if task.lease_timeout is None
+                               else task.lease_timeout),
+                registry=registry,
+            )
+        payload = outcome_payload(outcome)
+        obs: dict = {"metrics": registry.as_dict()}
+        if tracer is not None:
+            obs["trace"] = {
+                "spans": tracer.trace.as_dicts(),
+                "process_labels": tracer.trace.process_labels,
+            }
+        payload["obs"] = obs
+        conn.send(payload)
     except BaseException as exc:  # pragma: no cover — infra failures
         try:
             conn.send({"worker_error": f"{type(exc).__name__}: {exc}"})
@@ -163,9 +184,15 @@ class WorkerHandle:
     """Parent-side handle on one in-flight job attempt.
 
     Owns the child process and the read end of its outcome pipe.  The
-    dispatcher waits on :attr:`sentinel` (the process's OS-level done
-    signal, usable with :func:`multiprocessing.connection.wait`) and
-    then calls :meth:`collect`.
+    dispatcher waits on :attr:`channel` (the pipe's read end, usable
+    with :func:`multiprocessing.connection.wait`) and then calls
+    :meth:`collect`.  Waiting on the *pipe* rather than the process
+    sentinel matters: an outcome payload can exceed the OS pipe buffer
+    (a shipped trace easily does), in which case the child blocks in
+    ``send`` until the parent drains the pipe — a parent waiting for
+    process *exit* first would deadlock.  The pipe read end also
+    signals on EOF when the child dies without reporting, so worker
+    deaths wake the dispatcher the same way outcomes do.
     """
 
     def __init__(self, task: WorkerTask):
@@ -181,7 +208,14 @@ class WorkerHandle:
 
     @property
     def sentinel(self) -> int:
+        """The process's OS-level done signal (exit only)."""
         return self.process.sentinel
+
+    @property
+    def channel(self):
+        """The outcome pipe's read end: ready on payload data or on
+        EOF after a child death — the dispatcher's wait object."""
+        return self._recv
 
     @property
     def pid(self) -> Optional[int]:
@@ -197,6 +231,10 @@ class WorkerHandle:
         A child that was SIGKILLed (or crashed before reporting) never
         wrote to the pipe — the dispatcher treats ``None`` as a worker
         death and runs orphan recovery on the store.
+
+        The payload is drained *before* joining the process: a payload
+        larger than the pipe buffer keeps the child alive inside
+        ``send`` until this read completes.
         """
         payload = None
         try:
