@@ -11,6 +11,9 @@
 - ``sweep``     expand a parameter grid into jobs and run them
 - ``resume``    continue an interrupted run from its checkpoint
 - ``runs``      list or inspect the run store
+- ``serve``     run the placement service (HTTP job API)
+- ``submit``    submit a job to a running service
+- ``watch``     stream a job's events from a running service
 """
 
 from __future__ import annotations
@@ -43,6 +46,14 @@ def _write_json(path: str, data: dict) -> str:
         json.dump(data, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return path
+
+
+def _emit_json(dest: str, data: dict, label: str = "wrote") -> None:
+    """Emit JSON to stdout (dest is "-") or to a file."""
+    if dest == "-":
+        print(json.dumps(data, indent=2, sort_keys=True))
+    else:
+        print(f"{label}: {_write_json(dest, data)}")
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -215,34 +226,6 @@ def _cmd_report(args) -> int:
 # ----------------------------------------------------------------------
 # runner verbs (batch / sweep / resume / runs)
 
-def _job_from_dict(data, default_scale: int = 400):
-    """Lenient job parsing for ``batch`` spec files.
-
-    Accepts a bare design string, or a dict with ``design`` (string or
-    DesignRef dict), optional ``scale``, partial ``params`` and
-    ``stages``.
-    """
-    from repro.core import PlacementParams
-    from repro.runner import DesignRef, JobSpec
-
-    if isinstance(data, str):
-        data = {"design": data}
-    design = data.get("design")
-    if design is None:
-        raise ValueError(f"job entry missing 'design': {data!r}")
-    if isinstance(design, str):
-        design = DesignRef.parse(
-            design, scale=int(data.get("scale", default_scale))
-        )
-    else:
-        design = DesignRef.from_dict(design)
-    params = data.get("params", {})
-    if not isinstance(params, PlacementParams):
-        params = PlacementParams.from_dict(dict(params))
-    return JobSpec(design=design, params=params,
-                   stages=tuple(data.get("stages", ("gp", "lg", "dp"))))
-
-
 def _coerce_param(key: str, text: str):
     """Parse a sweep value using the PlacementParams field type."""
     from dataclasses import MISSING, fields
@@ -349,11 +332,13 @@ def _print_outcomes(outcomes, cache=None) -> int:
 
 
 def _cmd_batch(args) -> int:
+    from repro.runner import job_from_dict
+
     with open(args.specs) as handle:
         data = json.load(handle)
     if isinstance(data, dict):
         data = data.get("jobs", [data])
-    specs = [_job_from_dict(entry) for entry in data]
+    specs = [job_from_dict(entry) for entry in data]
     scheduler, store, cache = _make_scheduler(args)
     for spec in specs:
         scheduler.submit(spec)
@@ -419,16 +404,22 @@ def _cmd_resume(args) -> int:
 
 
 def _record_dict(record) -> dict:
+    """One run's JSON view: the shared listing summary plus detail.
+
+    The base keys are :meth:`RunRecord.summary` — the same schema
+    ``GET /v1/jobs`` serves — extended with the full spec/status dicts,
+    metrics and event counts for inspection.
+    """
     from repro.runner import count_events
 
-    return {
-        "job_hash": record.job_hash,
-        "directory": record.directory,
-        "status": record.status,
-        "spec": record.spec,
-        "metrics": record.metrics,
-        "events": dict(count_events(record.events_path)),
-    }
+    payload = record.summary()
+    payload.update(
+        status=record.status,
+        spec=record.spec,
+        metrics=record.metrics,
+        events=dict(count_events(record.events_path)),
+    )
+    return payload
 
 
 def _runs_stats(args, store) -> int:
@@ -459,7 +450,7 @@ def _runs_stats(args, store) -> int:
     if merged:
         print(registry.to_prometheus(), end="")
     if args.json:
-        print(f"wrote: {_write_json(args.json, registry.as_dict())}")
+        _emit_json(args.json, registry.as_dict())
     return 0
 
 
@@ -471,6 +462,9 @@ def _cmd_runs(args) -> int:
         return _runs_stats(args, store)
     if args.run:
         record = store.load(args.run)
+        if args.json == "-":
+            _emit_json(args.json, _record_dict(record))
+            return 0
         status = record.status or {}
         print(f"run      : {record.job_hash}")
         print(f"directory: {record.directory}")
@@ -495,11 +489,16 @@ def _cmd_runs(args) -> int:
                 f"{name}={count}"
                 for name, count in sorted(events.items())))
         if args.json:
-            print(f"wrote    : "
-                  f"{_write_json(args.json, _record_dict(record))}")
+            _emit_json(args.json, _record_dict(record), label="wrote    ")
         return 0
 
     records = store.list_runs()
+    if args.json == "-":
+        # the same entry schema GET /v1/jobs serves, so scripts read
+        # the offline store and the live service interchangeably
+        _emit_json(args.json, {"runs": [r.summary() for r in records],
+                               "count": len(records)})
+        return 0
     if not records:
         print(f"no runs in {store.runs_root}")
         return 0
@@ -519,9 +518,125 @@ def _cmd_runs(args) -> int:
         print(f"{record.short_hash:<16} {design:<20} "
               f"{record.state:<9} {hpwl:>14} {iters:>6}")
     if args.json:
-        payload = {"runs": [_record_dict(r) for r in records]}
-        print(f"wrote: {_write_json(args.json, payload)}")
+        payload = {"runs": [r.summary() for r in records],
+                   "count": len(records)}
+        _emit_json(args.json, payload)
     return 0
+
+
+# ----------------------------------------------------------------------
+# service verbs (serve / submit / watch)
+
+def _cmd_serve(args) -> int:
+    import signal
+    import threading
+
+    from repro.runner import ResultCache, RunStore
+    from repro.serve import AsyncScheduler, PlacementServer
+
+    store = RunStore(args.store)
+    cache = None if args.no_cache else ResultCache(store)
+    scheduler = AsyncScheduler(
+        store, cache=cache,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        max_retries=args.retries,
+        timeout=args.timeout,
+        checkpoint_every=args.checkpoint_every,
+        retry_after=args.retry_after,
+    )
+    server = PlacementServer(store, scheduler, host=args.host,
+                             port=args.port, verbose=args.verbose)
+    if server.recovered_orphans:
+        print(f"recovered {server.recovered_orphans} orphaned run(s)")
+
+    # serve_forever runs in a background thread (PlacementServer.start)
+    # while the main thread waits on a signal-set event: calling
+    # httpd.shutdown() from the serve_forever thread deadlocks, so the
+    # signal handler must only flip the event
+    stop = threading.Event()
+
+    def _handle(signum, frame):
+        print(f"\nsignal {signal.Signals(signum).name}: draining ...")
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _handle)
+    signal.signal(signal.SIGINT, _handle)
+    server.start()
+    print(f"serving placements on {server.url} "
+          f"(store {store.root}, {scheduler.workers} worker(s), "
+          f"queue limit {scheduler.queue_limit})")
+    stop.wait()
+    server.stop(interrupt=True)
+    print("drained: every in-flight run checkpointed and released")
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.serve import PlacementClient, ServiceError
+
+    spec = {"design": args.design, "scale": args.scale,
+            "stages": [s for s in args.stages.split(",") if s]}
+    params = {}
+    for item in args.param:
+        key, sep, value = item.partition("=")
+        if not sep:
+            print(f"--param expects KEY=VALUE (got {item!r})",
+                  file=sys.stderr)
+            return 2
+        params[key] = _coerce_param(key, value)
+    if params:
+        spec["params"] = params
+    client = PlacementClient(args.url)
+    try:
+        job = client.submit(spec)
+    except ServiceError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    state = job.get("state", "?")
+    if job.get("cached"):
+        state += " (cached)"
+    print(f"job   : {job['job_hash']}")
+    print(f"state : {state}")
+    if args.watch:
+        return _watch_job(client, job["job_hash"])
+    hpwl = ((job.get("metrics") or {}).get("hpwl") or {}).get("final")
+    if hpwl is not None:
+        print(f"HPWL  : {hpwl:,.0f}")
+    return 0
+
+
+def _watch_job(client, job_hash: str, offset: int = 0) -> int:
+    from repro.serve import ServiceError
+
+    try:
+        for event in client.iter_events(job_hash, offset=offset):
+            kind = event.get("_event", event.get("type", "event"))
+            if kind == "iteration":
+                print(f"  iter {event.get('iteration'):>5}  "
+                      f"hpwl {event.get('hpwl'):,.0f}  "
+                      f"overflow {event.get('overflow'):.4f}")
+            elif kind == "end":
+                state = event.get("state", "?")
+                print(f"end: {state}")
+                return 0 if state == "complete" else 1
+            else:
+                detail = {k: v for k, v in event.items()
+                          if k not in ("type", "t", "dt", "_event",
+                                       "_offset")}
+                print(f"{kind}: "
+                      f"{json.dumps(detail, sort_keys=True, default=str)}")
+    except ServiceError as exc:
+        print(f"watch failed: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    from repro.serve import PlacementClient
+
+    return _watch_job(PlacementClient(args.url), args.run,
+                      offset=args.offset)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -671,12 +786,64 @@ def build_parser() -> argparse.ArgumentParser:
                       help="run hash to inspect (omit to list all)")
     runs.add_argument("--store", default="runs",
                       help="run store root directory")
-    runs.add_argument("--json",
-                      help="write the listing/record here")
+    runs.add_argument("--json", nargs="?", const="-", metavar="FILE",
+                      help="emit the listing/record as JSON "
+                           "(to FILE, or stdout when bare)")
     runs.add_argument("--stats", action="store_true",
                       help="aggregate observability metrics across the "
                            "store and print Prometheus text")
     runs.set_defaults(func=_cmd_runs)
+
+    serve = sub.add_parser(
+        "serve", help="run the placement service (HTTP job API)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8734,
+                       help="TCP port (0 picks an ephemeral port)")
+    serve.add_argument("--store", default="runs",
+                       help="run store root directory")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="bypass the content-addressed result cache")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="concurrent in-process placements")
+    serve.add_argument("--queue-limit", type=int, default=16,
+                       help="max queued (not yet running) jobs before "
+                            "submissions get 429")
+    serve.add_argument("--retry-after", type=float, default=2.0,
+                       help="Retry-After hint (seconds) on 429")
+    serve.add_argument("--retries", type=int, default=1,
+                       help="retry count for failed jobs")
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="per-job wall-clock budget in seconds")
+    serve.add_argument("--checkpoint-every", type=int, default=25,
+                       help="GP iterations between on-disk checkpoints")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request to stderr")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a job to a running placement service")
+    submit.add_argument("design", help=".aux file or suite design name")
+    submit.add_argument("--url", default="http://127.0.0.1:8734",
+                        help="service base URL")
+    submit.add_argument("--scale", type=int, default=400,
+                        help="cell-count reduction for suite designs")
+    submit.add_argument("--param", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="PlacementParams override (repeatable)")
+    submit.add_argument("--stages", default="gp,lg,dp",
+                        help="comma-separated stage selection")
+    submit.add_argument("--watch", action="store_true",
+                        help="stream the job's events until it finishes")
+    submit.set_defaults(func=_cmd_submit)
+
+    watch = sub.add_parser(
+        "watch", help="stream a job's events from a running service")
+    watch.add_argument("run", help="job hash (or unique prefix)")
+    watch.add_argument("--url", default="http://127.0.0.1:8734",
+                       help="service base URL")
+    watch.add_argument("--offset", type=int, default=0,
+                       help="event-log byte offset to start from")
+    watch.set_defaults(func=_cmd_watch)
     return parser
 
 

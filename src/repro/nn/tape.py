@@ -42,6 +42,7 @@ caller can recapture.
 from __future__ import annotations
 
 import functools
+import threading
 from typing import Any, Callable, Optional
 
 import numpy as np
@@ -169,6 +170,11 @@ class TapeRecorder:
         self._watched: dict[str, int] = {}
         self._root: Optional[Tensor] = None
         self.failure: Optional[str] = None
+        #: the capture is confined to the thread that started it: the
+        #: placement service runs several GP loops in one process, and
+        #: ops from a *concurrent* eager/replay thread must not leak
+        #: into this thread's tape
+        self.thread_id = threading.get_ident()
 
     # ------------------------------------------------------------------
     def _slot(self, t: Tensor) -> int:
@@ -185,6 +191,8 @@ class TapeRecorder:
 
     def record_apply(self, node, inputs, kwargs, output, requires) -> None:
         """Called by ``Function.apply`` for every op during capture."""
+        if threading.get_ident() != self.thread_id:
+            return  # another thread's op; not part of this capture
         if not getattr(type(node), "capture_safe", False):
             self.fail(f"{type(node).__name__} is not capture-safe")
         specs = tuple(
@@ -197,6 +205,8 @@ class TapeRecorder:
 
     def record_root(self, t: Tensor, grad) -> None:
         """Called by ``Tensor.backward`` during capture."""
+        if threading.get_ident() != self.thread_id:
+            return  # another thread's backward; not this capture's root
         if self._root is not None:
             self.fail("multiple backward() calls during capture")
             return
@@ -268,6 +278,14 @@ class TapeRecorder:
 
 #: the recorder consulted by ``Function.apply`` (None outside capture)
 _RECORDER: TapeRecorder | None = None
+#: serializes captures across threads: the recorder registration is a
+#: process-wide single slot (one cheap global read on the eager hot
+#: path), so two service threads reaching their first closure at the
+#: same time take turns; a capture is one closure evaluation, so the
+#: critical section is short.  Recording itself is additionally
+#: thread-confined (see :class:`TapeRecorder`), so ops another thread
+#: runs *while* a capture is in progress are never mis-taped.
+_CAPTURE_LOCK = threading.Lock()
 
 
 def active_recorder() -> TapeRecorder | None:
@@ -283,16 +301,23 @@ def capture(fn: Callable[[], Any]) -> tuple[Any, Optional[CapturedTape]]:
     ``tape`` is ``None`` when the recorded graph cannot be replayed
     (an op is not capture-safe, no backward ran, ...) — the eager
     result is valid either way, so capture never changes semantics.
+
+    Thread-safe: concurrent captures from different threads serialize
+    on a lock; a nested capture on the *same* thread is a programming
+    error and raises :class:`CaptureError` (the lock is not reentrant,
+    so the explicit check must come first).
     """
     global _RECORDER
-    if _RECORDER is not None:
+    if (_RECORDER is not None
+            and _RECORDER.thread_id == threading.get_ident()):
         raise CaptureError("capture() calls cannot nest")
-    recorder = TapeRecorder()
-    _RECORDER = recorder
-    _tensor._capture_root_hook = recorder.record_root
-    try:
-        result = fn()
-    finally:
-        _RECORDER = None
-        _tensor._capture_root_hook = None
+    with _CAPTURE_LOCK:
+        recorder = TapeRecorder()
+        _RECORDER = recorder
+        _tensor._capture_root_hook = recorder.record_root
+        try:
+            result = fn()
+        finally:
+            _RECORDER = None
+            _tensor._capture_root_hook = None
     return result, recorder.finalize()

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import bisect
 import json
+import threading
 from typing import Optional
 
 #: default histogram buckets, tuned for seconds-scale timings
@@ -33,23 +34,31 @@ RATIO_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0)
 
 
 class Counter:
-    """Monotonically increasing value."""
+    """Monotonically increasing value.
+
+    Mutations take a per-metric lock: the HTTP service increments
+    counters from many handler threads, and ``value += amount`` is a
+    read-modify-write that loses increments under that interleaving.
+    """
 
     kind = "counter"
 
     def __init__(self):
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counter increment must be >= 0: {amount}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def state(self) -> dict:
         return {"value": self.value}
 
     def combine(self, state: dict) -> None:
-        self.value += float(state["value"])
+        with self._lock:
+            self.value += float(state["value"])
 
 
 class Gauge:
@@ -59,12 +68,14 @@ class Gauge:
 
     def __init__(self):
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def state(self) -> dict:
         return {"value": self.value}
@@ -90,12 +101,14 @@ class Histogram:
         self.counts = [0] * (len(self.buckets) + 1)
         self.sum = 0.0
         self.count = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.counts[bisect.bisect_left(self.buckets, value)] += 1
-        self.sum += value
-        self.count += 1
+        with self._lock:
+            self.counts[bisect.bisect_left(self.buckets, value)] += 1
+            self.sum += value
+            self.count += 1
 
     def cumulative(self) -> list:
         """Cumulative counts per bucket (``+Inf`` last == ``count``)."""
@@ -107,8 +120,10 @@ class Histogram:
         return out
 
     def state(self) -> dict:
-        return {"buckets": list(self.buckets), "counts": list(self.counts),
-                "sum": self.sum, "count": self.count}
+        with self._lock:
+            return {"buckets": list(self.buckets),
+                    "counts": list(self.counts),
+                    "sum": self.sum, "count": self.count}
 
     def combine(self, state: dict) -> None:
         if tuple(float(b) for b in state["buckets"]) != self.buckets:
@@ -116,10 +131,11 @@ class Histogram:
                 f"cannot merge histograms with different buckets: "
                 f"{state['buckets']} vs {list(self.buckets)}"
             )
-        for i, count in enumerate(state["counts"]):
-            self.counts[i] += int(count)
-        self.sum += float(state["sum"])
-        self.count += int(state["count"])
+        with self._lock:
+            for i, count in enumerate(state["counts"]):
+                self.counts[i] += int(count)
+            self.sum += float(state["sum"])
+            self.count += int(state["count"])
 
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
@@ -161,28 +177,33 @@ class MetricsRegistry:
         self._metrics: dict = {}
         self._kinds: dict = {}   # name -> kind (a name has one type)
         self._help: dict = {}    # name -> help text
+        # structural lock: get-or-create and export iterate the metric
+        # dict, which HTTP handler threads grow concurrently with
+        # dispatch-thread merges and /metrics scrapes
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     def _get(self, name: str, kind: str, labels: dict,
              help: str = "", buckets: Optional[tuple] = None):
-        known = self._kinds.get(name)
-        if known is not None and known != kind:
-            raise ValueError(
-                f"metric {name!r} already registered as {known}, "
-                f"not {kind}"
-            )
-        key = (name, _label_key(labels))
-        metric = self._metrics.get(key)
-        if metric is None:
-            if kind == "histogram":
-                metric = Histogram(buckets or DEFAULT_BUCKETS)
-            else:
-                metric = _KINDS[kind]()
-            self._metrics[key] = metric
-            self._kinds[name] = kind
-            if help and name not in self._help:
-                self._help[name] = help
-        return metric
+        with self._lock:
+            known = self._kinds.get(name)
+            if known is not None and known != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {known}, "
+                    f"not {kind}"
+                )
+            key = (name, _label_key(labels))
+            metric = self._metrics.get(key)
+            if metric is None:
+                if kind == "histogram":
+                    metric = Histogram(buckets or DEFAULT_BUCKETS)
+                else:
+                    metric = _KINDS[kind]()
+                self._metrics[key] = metric
+                self._kinds[name] = kind
+                if help and name not in self._help:
+                    self._help[name] = help
+            return metric
 
     def counter(self, name: str, help: str = "", **labels) -> Counter:
         return self._get(name, "counter", labels, help=help)
@@ -216,7 +237,9 @@ class MetricsRegistry:
     def as_dict(self) -> dict:
         """JSON-safe dump; the input format of :meth:`merge`."""
         metrics = []
-        for (name, label_key), metric in sorted(self._metrics.items()):
+        with self._lock:
+            items = sorted(self._metrics.items())
+        for (name, label_key), metric in items:
             metrics.append({
                 "name": name,
                 "kind": metric.kind,
@@ -248,7 +271,9 @@ class MetricsRegistry:
     def to_prometheus(self) -> str:
         """Prometheus text exposition (version 0.0.4) of every metric."""
         by_name: dict = {}
-        for (name, label_key), metric in self._metrics.items():
+        with self._lock:
+            items = list(self._metrics.items())
+        for (name, label_key), metric in items:
             by_name.setdefault(name, []).append((label_key, metric))
         lines = []
         for name in sorted(by_name):

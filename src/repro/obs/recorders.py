@@ -28,6 +28,14 @@ RUNS_TOTAL = "repro_runs_total"
 RETRIES = "repro_retries_total"
 WORKER_DEATHS = "repro_worker_deaths_total"
 CHECKPOINTS = "repro_checkpoints_total"
+# -- placement service (repro.serve) series ---------------------------
+HTTP_REQUESTS = "repro_http_requests_total"
+HTTP_REQUEST_SECONDS = "repro_http_request_seconds"
+SERVE_QUEUE_DEPTH = "repro_serve_queue_depth"
+SERVE_INFLIGHT = "repro_serve_inflight_jobs"
+SERVE_REJECTED = "repro_serve_rejected_total"
+SERVE_CANCELLED = "repro_serve_cancelled_total"
+ORPHANS_RECOVERED = "repro_orphans_recovered_total"
 
 
 class IterationRecorder:

@@ -27,6 +27,7 @@ from repro.runner.events import (
     NullEventLog,
     count_events,
     read_events,
+    tail_events,
 )
 from repro.runner.execute import JobOutcome, JobTimeout, execute_job
 from repro.runner.job import (
@@ -35,6 +36,7 @@ from repro.runner.job import (
     DesignRef,
     JobSpec,
     canonical_json,
+    job_from_dict,
 )
 from repro.runner.scheduler import Scheduler, expand_sweep
 from repro.runner.store import (
@@ -61,6 +63,7 @@ __all__ = [
     "NullEventLog",
     "count_events",
     "read_events",
+    "tail_events",
     "JobOutcome",
     "JobTimeout",
     "execute_job",
@@ -69,6 +72,7 @@ __all__ = [
     "DesignRef",
     "JobSpec",
     "canonical_json",
+    "job_from_dict",
     "Scheduler",
     "expand_sweep",
     "LEASE_TIMEOUT",

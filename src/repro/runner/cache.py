@@ -15,14 +15,29 @@ artifacts every run persists anyway.  The cache layer adds the policy:
 Because the key is a *content* hash (netlist fingerprint + effective
 params + code version), upgrading the toolkit or editing the design
 naturally forks new cache entries instead of returning stale results.
+
+The counters are mutated under a lock: the cache was written for one
+serial driver, but the HTTP service reads and writes it from handler
+threads concurrently with the dispatch thread, and ``hits += 1`` is a
+read-modify-write that loses increments under that interleaving.
+Reads of the plain integer attributes stay lock-free (they are single
+attribute loads and only feed reporting).
 """
 
 from __future__ import annotations
 
+import os
+import shutil
+import threading
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.runner.store import STATUS_COMPLETE, RunRecord, RunStore
+from repro.runner.store import (
+    STATUS_COMPLETE,
+    RunRecord,
+    RunStore,
+    _read_json,
+)
 
 
 @dataclass
@@ -35,11 +50,30 @@ class CacheStats:
     #: hits on runs whose metrics persisted but whose Bookshelf artifact
     #: write failed (``artifact_error`` in status) — served, but flagged
     degraded_hits: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
+
+    def record_hit(self, degraded: bool = False) -> None:
+        with self._lock:
+            self.hits += 1
+            if degraded:
+                self.degraded_hits += 1
+
+    def record_miss(self) -> None:
+        with self._lock:
+            self.misses += 1
+
+    def record_invalidation(self, miss: bool = False) -> None:
+        with self._lock:
+            self.invalidations += 1
+            if miss:
+                self.misses += 1
 
     def as_dict(self) -> dict:
-        return {"hits": self.hits, "misses": self.misses,
-                "invalidations": self.invalidations,
-                "degraded_hits": self.degraded_hits}
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "invalidations": self.invalidations,
+                    "degraded_hits": self.degraded_hits}
 
 
 class ResultCache:
@@ -50,16 +84,34 @@ class ResultCache:
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
-    def lookup(self, job_hash: str) -> Optional[RunRecord]:
-        """A completed, intact run for ``job_hash`` — or None (miss)."""
-        import os
+    def peek(self, job_hash: str) -> Optional[RunRecord]:
+        """A completed, intact run for ``job_hash`` — without touching
+        the hit/miss counters.
 
+        The service's submit path uses this to answer "is this job
+        already done?" before deciding whether to queue it; counting
+        that probe as a miss would double-count against the miss the
+        executor records when the queued job actually runs.
+        """
         directory = self.store.run_dir(job_hash)
         if not os.path.isdir(directory):
-            self.stats.misses += 1
             return None
-        from repro.runner.store import _read_json
+        spec = _read_json(os.path.join(directory, "spec.json"))
+        status = _read_json(os.path.join(directory, "status.json"))
+        metrics = _read_json(os.path.join(directory, "metrics.json"))
+        if (status or {}).get("status") != STATUS_COMPLETE:
+            return None
+        if metrics is None or (spec or {}).get("job_hash") != job_hash:
+            return None
+        return RunRecord(job_hash=job_hash, directory=directory,
+                         spec=spec, status=status, metrics=metrics)
 
+    def lookup(self, job_hash: str) -> Optional[RunRecord]:
+        """A completed, intact run for ``job_hash`` — or None (miss)."""
+        directory = self.store.run_dir(job_hash)
+        if not os.path.isdir(directory):
+            self.stats.record_miss()
+            return None
         spec = _read_json(os.path.join(directory, "spec.json"))
         status = _read_json(os.path.join(directory, "status.json"))
         metrics = _read_json(os.path.join(directory, "metrics.json"))
@@ -67,31 +119,24 @@ class ResultCache:
         if state != STATUS_COMPLETE:
             # interrupted or failed run: not a hit, but not corrupt
             # either — the executor may resume its checkpoint
-            self.stats.misses += 1
+            self.stats.record_miss()
             return None
         stored_hash = (spec or {}).get("job_hash")
         if metrics is None or stored_hash != job_hash:
             # claims completion but is unreadable or belongs to a
             # different job (hash-prefix collision / manual tampering)
-            self.stats.invalidations += 1
-            self.stats.misses += 1
+            self.stats.record_invalidation(miss=True)
             return None
-        self.stats.hits += 1
-        if (status or {}).get("artifact_error"):
-            # metrics are intact so the hit is served, but the caller
-            # can see the run has no Bookshelf artifact
-            self.stats.degraded_hits += 1
+        self.stats.record_hit(
+            degraded=bool((status or {}).get("artifact_error")))
         return RunRecord(job_hash=job_hash, directory=directory,
                          spec=spec, status=status, metrics=metrics)
 
     def invalidate(self, job_hash: str) -> bool:
         """Explicitly evict one entry (delete the run directory)."""
-        import os
-        import shutil
-
         directory = self.store.run_dir(job_hash)
         if not os.path.isdir(directory):
             return False
         shutil.rmtree(directory)
-        self.stats.invalidations += 1
+        self.stats.record_invalidation()
         return True

@@ -115,25 +115,68 @@ class NullEventLog:
         pass
 
 
+def tail_events(path: str, offset: int = 0,
+                offsets: bool = False) -> tuple:
+    """Incremental event-log cursor: ``(events, new_offset)``.
+
+    Reads every *complete* line written at or after byte ``offset`` and
+    returns the parsed events together with the byte offset just past
+    the last newline consumed — feed ``new_offset`` back in to read
+    only what was appended since.  This is what the SSE streamer and
+    ``repro watch`` poll with, so tailing a live run costs one seek +
+    one short read per poll instead of re-parsing the whole file.
+
+    With ``offsets=True`` the events come back as ``(record,
+    offset_after_record)`` pairs — each pair's offset is a valid resume
+    cursor pointing just past *that* record, which is what the SSE
+    stream publishes as per-event ids (resuming from a mid-batch id
+    must not skip the rest of its batch).
+
+    Torn tails are tolerated two ways: a final line with no newline yet
+    (a writer mid-``emit``) is left unconsumed — the cursor does not
+    advance past it, so the completed line is read whole on the next
+    poll — and a newline-terminated line that does not parse (a killed
+    writer whose partial line was later appended over) is skipped but
+    consumed.  A missing file reads as ``([], offset)``.
+    """
+    offset = max(int(offset), 0)
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            chunk = handle.read()
+    except OSError:
+        return [], offset
+    events = []
+    consumed = 0
+    while True:
+        newline = chunk.find(b"\n", consumed)
+        if newline < 0:
+            break  # incomplete tail: leave it for the next poll
+        line = chunk[consumed:newline].strip()
+        consumed = newline + 1
+        if not line:
+            continue
+        try:
+            record = json.loads(line.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            continue  # torn line from a killed writer
+        events.append((record, offset + consumed) if offsets
+                      else record)
+    return events, offset + consumed
+
+
 def read_events(path: str,
                 type: Optional[str] = None) -> Iterator[dict]:
     """Yield events from a JSONL file, optionally filtered by type.
 
-    Tolerates a torn final line (the process died mid-write).
+    Tolerates a torn final line (the process died mid-write).  One-shot
+    full read over the :func:`tail_events` cursor; pollers tailing a
+    live log should use the cursor directly.
     """
-    if not os.path.exists(path):
-        return
-    with open(path) as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                continue  # torn tail from a killed writer
-            if type is None or record.get("type") == type:
-                yield record
+    events, _ = tail_events(path, 0)
+    for record in events:
+        if type is None or record.get("type") == type:
+            yield record
 
 
 def count_events(path: str) -> Counter:

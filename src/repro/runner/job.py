@@ -201,3 +201,32 @@ class JobSpec:
     def with_param_overrides(self, **kwargs) -> "JobSpec":
         """A copy with some placement parameters replaced."""
         return replace(self, params=self.params.with_overrides(**kwargs))
+
+
+def job_from_dict(data, default_scale: int = 400) -> JobSpec:
+    """Lenient job parsing for ``batch`` spec files and API bodies.
+
+    Accepts a bare design string, or a dict with ``design`` (string or
+    :class:`DesignRef` dict), optional ``scale``, partial ``params``
+    and ``stages``.  The strict round-trip format
+    (:meth:`JobSpec.from_dict`) stays reserved for artifacts the
+    toolkit wrote itself.
+    """
+    if isinstance(data, str):
+        data = {"design": data}
+    if not isinstance(data, dict):
+        raise ValueError(f"job entry must be a string or object: {data!r}")
+    design = data.get("design")
+    if design is None:
+        raise ValueError(f"job entry missing 'design': {data!r}")
+    if isinstance(design, str):
+        design = DesignRef.parse(
+            design, scale=int(data.get("scale", default_scale))
+        )
+    else:
+        design = DesignRef.from_dict(design)
+    params = data.get("params", {})
+    if not isinstance(params, PlacementParams):
+        params = PlacementParams.from_dict(dict(params))
+    return JobSpec(design=design, params=params,
+                   stages=tuple(data.get("stages", ("gp", "lg", "dp"))))

@@ -39,6 +39,7 @@ RL-guided placement and framework evaluations.
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 from collections import deque
 from dataclasses import fields
@@ -121,8 +122,11 @@ class Scheduler:
         # deque: run() drains from the left, and a sweep of thousands
         # of jobs must not pay list.pop(0)'s O(n) shift per job
         self._queue: deque = deque()
-        #: design-ref key -> loaded PlacementDB (warm netlist reuse)
+        #: design-ref key -> loaded PlacementDB (warm netlist reuse);
+        #: guarded by a lock because the async service calls
+        #: :meth:`run_one` from several dispatch threads at once
         self._designs: dict = {}
+        self._design_lock = threading.Lock()
         self._spawned = 0  # worker labels across the scheduler lifetime
 
     # ------------------------------------------------------------------
@@ -143,9 +147,10 @@ class Scheduler:
     def _load_design(self, spec: JobSpec):
         ref = spec.design
         key = (ref.source, ref.name, ref.scale)
-        if key not in self._designs:
-            self._designs[key] = ref.load()
-        return self._designs[key]
+        with self._design_lock:
+            if key not in self._designs:
+                self._designs[key] = ref.load()
+            return self._designs[key]
 
     def run(self) -> list:
         """Drain the queue; one outcome per job, in submission order."""
@@ -159,19 +164,45 @@ class Scheduler:
             outcomes = []
             while self._queue:
                 spec = self._queue.popleft()
-                outcomes.append(self._run_one(spec))
+                outcomes.append(self.run_one(spec))
             return outcomes
         return self._run_pool()
 
-    # -- serial path ---------------------------------------------------
-    def _run_one(self, spec: JobSpec) -> JobOutcome:
-        try:
-            db = self._load_design(spec)
-        except Exception:  # noqa: BLE001 — isolate bad designs
-            # let execute_job re-attempt the load and persist the
-            # failure in a (fallback-keyed) run directory, so the bad
-            # design is visible to `runs` instead of vanishing
-            db = None
+    # -- serial / incremental path -------------------------------------
+    _WARM = object()  # sentinel: load via the warm design cache
+
+    def run_one(self, spec: JobSpec,
+                db=_WARM,
+                iteration_hook: Optional[Callable] = None,
+                should_retry: Optional[Callable] = None,
+                resume: bool = False,
+                worker: Optional[str] = None) -> JobOutcome:
+        """Execute one job in-process with this scheduler's policy.
+
+        The incremental sibling of :meth:`run`: no queue involved, so a
+        long-lived service (``repro.serve``) can feed jobs one at a
+        time from dispatch threads while keeping the retry/backoff/
+        timeout behaviour identical to a batch drain.
+
+        ``db`` defaults to the warm design cache (serial semantics —
+        safe because queued jobs run one at a time); callers running
+        jobs *concurrently* must pass their own database (or ``None``
+        to load fresh), because concurrent placements may not share a
+        mutable :class:`PlacementDB`.  ``iteration_hook`` is forwarded
+        to ``execute_job`` (cooperative cancellation hangs off it);
+        ``should_retry(outcome)`` can veto a retry that policy alone
+        would allow — a cancelled job must not come back from the dead.
+        ``resume=True`` continues an on-disk checkpoint on the *first*
+        attempt (retries always resume, as in :meth:`run`).
+        """
+        if db is Scheduler._WARM:
+            try:
+                db = self._load_design(spec)
+            except Exception:  # noqa: BLE001 — isolate bad designs
+                # let execute_job re-attempt the load and persist the
+                # failure in a (fallback-keyed) run directory, so the
+                # bad design is visible to `runs` instead of vanishing
+                db = None
 
         attempt = 0
         while True:
@@ -180,9 +211,11 @@ class Scheduler:
                 spec, self.store, cache=self.cache, db=db,
                 checkpoint_every=self.checkpoint_every,
                 timeout=self.timeout,
-                resume=attempt > 1,  # retries continue the checkpoint
-                profile=self.profile,
+                resume=resume or attempt > 1,  # retries continue the
+                profile=self.profile,          # checkpoint
                 attempt=attempt,
+                worker=worker,
+                iteration_hook=iteration_hook,
                 lease_timeout=self.lease_timeout,
                 registry=self.registry,
             )
@@ -192,6 +225,8 @@ class Scheduler:
                 # way); the checkpoint stays for an explicit resume
                 return outcome
             if attempt > self.max_retries:
+                return outcome
+            if should_retry is not None and not should_retry(outcome):
                 return outcome
             self._retry_backoff(outcome, attempt)
 
@@ -267,11 +302,10 @@ class Scheduler:
             # child-side cache stats die with the child; fold the
             # observable part into the dispatcher's counters
             if outcome.cached:
-                self.cache.stats.hits += 1
-                if outcome.artifact_error:
-                    self.cache.stats.degraded_hits += 1
+                self.cache.stats.record_hit(
+                    degraded=bool(outcome.artifact_error))
             else:
-                self.cache.stats.misses += 1
+                self.cache.stats.record_miss()
         return outcome
 
     def _merge_obs(self, obs: Optional[dict]) -> None:

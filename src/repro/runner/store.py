@@ -40,6 +40,7 @@ from __future__ import annotations
 import json
 import os
 import socket
+import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Optional
@@ -266,6 +267,26 @@ class RunRecord:
         return (self.status or {}).get("artifact_error")
 
     @property
+    def created(self) -> float:
+        """Run creation time: status stamp, else directory mtime.
+
+        The fallback keeps runs whose ``status.json`` was never written
+        (a worker died between mkdir and the first status write) in
+        roughly the right place in a time-ordered listing instead of
+        pinning them to the epoch.
+        """
+        stamp = (self.status or {}).get("created")
+        if stamp is not None:
+            try:
+                return float(stamp)
+            except (TypeError, ValueError):
+                pass
+        try:
+            return os.path.getmtime(self.directory)
+        except OSError:
+            return 0.0
+
+    @property
     def events_path(self) -> str:
         return os.path.join(self.directory, "events.jsonl")
 
@@ -285,6 +306,37 @@ class RunRecord:
         if not self.spec:
             raise ValueError(f"run {self.short_hash} has no readable spec")
         return JobSpec.from_dict(self.spec["spec"])
+
+    def summary(self) -> dict:
+        """Machine-readable one-run summary.
+
+        The single source of the listing schema: ``GET /v1/jobs``
+        entries and ``repro runs --json`` both serialize through this,
+        so a script written against one reads the other unchanged.
+        """
+        status = self.status or {}
+        spec = (self.spec or {}).get("spec", {})
+        design = spec.get("design", {})
+        hpwl = iterations = None
+        if self.metrics:
+            hpwl = (self.metrics.get("hpwl") or {}).get("final")
+            iterations = self.metrics.get("iterations")
+        return {
+            "job_hash": self.job_hash,
+            "short_hash": self.short_hash,
+            "state": self.state,
+            "design": design.get("name"),
+            "stages": spec.get("stages"),
+            "created": status.get("created"),
+            "updated": status.get("updated"),
+            "attempts": status.get("attempts"),
+            "error": status.get("error"),
+            "artifact_error": status.get("artifact_error"),
+            "orphaned": bool(status.get("orphaned", False)),
+            "hpwl": hpwl,
+            "iterations": iterations,
+            "directory": self.directory,
+        }
 
 
 class RunHandle:
@@ -355,6 +407,11 @@ class RunStore:
     def __init__(self, root: str):
         self.root = str(root)
         self.runs_root = os.path.join(self.root, "runs")
+        # serializes directory scans and orphan recovery: the HTTP
+        # service lists the store from handler threads while the
+        # dispatch thread creates run directories, and recovery must
+        # not race a concurrent recovery over the same orphans
+        self._scan_lock = threading.RLock()
         os.makedirs(self.runs_root, exist_ok=True)
         marker = os.path.join(self.root, "store.json")
         if not os.path.exists(marker):
@@ -403,6 +460,11 @@ class RunStore:
         pool dispatcher passes the pid of a worker it just reaped).
         Returns the recovered :class:`RunRecord` list.
         """
+        with self._scan_lock:
+            return self._recover_orphans(lease_timeout, pids)
+
+    def _recover_orphans(self, lease_timeout: float,
+                         pids: Optional[set]) -> list:
         recovered = []
         for record in self.list_runs():
             if record.state != STATUS_RUNNING:
@@ -452,24 +514,33 @@ class RunStore:
         return matches[0]
 
     def list_runs(self) -> list:
-        """All runs, oldest first (by status creation time)."""
-        records = []
-        try:
-            entries = sorted(os.listdir(self.runs_root))
-        except OSError:
+        """All runs, oldest first (by run creation time).
+
+        Ordering is by the status creation stamp — falling back to the
+        directory mtime for status-less crash victims — with the short
+        hash as tiebreak, so the listing is deterministic and
+        time-ordered rather than following ``listdir``'s hash order.
+        """
+        with self._scan_lock:
+            records = []
+            try:
+                entries = sorted(os.listdir(self.runs_root))
+            except OSError:
+                return records
+            for entry in entries:
+                directory = os.path.join(self.runs_root, entry)
+                if not os.path.isdir(directory):
+                    continue
+                spec = _read_json(os.path.join(directory, "spec.json"))
+                status = _read_json(
+                    os.path.join(directory, "status.json"))
+                metrics = _read_json(
+                    os.path.join(directory, "metrics.json"))
+                job_hash = (spec or {}).get("job_hash") \
+                    or (status or {}).get("job_hash") or entry
+                records.append(RunRecord(
+                    job_hash=job_hash, directory=directory,
+                    spec=spec, status=status, metrics=metrics,
+                ))
+            records.sort(key=lambda r: (r.created, r.short_hash))
             return records
-        for entry in entries:
-            directory = os.path.join(self.runs_root, entry)
-            if not os.path.isdir(directory):
-                continue
-            spec = _read_json(os.path.join(directory, "spec.json"))
-            status = _read_json(os.path.join(directory, "status.json"))
-            metrics = _read_json(os.path.join(directory, "metrics.json"))
-            job_hash = (spec or {}).get("job_hash") \
-                or (status or {}).get("job_hash") or entry
-            records.append(RunRecord(
-                job_hash=job_hash, directory=directory,
-                spec=spec, status=status, metrics=metrics,
-            ))
-        records.sort(key=lambda r: (r.status or {}).get("created", 0.0))
-        return records

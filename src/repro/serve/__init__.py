@@ -1,0 +1,36 @@
+"""Placement-as-a-service: HTTP job API over the batch runner.
+
+``repro serve`` exposes the :mod:`repro.runner` machinery — content-
+hashed job specs, the run store, the result cache, checkpoint/resume —
+as a long-lived daemon: jobs arrive over HTTP, run on background
+dispatch threads with bounded-queue backpressure, and stream their
+telemetry live over Server-Sent Events.  A placement served over HTTP
+lands in the same ``runs/<hash16>/`` layout, with the same metrics,
+as the same spec drained through ``repro batch``.
+"""
+
+from repro.serve.api import PlacementServer
+from repro.serve.client import (
+    PlacementClient,
+    ServiceError,
+    ServiceUnavailable,
+)
+from repro.serve.queue import (
+    TERMINAL_STATES,
+    AsyncScheduler,
+    JobCancelled,
+    JobState,
+    QueueFull,
+)
+
+__all__ = [
+    "AsyncScheduler",
+    "JobCancelled",
+    "JobState",
+    "PlacementClient",
+    "PlacementServer",
+    "QueueFull",
+    "ServiceError",
+    "ServiceUnavailable",
+    "TERMINAL_STATES",
+]

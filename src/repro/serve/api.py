@@ -1,0 +1,485 @@
+"""HTTP API of the placement daemon (stdlib-only).
+
+``repro serve`` turns the batch runner into an always-on placement
+engine: a :class:`PlacementServer` wraps a ``ThreadingHTTPServer``
+(one thread per connection, daemonic) over an
+:class:`~repro.serve.queue.AsyncScheduler` and a shared
+:class:`~repro.runner.store.RunStore`.  Endpoints:
+
+==========================  ==========================================
+``POST /v1/jobs``           submit a job spec (lenient ``batch`` file
+                            format); idempotent on the content hash —
+                            202 queued, 200 deduplicated/cache hit,
+                            429 + ``Retry-After`` over the admission
+                            bound, 400 bad spec
+``GET /v1/jobs``            store listing (+ in-memory queued jobs),
+                            ``?state=`` comma filter
+``GET /v1/jobs/{hash}``     one job: lifecycle state, status.json,
+                            metrics, event counts
+``GET /v1/jobs/{hash}/events``  Server-Sent Events tail of the run's
+                            JSONL event log (``?offset=`` resumes,
+                            ``?follow=0`` dumps-and-closes)
+``DELETE /v1/jobs/{hash}``  cooperative cancel
+``GET /healthz``            liveness + startup orphan recovery count
+``GET /metrics``            Prometheus text from the fleet registry
+==========================  ==========================================
+
+Every request lands in the fleet metrics (`repro_http_requests_total`
+by method/route/code, `repro_http_request_seconds` by route — route
+*patterns*, not raw paths, so label cardinality stays bounded).
+
+The SSE stream rides the :func:`repro.runner.events.tail_events`
+cursor: each poll reads only bytes appended since the previous poll,
+events are framed as ``event:``/``data:`` with the byte offset as the
+SSE ``id`` (a reconnecting client resumes with ``?offset=<last-id>``),
+and the stream closes with ``event: end`` once the job is terminal and
+the log is drained.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import parse_qs, urlsplit
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorders import HTTP_REQUESTS, HTTP_REQUEST_SECONDS
+from repro.runner.events import count_events, tail_events
+from repro.runner.job import job_from_dict
+from repro.runner.store import RunStore
+from repro.serve.queue import (
+    TERMINAL_STATES,
+    AsyncScheduler,
+    JobState,
+    QueueFull,
+)
+
+#: SSE poll cadence while tailing a live event log
+STREAM_POLL_SECONDS = 0.05
+#: SSE keepalive comment cadence while a job is queued/idle
+STREAM_KEEPALIVE_SECONDS = 5.0
+
+_SERVER_NAME = "repro-serve"
+
+
+class _HTTPError(Exception):
+    """Terminate request handling with a JSON error response."""
+
+    def __init__(self, code: int, message: str,
+                 headers: Optional[dict] = None):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.headers = headers or {}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests against the owning :class:`PlacementServer`."""
+
+    server_version = _SERVER_NAME
+    protocol_version = "HTTP/1.1"
+
+    # the default handler logs every request to stderr; the daemon
+    # exposes /metrics instead
+    def log_message(self, format, *args):  # noqa: A002 — stdlib name
+        if self.ctx.verbose:
+            super().log_message(format, *args)
+
+    @property
+    def ctx(self) -> "PlacementServer":
+        return self.server.ctx  # type: ignore[attr-defined]
+
+    # -- plumbing ------------------------------------------------------
+    def _send_json(self, code: int, payload: dict,
+                   headers: Optional[dict] = None) -> None:
+        body = (json.dumps(payload, indent=2, sort_keys=True)
+                + "\n").encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, str(value))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, code: int, text: str,
+                   content_type: str = "text/plain; version=0.0.4") \
+            -> None:
+        body = text.encode()
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise _HTTPError(400, "request body required")
+        raw = self.rfile.read(length)
+        try:
+            data = json.loads(raw.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HTTPError(400, f"invalid JSON body: {exc}")
+        return data
+
+    def _query(self) -> dict:
+        return parse_qs(urlsplit(self.path).query)
+
+    def _route(self, method: str) -> None:
+        """Dispatch one request, recording the HTTP metrics."""
+        started = time.monotonic()
+        route = "(unknown)"
+        code = 500
+        try:
+            route, code = self._dispatch(method)
+        except _HTTPError as exc:
+            code = exc.code
+            self._send_json(exc.code, {"error": exc.message},
+                            headers=exc.headers)
+        except (BrokenPipeError, ConnectionResetError):
+            code = 499  # client went away mid-stream (nginx idiom)
+        except Exception as exc:  # noqa: BLE001 — daemon must survive
+            try:
+                self._send_json(
+                    500, {"error": f"{type(exc).__name__}: {exc}"})
+            except OSError:
+                pass
+        finally:
+            registry = self.ctx.registry
+            registry.counter(
+                HTTP_REQUESTS, help="HTTP requests served",
+                method=method, route=route, code=str(code)).inc()
+            registry.histogram(
+                HTTP_REQUEST_SECONDS,
+                help="HTTP request latency", route=route).observe(
+                max(time.monotonic() - started, 0.0))
+
+    def _dispatch(self, method: str) -> tuple:
+        path = urlsplit(self.path).path.rstrip("/") or "/"
+        parts = [p for p in path.split("/") if p]
+
+        if method == "GET" and path == "/healthz":
+            return "/healthz", self._get_healthz()
+        if method == "GET" and path == "/metrics":
+            return "/metrics", self._get_metrics()
+        if parts[:2] == ["v1", "jobs"]:
+            if len(parts) == 2:
+                if method == "POST":
+                    return "/v1/jobs", self._post_job()
+                if method == "GET":
+                    return "/v1/jobs", self._list_jobs()
+            elif len(parts) == 3:
+                ref = parts[2]
+                if method == "GET":
+                    return "/v1/jobs/{hash}", self._get_job(ref)
+                if method == "DELETE":
+                    return "/v1/jobs/{hash}", self._delete_job(ref)
+            elif len(parts) == 4 and parts[3] == "events" \
+                    and method == "GET":
+                return ("/v1/jobs/{hash}/events",
+                        self._stream_events(parts[2]))
+        raise _HTTPError(404, f"no route for {method} {path}")
+
+    # -- verbs ---------------------------------------------------------
+    def do_GET(self):  # noqa: N802 — stdlib contract
+        self._route("GET")
+
+    def do_POST(self):  # noqa: N802
+        self._route("POST")
+
+    def do_DELETE(self):  # noqa: N802
+        self._route("DELETE")
+
+    # -- endpoints -----------------------------------------------------
+    def _get_healthz(self) -> int:
+        ctx = self.ctx
+        self._send_json(200, {
+            "status": "ok",
+            "uptime_seconds": round(time.time() - ctx.started_at, 3),
+            "recovered_orphans": ctx.recovered_orphans,
+            "queue": {
+                "queued": ctx.scheduler.queued,
+                "running": ctx.scheduler.running,
+                "limit": ctx.scheduler.queue_limit,
+                "workers": ctx.scheduler.workers,
+            },
+        })
+        return 200
+
+    def _get_metrics(self) -> int:
+        self.ctx.scheduler.update_gauges()
+        self._send_text(200, self.ctx.registry.to_prometheus())
+        return 200
+
+    def _post_job(self) -> int:
+        data = self._read_body()
+        try:
+            spec = job_from_dict(data)
+        except (ValueError, TypeError, KeyError) as exc:
+            raise _HTTPError(400, f"invalid job spec: {exc}")
+        try:
+            job = self.ctx.scheduler.submit(spec)
+        except QueueFull as exc:
+            raise _HTTPError(
+                429, str(exc),
+                headers={"Retry-After": f"{exc.retry_after:g}"})
+        except RuntimeError as exc:
+            raise _HTTPError(503, str(exc))
+        except Exception as exc:  # noqa: BLE001 — bad design refs
+            raise _HTTPError(
+                400, f"design load failed: {type(exc).__name__}: {exc}")
+        payload = self.ctx.describe_job(job.job_hash) or job.summary()
+        # 202 while the work is still pending (first submit and racing
+        # duplicates alike — same ticket, same status); anything the
+        # daemon can already answer (cache hit, terminal, running with
+        # a run directory to poll) is a plain 200
+        code = 202 if job.state == "queued" and not job.cached else 200
+        self._send_json(code, payload)
+        return code
+
+    def _list_jobs(self) -> int:
+        states = None
+        raw = self._query().get("state")
+        if raw:
+            states = {s.strip() for chunk in raw
+                      for s in chunk.split(",") if s.strip()}
+        runs = self.ctx.list_jobs(states)
+        self._send_json(200, {"runs": runs, "count": len(runs)})
+        return 200
+
+    def _get_job(self, ref: str) -> int:
+        payload = self.ctx.describe_job(ref)
+        if payload is None:
+            raise _HTTPError(404, f"no job matching {ref!r}")
+        self._send_json(200, payload)
+        return 200
+
+    def _delete_job(self, ref: str) -> int:
+        job = self.ctx.scheduler.job(ref)
+        if job is None:
+            raise _HTTPError(404, f"no active job matching {ref!r}")
+        self.ctx.scheduler.cancel(job.job_hash)
+        payload = self.ctx.describe_job(job.job_hash) or job.summary()
+        self._send_json(200, payload)
+        return 200
+
+    # -- SSE -----------------------------------------------------------
+    def _sse_headers(self) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        # streams have no Content-Length; close delimits the body
+        self.send_header("Connection", "close")
+        self.end_headers()
+
+    def _sse_event(self, name: str, data: dict, offset: int) -> None:
+        frame = (f"event: {name}\n"
+                 f"id: {offset}\n"
+                 f"data: {json.dumps(data, sort_keys=True)}\n\n")
+        self.wfile.write(frame.encode())
+        self.wfile.flush()
+
+    def _stream_events(self, ref: str) -> int:
+        ctx = self.ctx
+        job_hash = ctx.resolve_hash(ref)
+        if job_hash is None:
+            raise _HTTPError(404, f"no job matching {ref!r}")
+        query = self._query()
+        offset = int((query.get("offset") or ["0"])[0])
+        follow = (query.get("follow") or ["1"])[0] not in ("0", "false")
+        events_path = ctx.events_path(job_hash)
+
+        self._sse_headers()
+        last_beat = time.monotonic()
+        while True:
+            events, offset = tail_events(events_path, offset,
+                                         offsets=True)
+            for record, cursor in events:
+                self._sse_event(record.get("type", "event"), record,
+                                cursor)
+                last_beat = time.monotonic()
+            terminal = ctx.job_terminal(job_hash)
+            if terminal or not follow:
+                # drain once more: the terminal status write races the
+                # final event appends
+                events, offset = tail_events(events_path, offset,
+                                             offsets=True)
+                for record, cursor in events:
+                    self._sse_event(record.get("type", "event"),
+                                    record, cursor)
+                self._sse_event(
+                    "end",
+                    {"state": ctx.job_state(job_hash),
+                     "terminal": terminal}, offset)
+                return 200
+            if ctx.stopping.is_set():
+                self._sse_event("end", {"state": "server-shutdown",
+                                        "terminal": False}, offset)
+                return 200
+            if time.monotonic() - last_beat > STREAM_KEEPALIVE_SECONDS:
+                self.wfile.write(b": keepalive\n\n")
+                self.wfile.flush()
+                last_beat = time.monotonic()
+            time.sleep(STREAM_POLL_SECONDS)
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class PlacementServer:
+    """The placement daemon: HTTP front end over an async scheduler.
+
+    Construction binds the socket and recovers orphans; :meth:`start`
+    launches the dispatch threads and the HTTP accept loop (in a
+    background thread, so tests and ``repro serve`` both drive it);
+    :meth:`stop` performs the graceful shutdown sequence.
+    """
+
+    def __init__(self, store: RunStore, scheduler: AsyncScheduler,
+                 host: str = "127.0.0.1", port: int = 8734,
+                 registry: Optional[MetricsRegistry] = None,
+                 verbose: bool = False):
+        self.store = store
+        self.scheduler = scheduler
+        self.registry = registry if registry is not None \
+            else scheduler.registry
+        self.verbose = verbose
+        self.started_at = time.time()
+        self.stopping = threading.Event()
+        #: orphaned `running` runs recovered at startup — a crashed
+        #: daemon's unfinished work, flipped to resumable failures
+        #: before the first request can observe a stuck state
+        self.recovered_orphans = len(store.recover_orphans())
+        from repro.obs.recorders import ORPHANS_RECOVERED
+
+        if self.recovered_orphans:
+            self.registry.counter(
+                ORPHANS_RECOVERED,
+                help="orphaned runs recovered at startup").inc(
+                self.recovered_orphans)
+        self.httpd = _Server((host, port), _Handler)
+        self.httpd.ctx = self  # type: ignore[attr-defined]
+        self._serve_thread: Optional[threading.Thread] = None
+
+    # -- addresses -----------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "PlacementServer":
+        self.scheduler.start()
+        self._serve_thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-serve-http", daemon=True)
+        self._serve_thread.start()
+        return self
+
+    def stop(self, interrupt: bool = True,
+             timeout: Optional[float] = 30.0) -> None:
+        """Graceful shutdown: close the socket, drain the scheduler.
+
+        The order matters: admission stops first (new submits 503),
+        in-flight jobs are interrupted at their next iteration (see
+        :meth:`AsyncScheduler.shutdown`), and only then does the HTTP
+        loop stop — so clients streaming events see the final
+        ``run_failed``/``end`` frames instead of a reset connection.
+        """
+        self.stopping.set()
+        self.scheduler.shutdown(interrupt=interrupt, timeout=timeout)
+        self.httpd.shutdown()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout)
+        self.httpd.server_close()
+
+    # -- job views (store ∪ in-memory) ---------------------------------
+    def resolve_hash(self, ref: str) -> Optional[str]:
+        """A full job hash for ``ref`` (full, short, or unique prefix)."""
+        job = self.scheduler.job(ref)
+        if job is not None:
+            return job.job_hash
+        try:
+            return self.store.load(ref).job_hash
+        except KeyError:
+            return None
+
+    def events_path(self, job_hash: str) -> str:
+        import os
+
+        return os.path.join(self.store.run_dir(job_hash),
+                            "events.jsonl")
+
+    def job_state(self, job_hash: str) -> str:
+        job = self.scheduler.job(job_hash)
+        if job is not None:
+            return job.state
+        try:
+            return self.store.load(job_hash).state
+        except KeyError:
+            return "unknown"
+
+    def job_terminal(self, job_hash: str) -> bool:
+        return self.job_state(job_hash) in TERMINAL_STATES
+
+    def describe_job(self, ref: str) -> Optional[dict]:
+        """Full job view: in-memory lifecycle merged with disk state."""
+        job_hash = self.resolve_hash(ref)
+        if job_hash is None:
+            return None
+        payload: dict = {}
+        try:
+            record = self.store.load(job_hash)
+        except KeyError:
+            record = None
+        if record is not None:
+            payload.update(record.summary())
+            payload["events"] = dict(count_events(record.events_path))
+            payload["metrics"] = record.metrics
+        job = self.scheduler.job(job_hash)
+        if job is not None:
+            memory = job.summary()
+            # the in-memory lifecycle state is fresher than the disk
+            # status (a queued job has no directory at all; a
+            # cancelled one reads `failed` on disk)
+            payload.update(
+                {k: v for k, v in memory.items() if v is not None})
+            if (payload.get("metrics") is None
+                    and job.state in TERMINAL_STATES
+                    and job.outcome is not None):
+                payload["metrics"] = job.outcome.metrics
+        return payload
+
+    def list_jobs(self, states: Optional[set] = None) -> list:
+        """Listing entries for the store plus queued in-memory jobs."""
+        entries = []
+        seen = set()
+        for record in self.store.list_runs():
+            seen.add(record.job_hash)
+            entry = record.summary()
+            job = self.scheduler.job(record.job_hash)
+            if job is not None:
+                entry["state"] = job.state
+                entry["cached"] = job.cached
+            entries.append(entry)
+        for job in self.scheduler.jobs():
+            if job.job_hash in seen:
+                continue
+            entries.append(job.summary())  # queued: no run dir yet
+        if states is not None:
+            entries = [e for e in entries if e.get("state") in states]
+        return entries

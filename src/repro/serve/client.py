@@ -1,0 +1,206 @@
+"""Client for the placement service (urllib-only, no dependencies).
+
+:class:`PlacementClient` speaks the ``repro serve`` HTTP API:
+``submit`` posts a job spec and returns the service's job view,
+``job``/``jobs`` poll state, ``cancel`` requests cooperative
+cancellation, and :meth:`iter_events` consumes the Server-Sent Events
+stream — reconnecting from the last received byte offset (the SSE
+``id``), so a dropped connection never replays or loses events.
+
+Transient failures (connection refused while the daemon restarts,
+``429`` backpressure, ``5xx``) are retried with exponential backoff;
+``429`` honours the server's ``Retry-After`` hint.  Client-side errors
+(``4xx`` other than 429) raise :class:`ServiceError` immediately — a
+bad spec does not get better by retrying.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Iterator, Optional
+
+#: transient statuses worth retrying (alongside connection errors)
+_RETRY_STATUSES = frozenset({429, 502, 503, 504})
+
+
+class ServiceError(RuntimeError):
+    """A definitive (non-retryable) error response from the service."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceUnavailable(ServiceError):
+    """The service stayed unreachable/overloaded through every retry."""
+
+
+class PlacementClient:
+    """Thin, retrying HTTP client for one ``repro serve`` endpoint."""
+
+    def __init__(self, base_url: str, retries: int = 4,
+                 backoff: float = 0.25, timeout: float = 30.0,
+                 sleep=time.sleep):
+        self.base_url = base_url.rstrip("/")
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.timeout = float(timeout)
+        self._sleep = sleep
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None) -> dict:
+        """One JSON round-trip with retry/backoff on transient failures."""
+        url = f"{self.base_url}{path}"
+        data = json.dumps(body).encode() if body is not None else None
+        last_error: Optional[str] = None
+        for attempt in range(self.retries + 1):
+            request = urllib.request.Request(
+                url, data=data, method=method,
+                headers={"Content-Type": "application/json"}
+                if data else {})
+            try:
+                with urllib.request.urlopen(
+                        request, timeout=self.timeout) as response:
+                    return json.loads(response.read().decode())
+            except urllib.error.HTTPError as exc:
+                detail = self._error_detail(exc)
+                if exc.code not in _RETRY_STATUSES:
+                    raise ServiceError(exc.code, detail)
+                last_error = f"HTTP {exc.code}: {detail}"
+                delay = self._retry_delay(exc, attempt)
+            except (urllib.error.URLError, ConnectionError,
+                    TimeoutError) as exc:
+                last_error = str(exc)
+                delay = self.backoff * (2 ** attempt)
+            if attempt < self.retries:
+                self._sleep(delay)
+        raise ServiceUnavailable(
+            503, f"{method} {path} failed after "
+                 f"{self.retries + 1} attempts: {last_error}")
+
+    @staticmethod
+    def _error_detail(exc: urllib.error.HTTPError) -> str:
+        try:
+            payload = json.loads(exc.read().decode())
+            return str(payload.get("error", payload))
+        except Exception:  # noqa: BLE001 — non-JSON error body
+            return exc.reason or "error"
+
+    def _retry_delay(self, exc: urllib.error.HTTPError,
+                     attempt: int) -> float:
+        retry_after = exc.headers.get("Retry-After")
+        if retry_after:
+            try:
+                return max(float(retry_after), 0.0)
+            except ValueError:
+                pass
+        return self.backoff * (2 ** attempt)
+
+    # -- API verbs -----------------------------------------------------
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        """Raw Prometheus exposition from ``/metrics``."""
+        url = f"{self.base_url}/metrics"
+        with urllib.request.urlopen(url, timeout=self.timeout) as resp:
+            return resp.read().decode()
+
+    def submit(self, spec: dict) -> dict:
+        """Submit a job spec (lenient batch-file entry format)."""
+        return self._request("POST", "/v1/jobs", body=spec)
+
+    def job(self, job_hash: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_hash}")
+
+    def jobs(self, states: Optional[list] = None) -> list:
+        path = "/v1/jobs"
+        if states:
+            path += "?state=" + ",".join(states)
+        return self._request("GET", path)["runs"]
+
+    def cancel(self, job_hash: str) -> dict:
+        return self._request("DELETE", f"/v1/jobs/{job_hash}")
+
+    # -- event streaming -----------------------------------------------
+    def iter_events(self, job_hash: str, offset: int = 0,
+                    follow: bool = True,
+                    reconnects: int = 4) -> Iterator[dict]:
+        """Yield the job's events as dicts, tailing until terminal.
+
+        Each yielded record carries the original event fields plus
+        ``_event`` (the SSE event name) and ``_offset`` (the log byte
+        offset after it — the resume cursor).  The final ``end`` frame
+        is yielded too, so callers know why the stream closed.  On a
+        dropped connection the stream reconnects from the last offset;
+        events are therefore delivered exactly once, in order.
+        """
+        attempts = 0
+        while True:
+            url = (f"{self.base_url}/v1/jobs/{job_hash}/events"
+                   f"?offset={offset}&follow={'1' if follow else '0'}")
+            try:
+                with urllib.request.urlopen(
+                        url, timeout=self.timeout) as response:
+                    for record in self._parse_sse(response):
+                        offset = int(record.get("_offset", offset))
+                        attempts = 0  # progress resets the budget
+                        yield record
+                        if record.get("_event") == "end":
+                            return
+                # server closed without an end frame: reconnect
+            except urllib.error.HTTPError as exc:
+                raise ServiceError(exc.code, self._error_detail(exc))
+            except (urllib.error.URLError, ConnectionError,
+                    TimeoutError) as exc:
+                if attempts >= reconnects:
+                    raise ServiceUnavailable(
+                        503, f"event stream for {job_hash} lost: {exc}")
+            attempts += 1
+            if attempts > reconnects:
+                raise ServiceUnavailable(
+                    503, f"event stream for {job_hash} kept closing "
+                         f"without an end frame")
+            self._sleep(self.backoff * (2 ** (attempts - 1)))
+
+    @staticmethod
+    def _parse_sse(response) -> Iterator[dict]:
+        """Parse ``event:``/``id:``/``data:`` frames off a live socket."""
+        event_name = "event"
+        event_id = None
+        data_lines: list = []
+        for raw in response:
+            line = raw.decode().rstrip("\n").rstrip("\r")
+            if not line:  # blank line terminates one frame
+                if data_lines:
+                    try:
+                        record = json.loads("\n".join(data_lines))
+                    except json.JSONDecodeError:
+                        record = {"raw": "\n".join(data_lines)}
+                    if not isinstance(record, dict):
+                        record = {"value": record}
+                    record["_event"] = event_name
+                    if event_id is not None:
+                        record["_offset"] = event_id
+                    yield record
+                event_name = "event"
+                event_id = None
+                data_lines = []
+                continue
+            if line.startswith(":"):
+                continue  # keepalive comment
+            field, _, value = line.partition(":")
+            value = value[1:] if value.startswith(" ") else value
+            if field == "event":
+                event_name = value
+            elif field == "id":
+                try:
+                    event_id = int(value)
+                except ValueError:
+                    event_id = None
+            elif field == "data":
+                data_lines.append(value)

@@ -1,0 +1,438 @@
+"""Asynchronous job scheduling for the placement service.
+
+The batch :class:`~repro.runner.scheduler.Scheduler` is
+drain-everything-and-block: fill a queue, call ``run()``, get every
+outcome back at once.  A long-lived daemon needs the opposite shape —
+jobs arrive one at a time over HTTP, must be admitted or rejected
+*immediately*, and execute in the background while the submitter polls
+or streams events.  :class:`AsyncScheduler` provides that shape by
+wrapping a ``Scheduler`` (whose retry/backoff/timeout policy and
+:func:`~repro.runner.execute.execute_job` path are reused unchanged)
+in a set of dispatch threads fed from an admission queue:
+
+- **incremental submit** — :meth:`submit` hashes the spec (design
+  loads are memoized), answers duplicates from the in-memory job table
+  or the result cache without queueing anything, and otherwise enqueues
+  a :class:`JobState` the dispatch threads drain FIFO.
+- **backpressure** — the admission queue is bounded; a submit over the
+  bound raises :class:`QueueFull`, which the HTTP layer turns into
+  ``429 Too Many Requests`` with a ``Retry-After`` hint.  Bounding
+  *queued* (not running) jobs makes the bound a latency promise: work
+  already running is work the client is polling on.
+- **cooperative cancellation** — :meth:`cancel` flips a per-job event;
+  the GP iteration hook checkpoints the loop at the current iteration
+  and raises, so the run lands on disk as a resumable failure with its
+  lease released.
+- **graceful shutdown** — :meth:`shutdown` stops admission, interrupts
+  in-flight jobs at the next iteration through the same
+  checkpoint-then-raise path, and joins the dispatch threads.  After
+  shutdown every run directory is either terminal or a
+  failed-with-checkpoint resume candidate; nothing is left ``running``
+  or leased.
+
+Concurrency model: jobs execute *in-process* on the dispatch threads
+(numpy releases the GIL in the kernels that dominate a GP iteration).
+Each concurrently-running job gets its own :class:`PlacementDB` copy —
+the warm-design sharing of the serial scheduler is unsafe across
+threads because placement mutates cell positions in place.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import queue as _queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorders import (
+    CACHE_DEGRADED,
+    CACHE_HITS,
+    SERVE_CANCELLED,
+    SERVE_INFLIGHT,
+    SERVE_QUEUE_DEPTH,
+    SERVE_REJECTED,
+)
+from repro.runner.cache import ResultCache
+from repro.runner.checkpoint import PlacerCheckpoint
+from repro.runner.events import EventLog, EventType
+from repro.runner.execute import JobOutcome
+from repro.runner.job import JobSpec
+from repro.runner.scheduler import Scheduler
+from repro.runner.store import (
+    LEASE_TIMEOUT,
+    STATUS_COMPLETE,
+    STATUS_FAILED,
+    RunStore,
+)
+
+#: job lifecycle states; terminal runs additionally exist in the store
+STATE_QUEUED = "queued"
+STATE_RUNNING = "running"
+STATE_COMPLETE = "complete"
+STATE_FAILED = "failed"
+STATE_TIMEOUT = "timeout"
+STATE_CANCELLED = "cancelled"
+
+TERMINAL_STATES = frozenset(
+    (STATE_COMPLETE, STATE_FAILED, STATE_TIMEOUT, STATE_CANCELLED))
+
+
+class QueueFull(RuntimeError):
+    """Admission queue at capacity; retry after ``retry_after`` seconds."""
+
+    def __init__(self, limit: int, retry_after: float):
+        super().__init__(
+            f"admission queue full ({limit} queued job(s)); "
+            f"retry in {retry_after:g}s"
+        )
+        self.limit = limit
+        self.retry_after = retry_after
+
+
+class JobCancelled(Exception):
+    """Raised from the iteration hook to stop a job cooperatively."""
+
+
+@dataclass
+class JobState:
+    """In-memory lifecycle record of one submitted job."""
+
+    job_hash: str
+    spec: JobSpec
+    state: str = STATE_QUEUED
+    submitted: float = field(default_factory=time.time)
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    cached: bool = False
+    outcome: Optional[JobOutcome] = None
+    error: Optional[str] = None
+    cancel_event: threading.Event = field(default_factory=threading.Event,
+                                          repr=False)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def summary(self) -> dict:
+        """The in-memory half of a job's API representation."""
+        return {
+            "job_hash": self.job_hash,
+            "short_hash": self.job_hash[:16],
+            "state": self.state,
+            "design": self.spec.design.name,
+            "stages": list(self.spec.stages),
+            "submitted": self.submitted,
+            "started": self.started,
+            "finished": self.finished,
+            "cached": self.cached,
+            "error": self.error,
+        }
+
+
+class AsyncScheduler:
+    """Background dispatcher feeding jobs through a :class:`Scheduler`.
+
+    ``workers`` is the number of dispatch threads (concurrent
+    in-process placements); ``queue_limit`` bounds *queued* jobs and is
+    the backpressure knob; ``retry_after`` is the hint returned with a
+    :class:`QueueFull` rejection.
+    """
+
+    def __init__(self, store: RunStore,
+                 cache: Optional[ResultCache] = None,
+                 workers: int = 1,
+                 queue_limit: int = 16,
+                 max_retries: int = 1,
+                 backoff: float = 0.5,
+                 timeout: Optional[float] = None,
+                 checkpoint_every: int = 25,
+                 lease_timeout: float = LEASE_TIMEOUT,
+                 retry_after: float = 2.0,
+                 registry: Optional[MetricsRegistry] = None):
+        self.store = store
+        self.cache = cache
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        self.workers = max(1, int(workers))
+        self.queue_limit = max(0, int(queue_limit))
+        self.retry_after = float(retry_after)
+        self.checkpoint_every = int(checkpoint_every)
+        self.scheduler = Scheduler(
+            store, cache=cache, max_retries=max_retries, backoff=backoff,
+            timeout=timeout, checkpoint_every=checkpoint_every,
+            lease_timeout=lease_timeout, registry=self.registry,
+        )
+        #: job hash -> JobState, every job this daemon has seen
+        self._jobs: dict = {}
+        self._lock = threading.RLock()
+        self._queue: _queue.Queue = _queue.Queue()
+        #: set when shutdown begins: admission closes, dispatch threads
+        #: exit once the queue is empty
+        self._closing = threading.Event()
+        #: set when in-flight jobs should stop at the next iteration
+        self._interrupt = threading.Event()
+        self._threads = [
+            threading.Thread(target=self._dispatch_loop,
+                             name=f"repro-dispatch-{i}", daemon=True)
+            for i in range(self.workers)
+        ]
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> "AsyncScheduler":
+        if not self._started:
+            self._started = True
+            for thread in self._threads:
+                thread.start()
+        return self
+
+    # -- introspection -------------------------------------------------
+    def job(self, job_hash: str) -> Optional[JobState]:
+        """The job table entry for a full hash, or a unique prefix."""
+        with self._lock:
+            state = self._jobs.get(job_hash)
+            if state is not None:
+                return state
+            matches = [s for h, s in self._jobs.items()
+                       if h.startswith(job_hash)]
+            return matches[0] if len(matches) == 1 else None
+
+    def jobs(self) -> list:
+        with self._lock:
+            return list(self._jobs.values())
+
+    @property
+    def queued(self) -> int:
+        with self._lock:
+            return sum(1 for j in self._jobs.values()
+                       if j.state == STATE_QUEUED)
+
+    @property
+    def running(self) -> int:
+        with self._lock:
+            return sum(1 for j in self._jobs.values()
+                       if j.state == STATE_RUNNING)
+
+    def update_gauges(self) -> None:
+        """Refresh the queue-depth/inflight gauges (scrape time)."""
+        self.registry.gauge(
+            SERVE_QUEUE_DEPTH,
+            help="jobs admitted but not yet dispatched").set(self.queued)
+        self.registry.gauge(
+            SERVE_INFLIGHT,
+            help="jobs currently executing").set(self.running)
+
+    # -- submission ----------------------------------------------------
+    def _hash_spec(self, spec: JobSpec) -> str:
+        """Content-hash ``spec`` via the scheduler's memoized designs.
+
+        Hashing only *reads* the database (fingerprints are computed
+        over structure), so sharing the cached instance across threads
+        is safe — unlike execution, which gets a private copy.
+        """
+        return spec.job_hash(self.scheduler._load_design(spec))
+
+    def submit(self, spec: JobSpec) -> JobState:
+        """Admit one job; returns its (possibly pre-existing) state.
+
+        Idempotent on the content hash: a hash already queued or
+        running is returned as-is (two racing submitters get the same
+        ticket), and a hash already completed in the store is answered
+        from the cache without touching the queue.  Raises
+        :class:`QueueFull` over the admission bound and
+        :exc:`RuntimeError` after :meth:`shutdown` began.
+        """
+        if self._closing.is_set():
+            raise RuntimeError("scheduler is shutting down")
+        job_hash = self._hash_spec(spec)
+        with self._lock:
+            existing = self._jobs.get(job_hash)
+            if existing is not None and not existing.terminal:
+                return existing
+            if self.cache is not None:
+                record = self.cache.peek(job_hash)
+                if record is not None:
+                    return self._admit_cached(spec, job_hash, record)
+            if self.queued >= self.queue_limit:
+                self.registry.counter(
+                    SERVE_REJECTED,
+                    help="submissions rejected by backpressure").inc()
+                raise QueueFull(self.queue_limit, self.retry_after)
+            job = JobState(job_hash=job_hash, spec=spec)
+            # resubmission of a terminal (failed/cancelled) job: the
+            # fresh state replaces the old one and the run resumes its
+            # checkpoint on dispatch
+            self._jobs[job_hash] = job
+            self._queue.put(job)
+            return job
+
+    def _admit_cached(self, spec: JobSpec, job_hash: str,
+                      record) -> JobState:
+        """Answer a submit from the result cache (audit trail included).
+
+        Mirrors what ``execute_job`` does on its cache-hit path —
+        counters and a ``cache_hit`` event — so a placement served by
+        the daemon is indistinguishable in the store from one served by
+        a batch drain.
+        """
+        degraded = bool(record.artifact_error)
+        self.cache.stats.record_hit(degraded=degraded)
+        self.registry.counter(CACHE_HITS,
+                              help="result-cache hits").inc()
+        if degraded:
+            self.registry.counter(
+                CACHE_DEGRADED,
+                help="cache hits served without a Bookshelf "
+                     "artifact").inc()
+        with EventLog(record.events_path) as events:
+            events.emit(EventType.CACHE_HIT, job_hash=job_hash,
+                        worker="serve", pid=os.getpid())
+        job = JobState(
+            job_hash=job_hash, spec=spec, state=STATE_COMPLETE,
+            cached=True, finished=time.time(),
+            outcome=JobOutcome(
+                job_hash=job_hash, directory=record.directory,
+                status=STATUS_COMPLETE, design=spec.design.name,
+                cached=True, metrics=record.metrics,
+                artifact_error=record.artifact_error,
+            ),
+        )
+        self._jobs[job_hash] = job
+        return job
+
+    # -- cancellation --------------------------------------------------
+    def cancel(self, job_hash: str) -> Optional[JobState]:
+        """Cooperatively cancel a queued or running job.
+
+        Queued jobs flip straight to ``cancelled`` (the dispatch loop
+        skips them); running jobs get their cancel event set and stop
+        at the next GP iteration, checkpoint persisted.  Terminal jobs
+        are returned unchanged.  Returns None for an unknown hash.
+        """
+        with self._lock:
+            job = self.job(job_hash)
+            if job is None:
+                return None
+            if job.terminal:
+                return job
+            job.cancel_event.set()
+            if job.state == STATE_QUEUED:
+                job.state = STATE_CANCELLED
+                job.error = "cancelled before dispatch"
+                job.finished = time.time()
+            self.registry.counter(
+                SERVE_CANCELLED,
+                help="jobs cancelled by request").inc()
+            return job
+
+    # -- dispatch ------------------------------------------------------
+    def _make_hook(self, job: JobState):
+        """Iteration hook: cooperative cancel/shutdown for one job.
+
+        On interruption the loop state is checkpointed *at the current
+        iteration* before raising, so a resume continues bit-exactly
+        from the interruption point rather than the last periodic
+        checkpoint.
+        """
+        def hook(placer, info):
+            cancelled = job.cancel_event.is_set()
+            if not cancelled and not self._interrupt.is_set():
+                return
+            reason = ("cancelled by request" if cancelled
+                      else "interrupted by shutdown")
+            try:
+                PlacerCheckpoint(
+                    job_hash=job.job_hash,
+                    iteration=info["iteration"],
+                    loop_state=placer.capture_loop_state(),
+                ).save(os.path.join(self.store.run_dir(job.job_hash),
+                                    "checkpoint.pkl"))
+            except Exception:  # noqa: BLE001 — best-effort checkpoint
+                pass  # the last periodic checkpoint still resumes
+            raise JobCancelled(
+                f"job {job.job_hash[:16]} {reason} at GP iteration "
+                f"{info['iteration']}"
+            )
+        return hook
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            try:
+                job = self._queue.get(timeout=0.1)
+            except _queue.Empty:
+                if self._closing.is_set():
+                    return
+                continue
+            with self._lock:
+                if job.state != STATE_QUEUED:
+                    continue  # cancelled while queued
+                if self._interrupt.is_set():
+                    # shutting down: never start new work; the job
+                    # stays queued in memory (it has no run directory,
+                    # so there is nothing on disk to recover)
+                    continue
+                job.state = STATE_RUNNING
+                job.started = time.time()
+            self._run_job(job)
+
+    def _run_job(self, job: JobState) -> None:
+        spec = job.spec
+        try:
+            # concurrent placements must not share a mutable database:
+            # copy the memoized design per execution (workers=1 pays
+            # one copy per job; correctness over thrift)
+            try:
+                db = copy.deepcopy(self.scheduler._load_design(spec))
+            except Exception:  # noqa: BLE001 — bad design
+                db = None  # execute_job re-attempts and records it
+            resume = os.path.exists(os.path.join(
+                self.store.run_dir(job.job_hash), "checkpoint.pkl"))
+            outcome = self.scheduler.run_one(
+                spec, db=db,
+                iteration_hook=self._make_hook(job),
+                should_retry=lambda _o: not (
+                    job.cancel_event.is_set()
+                    or self._interrupt.is_set()),
+                resume=resume,
+                worker="serve",
+            )
+        except Exception as exc:  # noqa: BLE001 — dispatch must survive
+            outcome = JobOutcome(
+                job_hash=job.job_hash, directory="",
+                status=STATUS_FAILED, design=spec.design.name,
+                error=f"dispatch error: {type(exc).__name__}: {exc}")
+        with self._lock:
+            job.outcome = outcome
+            job.error = outcome.error
+            job.cached = outcome.cached
+            job.finished = time.time()
+            if (job.cancel_event.is_set()
+                    and outcome.status != STATUS_COMPLETE):
+                job.state = STATE_CANCELLED
+            else:
+                job.state = outcome.status
+
+    # -- shutdown ------------------------------------------------------
+    def shutdown(self, interrupt: bool = True,
+                 timeout: Optional[float] = None) -> None:
+        """Stop the dispatcher, leaving every run resumable.
+
+        ``interrupt=True`` (the default, and what SIGTERM wants) stops
+        in-flight jobs at their next GP iteration via the cooperative
+        hook — checkpoint written, lease released, status ``failed`` —
+        so a restarted daemon (or ``repro resume``) continues them
+        bit-exactly.  ``interrupt=False`` lets in-flight jobs run to
+        completion and only stops admission/dispatch.  Queued jobs that
+        never started simply evaporate: they have no on-disk state, and
+        idempotent submits make re-submission safe.
+        """
+        self._closing.set()
+        if interrupt:
+            self._interrupt.set()
+        for thread in self._threads:
+            if thread.is_alive():
+                thread.join(timeout)

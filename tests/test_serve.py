@@ -1,0 +1,640 @@
+"""Tests for the placement service (repro.serve).
+
+Covers the acceptance criteria of the service subsystem:
+
+- a design placed over HTTP produces the same job hash, the same
+  ``runs/<hash16>/`` layout and the same (deterministic) metrics as the
+  same spec run through ``execute_job``/``repro batch``,
+- resubmitting a completed job over HTTP is a cache hit that executes
+  zero placement iterations,
+- submissions over the admission bound are rejected with ``429`` and a
+  ``Retry-After`` hint,
+- the SSE stream delivers live iteration events and a terminal ``end``
+  frame,
+- SIGTERM (and the in-process ``shutdown(interrupt=True)`` it drives)
+  leaves no leased or still-``running`` run behind — every interrupted
+  run is a failed-with-checkpoint resume candidate that continues
+  bit-exactly after a restart,
+
+plus the incremental event-log cursor, thread-safety of the shared
+cache counters, and concurrent-submission dedup.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.benchgen import CircuitSpec, generate
+from repro.core import PlacementParams
+from repro.runner import (
+    DesignRef,
+    EventLog,
+    JobSpec,
+    ResultCache,
+    RunStore,
+    execute_job,
+    read_events,
+    tail_events,
+)
+from repro.runner.store import _atomic_write_json
+from repro.serve import (
+    AsyncScheduler,
+    PlacementClient,
+    PlacementServer,
+    QueueFull,
+    ServiceError,
+)
+
+
+def make_db(seed=5, num_cells=60):
+    return generate(CircuitSpec(
+        name="servetest", num_cells=num_cells, num_ios=8,
+        utilization=0.6, seed=seed,
+    ))
+
+
+def gp_spec(**overrides) -> JobSpec:
+    """A fast GP-only job spec for a pre-loaded database."""
+    overrides.setdefault("max_global_iters", 60)
+    overrides.setdefault("min_global_iters", 5)
+    params = PlacementParams(**overrides)
+    return JobSpec(design=DesignRef("servetest", scale=1),
+                   params=params, stages=("gp",))
+
+
+def deterministic_metrics(metrics: dict) -> dict:
+    """The metrics payload minus wall-clock runtimes.
+
+    Placement is deterministic, so every field except the measured
+    stage durations must be byte-identical across executions of the
+    same spec.
+    """
+    out = dict(metrics)
+    out.pop("runtime", None)
+    return out
+
+
+def wait_for(predicate, timeout=30.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+@pytest.fixture()
+def db(monkeypatch):
+    database = make_db()
+    monkeypatch.setattr(DesignRef, "load", lambda self: database)
+    return database
+
+
+def start_server(tmp_path, name="store", **scheduler_kwargs):
+    store = RunStore(str(tmp_path / name))
+    cache = ResultCache(store)
+    scheduler_kwargs.setdefault("workers", 1)
+    scheduler = AsyncScheduler(store, cache=cache, **scheduler_kwargs)
+    server = PlacementServer(store, scheduler, port=0).start()
+    return server, store, cache
+
+
+@pytest.fixture()
+def server(tmp_path, db):
+    srv, store, cache = start_server(tmp_path, queue_limit=8)
+    yield srv
+    srv.stop(interrupt=True)
+
+
+# ----------------------------------------------------------------------
+class TestTailEvents:
+    def test_incremental_cursor(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with EventLog(path) as log:
+            log.emit("a", n=1)
+            log.emit("b", n=2)
+        events, offset = tail_events(path, 0)
+        assert [e["type"] for e in events] == ["a", "b"]
+        assert offset == os.path.getsize(path)
+        # nothing new: same offset back, no events
+        events, offset2 = tail_events(path, offset)
+        assert events == [] and offset2 == offset
+        with EventLog(path) as log:
+            log.emit("c", n=3)
+        events, offset3 = tail_events(path, offset)
+        assert [e["type"] for e in events] == ["c"]
+        assert offset3 > offset
+
+    def test_torn_tail_left_for_next_poll(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with open(path, "w") as handle:
+            handle.write(json.dumps({"type": "a"}) + "\n")
+            handle.write('{"type": "tor')  # writer mid-emit
+        events, offset = tail_events(path, 0)
+        assert [e["type"] for e in events] == ["a"]
+        # the cursor stops *before* the unterminated line
+        with open(path, "a") as handle:
+            handle.write('n"}\n')
+        events, offset = tail_events(path, offset)
+        assert [e["type"] for e in events] == ["torn"]
+
+    def test_unparseable_complete_line_skipped(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with open(path, "w") as handle:
+            handle.write("not json at all\n")
+            handle.write(json.dumps({"type": "ok"}) + "\n")
+        events, offset = tail_events(path, 0)
+        assert [e["type"] for e in events] == ["ok"]
+        assert offset == os.path.getsize(path)
+
+    def test_per_event_offsets_are_resume_cursors(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with EventLog(path) as log:
+            for i in range(5):
+                log.emit("e", n=i)
+        pairs, end = tail_events(path, 0, offsets=True)
+        assert pairs[-1][1] == end
+        # resuming from any mid-batch cursor yields exactly the rest
+        for i, (_, cursor) in enumerate(pairs):
+            rest, _ = tail_events(path, cursor)
+            assert [r["n"] for r in rest] \
+                == [r["n"] for r, _ in pairs[i + 1:]]
+
+    def test_missing_file(self, tmp_path):
+        events, offset = tail_events(str(tmp_path / "nope.jsonl"), 7)
+        assert events == [] and offset == 7
+
+    def test_read_events_still_filters(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with EventLog(path) as log:
+            log.emit("a")
+            log.emit("b")
+            log.emit("a")
+        assert len(list(read_events(path, type="a"))) == 2
+
+
+# ----------------------------------------------------------------------
+class TestAsyncScheduler:
+    def test_submit_runs_to_completion(self, tmp_path, db):
+        store = RunStore(str(tmp_path / "store"))
+        sched = AsyncScheduler(store, cache=ResultCache(store),
+                               queue_limit=4).start()
+        try:
+            job = sched.submit(gp_spec())
+            assert wait_for(lambda: job.terminal)
+            assert job.state == "complete"
+            assert job.outcome.ok
+            assert store.load(job.job_hash).complete
+        finally:
+            sched.shutdown()
+
+    def test_duplicate_submit_same_ticket(self, tmp_path, db):
+        store = RunStore(str(tmp_path / "store"))
+        # never started: jobs stay queued, so the second submit must
+        # dedup against the first instead of double-queueing
+        sched = AsyncScheduler(store, cache=ResultCache(store),
+                               queue_limit=4)
+        first = sched.submit(gp_spec())
+        second = sched.submit(gp_spec())
+        assert first is second
+        assert sched.queued == 1
+
+    def test_queue_full_raises(self, tmp_path, db):
+        store = RunStore(str(tmp_path / "store"))
+        sched = AsyncScheduler(store, cache=ResultCache(store),
+                               queue_limit=1, retry_after=3.5)
+        sched.submit(gp_spec(seed=1))
+        with pytest.raises(QueueFull) as info:
+            sched.submit(gp_spec(seed=2))
+        assert info.value.retry_after == 3.5
+
+    def test_cancel_queued_job(self, tmp_path, db):
+        store = RunStore(str(tmp_path / "store"))
+        sched = AsyncScheduler(store, cache=ResultCache(store),
+                               queue_limit=4)
+        job = sched.submit(gp_spec())
+        cancelled = sched.cancel(job.job_hash)
+        assert cancelled is job and job.state == "cancelled"
+        # dispatch (started late) must skip it, not run it
+        sched.start()
+        time.sleep(0.3)
+        assert job.state == "cancelled"
+        assert not os.path.exists(store.run_dir(job.job_hash))
+        sched.shutdown()
+
+    def test_cached_submit_answers_without_queueing(self, tmp_path, db):
+        store = RunStore(str(tmp_path / "store"))
+        cache = ResultCache(store)
+        reference = execute_job(gp_spec(), store, db=db)
+        assert reference.ok
+        events_before = len(list(read_events(
+            os.path.join(reference.directory, "events.jsonl"),
+            type="iteration")))
+        sched = AsyncScheduler(store, cache=cache, queue_limit=4)
+        job = sched.submit(gp_spec())  # not even started
+        assert job.state == "complete" and job.cached
+        assert job.outcome.metrics == reference.metrics
+        events_path = os.path.join(reference.directory, "events.jsonl")
+        assert len(list(read_events(events_path, type="iteration"))) \
+            == events_before
+        assert len(list(read_events(events_path, type="cache_hit"))) == 1
+
+    def test_interrupt_shutdown_then_bit_exact_resume(self, tmp_path,
+                                                      db):
+        spec = gp_spec(max_global_iters=400, min_global_iters=400)
+        reference = execute_job(
+            spec, RunStore(str(tmp_path / "ref")), db=db)
+        assert reference.ok
+
+        store = RunStore(str(tmp_path / "store"))
+        sched = AsyncScheduler(store, cache=ResultCache(store),
+                               queue_limit=4, checkpoint_every=10).start()
+        job = sched.submit(spec)
+        run_dir = store.run_dir(job.job_hash)
+        events = os.path.join(run_dir, "events.jsonl")
+        assert wait_for(lambda: list(read_events(events,
+                                                 type="iteration")))
+        sched.shutdown(interrupt=True)
+
+        # the drained run: failed-with-checkpoint, lease released
+        record = store.load(job.job_hash)
+        assert record.state == "failed"
+        assert "interrupted by shutdown" in (record.status or {})["error"]
+        assert os.path.exists(record.checkpoint_path)
+        assert not os.path.exists(record.lock_path)
+        interrupted_at = max(
+            e["iteration"] for e in read_events(events, type="iteration"))
+        assert interrupted_at < 400
+
+        # "restart": a fresh scheduler resumes from the checkpoint and
+        # the final metrics are bit-exact against the uninterrupted run
+        sched2 = AsyncScheduler(store, cache=ResultCache(store),
+                                queue_limit=4).start()
+        job2 = sched2.submit(spec)
+        assert wait_for(lambda: job2.terminal, timeout=60)
+        sched2.shutdown()
+        assert job2.state == "complete"
+        resumes = list(read_events(events, type="resume"))
+        assert resumes and resumes[-1]["iteration"] == interrupted_at
+        assert deterministic_metrics(job2.outcome.metrics) \
+            == deterministic_metrics(reference.metrics)
+
+
+# ----------------------------------------------------------------------
+class TestHTTPAPI:
+    def test_http_matches_batch_execution(self, tmp_path, db, server):
+        client = PlacementClient(server.url)
+        response = client.submit({"design": "servetest", "scale": 1,
+                                  "stages": ["gp"],
+                                  "params": {"max_global_iters": 60,
+                                             "min_global_iters": 5}})
+        job_hash = response["job_hash"]
+        assert wait_for(lambda: client.job(job_hash)["state"]
+                        in ("complete", "failed"))
+        view = client.job(job_hash)
+        assert view["state"] == "complete"
+
+        # the same spec through the direct (batch) path: same content
+        # hash, same directory layout, same deterministic metrics
+        reference = execute_job(gp_spec(), RunStore(str(tmp_path / "ref")),
+                                db=db)
+        assert reference.job_hash == job_hash
+        assert deterministic_metrics(view["metrics"]) \
+            == deterministic_metrics(reference.metrics)
+        run_dir = server.store.run_dir(job_hash)
+        for artifact in ("spec.json", "status.json", "metrics.json",
+                         "events.jsonl"):
+            assert os.path.exists(os.path.join(run_dir, artifact))
+        assert not os.path.exists(os.path.join(run_dir, "lock.json"))
+
+    def test_duplicate_submit_is_cache_hit(self, tmp_path, db, server):
+        client = PlacementClient(server.url)
+        spec = {"design": "servetest", "scale": 1, "stages": ["gp"],
+                "params": {"max_global_iters": 60,
+                           "min_global_iters": 5}}
+        first = client.submit(spec)
+        assert wait_for(lambda: client.job(first["job_hash"])["state"]
+                        == "complete")
+        events_path = server.events_path(first["job_hash"])
+        iterations = len(list(read_events(events_path, type="iteration")))
+
+        second = client.submit(spec)
+        assert second["job_hash"] == first["job_hash"]
+        assert second["state"] == "complete"
+        assert second["cached"] is True
+        # acceptance: the duplicate executed zero placement iterations
+        assert len(list(read_events(events_path, type="iteration"))) \
+            == iterations
+        assert list(read_events(events_path, type="cache_hit"))
+
+    def test_queue_overflow_is_429_with_retry_after(self, tmp_path, db):
+        srv, _, _ = start_server(tmp_path, queue_limit=0,
+                                 retry_after=4.0)
+        try:
+            body = json.dumps({"design": "servetest", "scale": 1,
+                               "stages": ["gp"]}).encode()
+            request = urllib.request.Request(
+                f"{srv.url}/v1/jobs", data=body, method="POST",
+                headers={"Content-Type": "application/json"})
+            with pytest.raises(urllib.error.HTTPError) as info:
+                urllib.request.urlopen(request, timeout=10)
+            assert info.value.code == 429
+            assert float(info.value.headers["Retry-After"]) == 4.0
+        finally:
+            srv.stop()
+
+    def test_sse_stream_sees_iterations_and_end(self, db, server):
+        client = PlacementClient(server.url)
+        response = client.submit({"design": "servetest", "scale": 1,
+                                  "stages": ["gp"],
+                                  "params": {"max_global_iters": 120,
+                                             "min_global_iters": 120}})
+        events = list(client.iter_events(response["job_hash"]))
+        kinds = [e.get("_event") for e in events]
+        assert "iteration" in kinds
+        assert kinds[-1] == "end"
+        assert events[-1]["state"] == "complete"
+        offsets = [e["_offset"] for e in events]
+        assert offsets == sorted(offsets)
+
+    def test_sse_offset_resumes_without_replay(self, db, server):
+        client = PlacementClient(server.url)
+        response = client.submit({"design": "servetest", "scale": 1,
+                                  "stages": ["gp"],
+                                  "params": {"max_global_iters": 60,
+                                             "min_global_iters": 5}})
+        job_hash = response["job_hash"]
+        all_events = list(client.iter_events(job_hash))
+        cut = all_events[len(all_events) // 2]
+        rest = list(client.iter_events(job_hash,
+                                       offset=cut["_offset"]))
+        replayed = [e for e in rest if e.get("_event") != "end"]
+        expected = [e for e in all_events[all_events.index(cut) + 1:]
+                    if e.get("_event") != "end"]
+        assert [e.get("iteration") for e in replayed] \
+            == [e.get("iteration") for e in expected]
+
+    def test_cancel_running_job(self, db, server):
+        client = PlacementClient(server.url)
+        response = client.submit(
+            {"design": "servetest", "scale": 1, "stages": ["gp"],
+             "params": {"max_global_iters": 100000,
+                        "min_global_iters": 100000}})
+        job_hash = response["job_hash"]
+        events_path = server.events_path(job_hash)
+        assert wait_for(lambda: list(read_events(events_path,
+                                                 type="iteration")))
+        view = client.cancel(job_hash)
+        assert view["job_hash"] == job_hash
+        assert wait_for(lambda: client.job(job_hash)["state"]
+                        == "cancelled")
+        record = server.store.load(job_hash)
+        assert record.state == "failed"  # on disk: resumable failure
+        assert os.path.exists(record.checkpoint_path)
+        assert not os.path.exists(record.lock_path)
+
+    def test_listing_and_state_filter(self, db, server):
+        client = PlacementClient(server.url)
+        response = client.submit({"design": "servetest", "scale": 1,
+                                  "stages": ["gp"],
+                                  "params": {"max_global_iters": 60,
+                                             "min_global_iters": 5}})
+        assert wait_for(lambda: client.job(response["job_hash"])["state"]
+                        == "complete")
+        runs = client.jobs()
+        assert [r["job_hash"] for r in runs] == [response["job_hash"]]
+        assert client.jobs(states=["complete"])
+        assert client.jobs(states=["failed"]) == []
+
+    def test_unknown_job_404(self, db, server):
+        client = PlacementClient(server.url)
+        with pytest.raises(ServiceError) as info:
+            client.job("feedfacedeadbeef")
+        assert info.value.status == 404
+
+    def test_healthz_reports_recovered_orphans(self, tmp_path, db):
+        # fabricate an orphan: a `running` run whose owner is dead
+        store = RunStore(str(tmp_path / "store"))
+        outcome = execute_job(gp_spec(), store, db=db)
+        run_dir = store.run_dir(outcome.job_hash)
+        status_path = os.path.join(run_dir, "status.json")
+        status = json.load(open(status_path))
+        status["status"] = "running"
+        _atomic_write_json(status_path, status)
+        _atomic_write_json(os.path.join(run_dir, "lock.json"),
+                           {"pid": 2 ** 22 + 17, "host": "gone",
+                            "heartbeat": 1.0})
+
+        srv, _, _ = start_server(tmp_path, queue_limit=4)
+        try:
+            health = PlacementClient(srv.url).healthz()
+            assert health["status"] == "ok"
+            assert health["recovered_orphans"] == 1
+            record = srv.store.load(outcome.job_hash)
+            assert record.state == "failed"
+            assert not os.path.exists(record.lock_path)
+        finally:
+            srv.stop()
+
+    def test_metrics_endpoint(self, db, server):
+        client = PlacementClient(server.url)
+        client.healthz()
+        text = client.metrics_text()
+        assert "repro_http_requests_total" in text
+        assert 'route="/healthz"' in text
+        assert "repro_serve_queue_depth" in text
+
+    def test_bad_spec_is_400(self, db, server):
+        client = PlacementClient(server.url)
+        with pytest.raises(ServiceError) as info:
+            client.submit({"scale": 1})  # no design
+        assert info.value.status == 400
+
+    def test_concurrent_identical_submissions_dedup(self, db, server):
+        client = PlacementClient(server.url)
+        spec = {"design": "servetest", "scale": 1, "stages": ["gp"],
+                "params": {"max_global_iters": 60,
+                           "min_global_iters": 5}}
+        results, errors = [], []
+
+        def submit():
+            try:
+                results.append(client.submit(spec))
+            except Exception as exc:  # noqa: BLE001 — recorded
+                errors.append(exc)
+
+        threads = [threading.Thread(target=submit) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        hashes = {r["job_hash"] for r in results}
+        assert len(hashes) == 1
+        job_hash = hashes.pop()
+        assert wait_for(lambda: client.job(job_hash)["state"]
+                        == "complete")
+        # exactly one run on disk, started exactly once
+        assert len(server.store.list_runs()) == 1
+        starts = list(read_events(server.events_path(job_hash),
+                                  type="run_start"))
+        assert len(starts) == 1
+
+
+# ----------------------------------------------------------------------
+class TestThreadSafety:
+    def test_cache_stats_counters_are_exact(self, tmp_path):
+        from repro.runner.cache import CacheStats
+
+        stats = CacheStats()
+
+        def hammer():
+            for _ in range(500):
+                stats.record_hit()
+                stats.record_miss()
+                stats.record_hit(degraded=True)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert stats.hits == 8 * 1000
+        assert stats.misses == 8 * 500
+        assert stats.degraded_hits == 8 * 500
+
+    def test_registry_counters_are_exact_across_threads(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+
+        def hammer(i):
+            for _ in range(1000):
+                registry.counter("t_total").inc()
+                registry.histogram("t_seconds").observe(0.001 * i)
+
+        threads = [threading.Thread(target=hammer, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.value("t_total") == 8000
+
+
+# ----------------------------------------------------------------------
+class TestServeCLI:
+    def test_runs_json_matches_service_listing_schema(self, tmp_path,
+                                                      db, capsys):
+        from repro.cli import main
+
+        store = RunStore(str(tmp_path / "store"))
+        execute_job(gp_spec(), store, db=db)
+        out_path = str(tmp_path / "listing.json")
+        assert main(["runs", "--store", str(tmp_path / "store"),
+                     "--json", out_path]) == 0
+        listing = json.load(open(out_path))
+        entry = listing["runs"][0]
+        # the exact key set GET /v1/jobs serves for store-backed runs
+        assert set(entry) == set(store.list_runs()[0].summary())
+        assert entry["state"] == "complete"
+        assert entry["hpwl"] is not None
+
+        # bare --json streams the same payload to stdout, nothing else
+        capsys.readouterr()
+        assert main(["runs", "--store", str(tmp_path / "store"),
+                     "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == listing
+
+    @pytest.mark.slow
+    def test_sigterm_drains_and_restart_resumes(self, tmp_path):
+        """End-to-end: real daemon, real SIGTERM, bit-exact resume."""
+        from repro.bookshelf import write_bookshelf
+
+        aux = write_bookshelf(make_db(), str(tmp_path / "design"))
+        spec = {"design": aux, "stages": ["gp"],
+                "params": {"max_global_iters": 700,
+                           "min_global_iters": 700}}
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        store_root = str(tmp_path / "runs")
+
+        def launch():
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro", "serve", "--port", "0",
+                 "--store", store_root, "--checkpoint-every", "10"],
+                env=env, stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT, text=True)
+            # the daemon prints its (ephemeral) URL on startup
+            line = ""
+            while "serving placements on " not in line:
+                line = proc.stdout.readline()
+                assert line, "server exited before announcing its URL"
+            url = line.split("serving placements on ", 1)[1].split()[0]
+            return proc, url
+
+        proc, url = launch()
+        try:
+            client = PlacementClient(url)
+            job_hash = client.submit(spec)["job_hash"]
+            events_path = os.path.join(
+                store_root, "runs", job_hash[:16], "events.jsonl")
+            assert wait_for(
+                lambda: len(list(read_events(events_path,
+                                             type="iteration"))) >= 5,
+                timeout=30)
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+        # acceptance: no leased or running runs left behind
+        store = RunStore(store_root)
+        record = store.load(job_hash)
+        assert record.state == "failed"
+        assert not os.path.exists(record.lock_path)
+        assert os.path.exists(record.checkpoint_path)
+
+        # restart; the resubmitted hash resumes and completes
+        proc, url = launch()
+        try:
+            client = PlacementClient(url)
+            assert client.healthz()["status"] == "ok"
+            resumed = client.submit(spec)
+            assert resumed["job_hash"] == job_hash
+            assert wait_for(
+                lambda: client.job(job_hash)["state"]
+                in ("complete", "failed"), timeout=60)
+            view = client.job(job_hash)
+            assert view["state"] == "complete"
+            assert list(read_events(events_path, type="resume"))
+            http_metrics = deterministic_metrics(view["metrics"])
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+        # bit-exact against an uninterrupted in-process run
+        reference = execute_job(
+            JobSpec(design=DesignRef.parse(aux),
+                    params=PlacementParams(max_global_iters=700,
+                                           min_global_iters=700),
+                    stages=("gp",)),
+            RunStore(str(tmp_path / "ref")))
+        assert reference.job_hash == job_hash
+        assert http_metrics == deterministic_metrics(reference.metrics)
