@@ -1,0 +1,114 @@
+"""Legality-engine micro-benchmark: vectorized sweep vs Python sweep.
+
+Builds a ~50k-cell legal placement (row-major packing on the site
+grid, no GP/LG needed) and times ``check_legal`` against
+``check_legal_reference`` on it, plus a lightly jittered variant that
+exercises the dirty-band fallback.  The vectorized checker must be at
+least 10x faster on the legal placement.  A second section times the
+cached ``IncrementalHpwl`` delta/apply path against the per-pin
+reference loops.
+"""
+
+import time
+
+import numpy as np
+
+from _support import print_header, print_row, record
+from repro.benchgen import CircuitSpec, generate
+from repro.dp import IncrementalHpwl, ReferenceIncrementalHpwl
+from repro.lg import check_legal, check_legal_reference
+
+NUM_CELLS = 50_000
+CHECK_REPS = 5
+DELTA_REPS = 2_000
+
+
+def _packed_design(num_cells: int):
+    """A generated netlist with a synthesized legal placement."""
+    db = generate(CircuitSpec(name="legality", num_cells=num_cells,
+                              seed=9, num_ios=0))
+    region = db.region
+    x = db.cell_x.copy()
+    y = db.cell_y.copy()
+    cursor = region.xl
+    row = 0
+    for cell in db.movable_index:
+        w = db.cell_width[cell]
+        if cursor + w > region.xh + 1e-9:
+            cursor = region.xl
+            row += 1
+        x[cell] = cursor
+        y[cell] = region.yl + row * region.row_height
+        cursor += w
+    if region.yl + row * region.row_height >= region.yh:
+        raise RuntimeError("packing overflowed the region")
+    return db, x, y
+
+
+def _time(fn, reps):
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def bench_checker():
+    db, x, y = _packed_design(NUM_CELLS)
+    print_header("legality checker: vectorized vs reference",
+                 ["case", "reference_s", "vectorized_s", "speedup"])
+    rows = []
+    rng = np.random.default_rng(0)
+    cases = [
+        ("legal", x, y),
+        ("jittered", x + rng.normal(0, 0.05, x.size), y),
+    ]
+    for case, cx, cy in cases:
+        ref_s, ref = _time(lambda: check_legal_reference(db, cx, cy), 1)
+        vec_s, vec = _time(lambda: check_legal(db, cx, cy), CHECK_REPS)
+        assert vec.as_dict() == ref.as_dict(), case
+        speedup = ref_s / vec_s
+        print_row([case, ref_s, vec_s, speedup])
+        rows.append({"case": case, "reference_s": ref_s,
+                     "vectorized_s": vec_s, "speedup": speedup})
+    record("bench_legality", {"section": "checker",
+                              "num_cells": NUM_CELLS, "rows": rows})
+    legal_speedup = rows[0]["speedup"]
+    if legal_speedup < 10.0:
+        raise SystemExit(
+            f"vectorized checker only {legal_speedup:.1f}x faster "
+            f"(need >= 10x)")
+
+
+def bench_incremental():
+    db, x, y = _packed_design(NUM_CELLS // 5)
+    rng = np.random.default_rng(1)
+    mv = db.movable_index
+    moves = [(rng.choice(mv, size=2, replace=False),
+              rng.uniform(db.region.xl, db.region.xh - 4, 2),
+              rng.uniform(db.region.yl, db.region.yh - 1, 2))
+             for _ in range(DELTA_REPS)]
+
+    def run(engine):
+        state = engine(db, x, y)
+        start = time.perf_counter()
+        for cells, nx, ny in moves:
+            state.delta(cells, nx, ny)
+        return time.perf_counter() - start
+
+    ref_s = run(ReferenceIncrementalHpwl)
+    vec_s = run(IncrementalHpwl)
+    print_header("incremental HPWL: cached bboxes vs per-pin loops",
+                 ["deltas", "reference_s", "cached_s", "speedup"])
+    print_row([DELTA_REPS, ref_s, vec_s, ref_s / vec_s])
+    record("bench_legality", {"section": "incremental",
+                              "num_cells": NUM_CELLS // 5,
+                              "deltas": DELTA_REPS,
+                              "reference_s": ref_s, "cached_s": vec_s,
+                              "speedup": ref_s / vec_s})
+
+
+if __name__ == "__main__":
+    bench_checker()
+    bench_incremental()

@@ -79,6 +79,7 @@ def _cmd_place(args) -> int:
         enable_recovery=not args.no_recovery,
         max_recoveries=args.max_recoveries,
         graph_capture=not args.no_capture,
+        legality_gate=not args.no_legality_gate,
     )
     import contextlib
 
@@ -671,6 +672,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the captured-tape replay engine "
                             "(evaluate the objective eagerly every "
                             "iteration)")
+    place.add_argument("--no-legality-gate", action="store_true",
+                       help="report post-LG/post-DP legality violations "
+                            "instead of failing the run on them")
     place.add_argument("--profile", action="store_true",
                        help="print a per-op runtime breakdown after the run")
     place.add_argument("--profile-alloc", action="store_true",

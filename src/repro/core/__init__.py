@@ -24,6 +24,7 @@ from repro.core.fence import (
     FenceRegion,
     MultiRegionDensity,
     fence_clamp_bounds,
+    fence_of_cell,
 )
 
 __all__ = [
@@ -44,4 +45,5 @@ __all__ = [
     "FenceRegion",
     "MultiRegionDensity",
     "fence_clamp_bounds",
+    "fence_of_cell",
 ]

@@ -144,6 +144,29 @@ class MultiRegionDensity(Module):
         return _MultiFieldFunction.apply(pos, op=self)
 
 
+def fence_of_cell(db: PlacementDB, fences: list[FenceRegion]
+                  ) -> np.ndarray:
+    """Fence membership per cell: index into ``fences``, ``-1`` = none.
+
+    The shared vocabulary of the post-GP stages: the legalizers, the
+    detailed-placement passes and the legality checker all constrain
+    moves to cells of equal membership, so a fence-legal GP result
+    stays fence-legal through the whole flow.  Raises ``ValueError``
+    on a cell assigned to more than one fence.
+    """
+    membership = np.full(db.num_cells, -1, dtype=np.int64)
+    for f, fence in enumerate(fences):
+        cells = np.asarray(list(fence.cells), dtype=np.int64)
+        taken = membership[cells] >= 0
+        if taken.any():
+            raise ValueError(
+                f"cells {sorted(cells[taken].tolist())} assigned to "
+                f"multiple fences"
+            )
+        membership[cells] = f
+    return membership
+
+
 def fence_clamp_bounds(db: PlacementDB, fences: list[FenceRegion]
                        ) -> tuple[np.ndarray, np.ndarray]:
     """Per-coordinate clamp bounds keeping each cell in its fence.

@@ -73,6 +73,8 @@ def placement_result_metrics(result) -> dict:
         "diverged": bool(result.diverged),
         "legal": (None if result.legality is None
                   else bool(result.legality.legal)),
+        "legality": (None if result.legality is None
+                     else result.legality.as_dict()),
         "runtime": {
             "global_place": float(times.global_place),
             "global_route": float(times.global_route),

@@ -94,6 +94,10 @@ class PlacementParams:
     legalize: bool = True
     detailed: bool = True
     detailed_passes: int = 2
+    #: verify legality after LG and after DP and raise
+    #: :class:`repro.lg.LegalityError` on any violation (overlap,
+    #: off-grid, fence breach) instead of returning a broken placement
+    legality_gate: bool = True
 
     # -- routability-driven mode (Section III-F) ---------------------------
     routability: bool = False

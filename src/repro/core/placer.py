@@ -19,7 +19,7 @@ from repro.core.global_place import GlobalPlacer
 from repro.core.metrics import scaled_hpwl
 from repro.core.params import PlacementParams
 from repro.dp.detailed_placer import DetailedPlacer, DetailedPlaceStats
-from repro.lg.checker import LegalityReport, check_legal
+from repro.lg.checker import LegalityError, LegalityReport, check_legal
 from repro.lg.legalizer import legalize
 from repro.netlist.database import PlacementDB
 from repro.obs.trace import trace_span
@@ -66,17 +66,38 @@ class PlacementResult:
 
 
 class DreamPlacer:
-    """End-to-end placer: GP -> (routability loop) -> LG -> DP."""
+    """End-to-end placer: GP -> (routability loop) -> LG -> DP.
 
-    def __init__(self, db: PlacementDB, params: PlacementParams | None = None):
+    With ``fences`` (a list of :class:`~repro.core.fence.FenceRegion`)
+    the whole flow is fence-aware: GP spreads each fence group in its
+    own field, LG legalizes each group inside its region, DP never
+    moves a cell across a fence boundary, and the legality gate
+    (:attr:`PlacementParams.legality_gate`) verifies all of it after
+    LG and after DP.
+    """
+
+    def __init__(self, db: PlacementDB, params: PlacementParams | None = None,
+                 fences=None):
         self.db = db
         self.params = params or PlacementParams()
+        self.fences = list(fences) if fences else None
         #: resolved router capacity (``route_tile_capacity <= 0`` means
         #: auto-calibrate to a mildly congested level on first routing)
         self._route_capacity: float | None = (
             self.params.route_tile_capacity
             if self.params.route_tile_capacity > 0 else None
         )
+
+    def _check_stage(self, stage: str, x: np.ndarray, y: np.ndarray
+                     ) -> LegalityReport:
+        """Post-stage legality check; the gate raises on violations."""
+        with trace_span(f"check.{stage}") as span:
+            report = check_legal(self.db, x, y, fences=self.fences)
+            if span is not None:
+                span.update(report.as_dict())
+        if self.params.legality_gate and not report.legal:
+            raise LegalityError(stage, report)
+        return report
 
     # ------------------------------------------------------------------
     def run(self, on_iteration=None,
@@ -106,7 +127,7 @@ class DreamPlacer:
         else:
             start = time.perf_counter()
             with trace_span("stage.gp") as span:
-                placer = GlobalPlacer(db, params)
+                placer = GlobalPlacer(db, params, fences=self.fences)
                 gp_result = placer.place(on_iteration=on_iteration,
                                          resume_state=resume_state)
                 if span is not None:
@@ -123,21 +144,22 @@ class DreamPlacer:
         if params.legalize:
             start = time.perf_counter()
             with trace_span("stage.lg"):
-                x, y = legalize(db, x, y)
+                x, y = legalize(db, x, y, fences=self.fences)
             times.legalize = time.perf_counter() - start
             hpwl_legal = db.hpwl(x, y)
-            legality = check_legal(db, x, y)
+            legality = self._check_stage("legalize", x, y)
 
         hpwl_final = hpwl_legal
         dp_stats = None
         if params.legalize and params.detailed:
             start = time.perf_counter()
             with trace_span("stage.dp"):
-                dp = DetailedPlacer(db, passes=params.detailed_passes)
+                dp = DetailedPlacer(db, passes=params.detailed_passes,
+                                    fences=self.fences)
                 x, y, dp_stats = dp.run(x, y)
             times.detailed = time.perf_counter() - start
             hpwl_final = db.hpwl(x, y)
-            legality = check_legal(db, x, y)
+            legality = self._check_stage("detailed", x, y)
 
         db.set_positions(x, y)
 
@@ -194,7 +216,7 @@ class DreamPlacer:
         recoveries = 0
         try:
             while True:
-                placer = GlobalPlacer(db, params)
+                placer = GlobalPlacer(db, params, fences=self.fences)
                 if rounds > 0:
                     placer.lambda_period = params.inflation_lambda_period
                 if warm is not None:

@@ -7,6 +7,11 @@ placement and preserving legality.
 """
 
 from repro.dp.detailed_placer import DetailedPlacer, detailed_place
-from repro.dp.incremental import IncrementalHpwl
+from repro.dp.incremental import IncrementalHpwl, ReferenceIncrementalHpwl
 
-__all__ = ["DetailedPlacer", "detailed_place", "IncrementalHpwl"]
+__all__ = [
+    "DetailedPlacer",
+    "detailed_place",
+    "IncrementalHpwl",
+    "ReferenceIncrementalHpwl",
+]

@@ -11,6 +11,7 @@ from repro.dp.incremental import IncrementalHpwl
 from repro.dp.independent_set import independent_set_matching
 from repro.dp.local_reorder import local_reorder
 from repro.netlist.database import PlacementDB
+from repro.perf.profiler import profiled
 
 
 @dataclass
@@ -25,27 +26,46 @@ class DetailedPlaceStats:
 
 
 class DetailedPlacer:
-    """Iterates global-swap -> local-reorder -> independent-set passes."""
+    """Iterates global-swap -> local-reorder -> independent-set passes.
+
+    With ``fences`` every pass is fence-constrained: swap partners,
+    reorder windows and matching classes never mix cells of different
+    fence memberships, so a fence-legal input stays fence-legal.
+    """
 
     def __init__(self, db: PlacementDB, passes: int = 2,
-                 reorder_window: int = 3, group_size: int = 12):
+                 reorder_window: int = 3, group_size: int = 12,
+                 fences=None):
         self.db = db
         self.passes = int(passes)
         self.reorder_window = int(reorder_window)
         self.group_size = int(group_size)
+        self.fences = fences
+        self.fence_id: np.ndarray | None = None
+        if fences:
+            from repro.core.fence import fence_of_cell
+
+            self.fence_id = fence_of_cell(db, fences)
 
     def run(self, x: np.ndarray, y: np.ndarray
             ) -> tuple[np.ndarray, np.ndarray, DetailedPlaceStats]:
         state = IncrementalHpwl(self.db, x, y)
         stats = DetailedPlaceStats(hpwl_before=state.total_hpwl())
         for _ in range(self.passes):
-            stats.swaps.append(global_swap(self.db, state))
-            stats.reorders.append(
-                local_reorder(self.db, state, self.reorder_window)
-            )
-            stats.matchings.append(
-                independent_set_matching(self.db, state, self.group_size)
-            )
+            with profiled("dp.global_swap"):
+                stats.swaps.append(
+                    global_swap(self.db, state, fence_id=self.fence_id)
+                )
+            with profiled("dp.local_reorder"):
+                stats.reorders.append(local_reorder(
+                    self.db, state, self.reorder_window,
+                    fence_id=self.fence_id,
+                ))
+            with profiled("dp.independent_set"):
+                stats.matchings.append(independent_set_matching(
+                    self.db, state, self.group_size,
+                    fence_id=self.fence_id,
+                ))
             if stats.swaps[-1] + stats.reorders[-1] + stats.matchings[-1] == 0:
                 break
         stats.hpwl_after = state.total_hpwl()
@@ -53,6 +73,6 @@ class DetailedPlacer:
 
 
 def detailed_place(db: PlacementDB, x: np.ndarray, y: np.ndarray,
-                   passes: int = 2):
+                   passes: int = 2, fences=None):
     """Convenience wrapper; returns ``(x, y, stats)``."""
-    return DetailedPlacer(db, passes=passes).run(x, y)
+    return DetailedPlacer(db, passes=passes, fences=fences).run(x, y)

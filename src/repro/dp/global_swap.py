@@ -21,8 +21,9 @@ def _optimal_position(db: PlacementDB, state: IncrementalHpwl,
     ys: list[float] = []
     for pin in db.cell_pins(cell):
         net = int(db.pin_net[pin])
-        others = [p for p in db.net_pins(net) if db.pin_cell[p] != cell]
-        if not others:
+        net_pins = db.net_pins(net)
+        others = net_pins[db.pin_cell[net_pins] != cell]
+        if others.size == 0:
             continue
         px = state._pin_x[others]
         py = state._pin_y[others]
@@ -35,8 +36,14 @@ def _optimal_position(db: PlacementDB, state: IncrementalHpwl,
 
 def global_swap(db: PlacementDB, state: IncrementalHpwl,
                 max_candidates: int = 8,
-                search_radius: float | None = None) -> int:
-    """One sweep of global swapping; returns #accepted swaps."""
+                search_radius: float | None = None,
+                fence_id: np.ndarray | None = None) -> int:
+    """One sweep of global swapping; returns #accepted swaps.
+
+    ``fence_id`` (per-cell fence membership, ``-1`` = unfenced) makes
+    the pass fence-aware: swap partners must share the cell's
+    membership, so a fence-legal placement stays fence-legal.
+    """
     region = db.region
     movable = db.movable_index
     if movable.size == 0:
@@ -55,14 +62,19 @@ def global_swap(db: PlacementDB, state: IncrementalHpwl,
             continue
         width = db.cell_width[cell]
         height = db.cell_height[cell]
-        # candidates: same-footprint movable cells near the optimum
-        dist = np.abs(state.x[movable] - ox) + np.abs(state.y[movable] - oy)
-        nearby = movable[
-            (dist < search_radius)
+        # candidates: same-footprint movable cells near the optimum,
+        # in the same fence group (swapping across a fence boundary
+        # would eject both cells from their regions)
+        candidate_ok = (
+            (np.abs(state.x[movable] - ox)
+             + np.abs(state.y[movable] - oy) < search_radius)
             & (np.abs(db.cell_width[movable] - width) < 1e-9)
             & (np.abs(db.cell_height[movable] - height) < 1e-9)
             & (movable != cell)
-        ]
+        )
+        if fence_id is not None:
+            candidate_ok &= fence_id[movable] == fence_id[cell]
+        nearby = movable[candidate_ok]
         if nearby.size == 0:
             continue
         nearby = nearby[np.argsort(

@@ -1,4 +1,13 @@
-"""Incremental HPWL evaluation for detailed placement moves."""
+"""Incremental HPWL evaluation for detailed placement moves.
+
+:class:`IncrementalHpwl` caches one bounding box per net and patches
+only the nets a move touches, with the per-net work done in NumPy
+(CSR gathers + segmented min/max) instead of per-pin Python loops.
+:class:`ReferenceIncrementalHpwl` is the original loop implementation,
+kept as the oracle for the determinism tests and the benchmark
+baseline — the two produce bit-identical deltas (min/max carry no
+rounding, and per-net contributions are summed in the same order).
+"""
 
 from __future__ import annotations
 
@@ -7,11 +16,154 @@ import numpy as np
 from repro.netlist.database import PlacementDB
 
 
+def _dedup_moves(cells, new_x, new_y):
+    """Unique moved cells with last-occurrence-wins positions (the
+    semantics of the dict the reference implementation builds)."""
+    cells = np.asarray(cells, dtype=np.int64)
+    new_x = np.asarray(new_x, dtype=np.float64)
+    new_y = np.asarray(new_y, dtype=np.float64)
+    uc, first_rev = np.unique(cells[::-1], return_index=True)
+    return uc, new_x[::-1][first_rev], new_y[::-1][first_rev]
+
+
 class IncrementalHpwl:
     """Tracks pin positions and answers "what if these cells moved?".
 
     Positions are cell lower-left corners; the evaluator maintains its
-    own copies, mutated through :meth:`apply`.
+    own copies, mutated through :meth:`apply`.  Per-net bounding boxes
+    are cached and kept in sync by :meth:`apply`, so :meth:`net_hpwl`
+    is O(1) and :meth:`delta` touches only the moved cells' nets.
+    """
+
+    def __init__(self, db: PlacementDB, x: np.ndarray, y: np.ndarray):
+        self.db = db
+        self.x = np.asarray(x, dtype=np.float64).copy()
+        self.y = np.asarray(y, dtype=np.float64).copy()
+        self._pin_x = self.x[db.pin_cell] + db.pin_offset_x
+        self._pin_y = self.y[db.pin_cell] + db.pin_offset_y
+        # per-net bbox cache; pinless nets keep the +-inf fill values
+        # and report zero HPWL
+        n = db.num_nets
+        self._net_xmin = np.full(n, np.inf)
+        self._net_xmax = np.full(n, -np.inf)
+        self._net_ymin = np.full(n, np.inf)
+        self._net_ymax = np.full(n, -np.inf)
+        np.minimum.at(self._net_xmin, db.pin_net, self._pin_x)
+        np.maximum.at(self._net_xmax, db.pin_net, self._pin_x)
+        np.minimum.at(self._net_ymin, db.pin_net, self._pin_y)
+        np.maximum.at(self._net_ymax, db.pin_net, self._pin_y)
+
+    # ------------------------------------------------------------------
+    def _expand_nets(self, nets: np.ndarray):
+        """CSR gather: all pins of ``nets`` plus reduceat segment starts."""
+        starts = self.db.net2pin_start
+        lens = starts[nets + 1] - starts[nets]
+        total = int(lens.sum())
+        seg_starts = np.cumsum(lens) - lens
+        offsets = np.arange(total) - np.repeat(seg_starts, lens)
+        pins = self.db.net2pin[np.repeat(starts[nets], lens) + offsets]
+        return pins, seg_starts
+
+    def net_hpwl(self, net: int) -> float:
+        if self.db.net2pin_start[net + 1] == self.db.net2pin_start[net]:
+            return 0.0  # pinless net: no extent
+        return float(
+            self._net_xmax[net] - self._net_xmin[net]
+            + self._net_ymax[net] - self._net_ymin[net]
+        )
+
+    def nets_of_cells(self, cells) -> np.ndarray:
+        cells = np.asarray(cells, dtype=np.int64)
+        if cells.size == 0:
+            return np.empty(0, dtype=np.int64)
+        starts = self.db.cell2pin_start
+        lens = starts[cells + 1] - starts[cells]
+        total = int(lens.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        offsets = np.arange(total) - np.repeat(np.cumsum(lens) - lens, lens)
+        pins = self.db.cell2pin[np.repeat(starts[cells], lens) + offsets]
+        return np.unique(self.db.pin_net[pins])
+
+    def total_hpwl(self) -> float:
+        from repro.ops.hpwl import hpwl
+
+        return hpwl(self._pin_x, self._pin_y, self.db.pin_net,
+                    self.db.num_nets, self.db.net_weight)
+
+    # ------------------------------------------------------------------
+    def delta(self, cells, new_x, new_y) -> float:
+        """HPWL change if ``cells`` moved to ``new_x/new_y`` (not applied)."""
+        nets = self.nets_of_cells(cells)
+        if nets.size == 0:
+            return 0.0
+        weights = self.db.net_weight[nets]
+        before_terms = (
+            self._net_xmax[nets] - self._net_xmin[nets]
+            + self._net_ymax[nets] - self._net_ymin[nets]
+        ) * weights
+
+        uc, ux, uy = _dedup_moves(cells, new_x, new_y)
+        pins, seg_starts = self._expand_nets(nets)
+        px = self._pin_x[pins].copy()
+        py = self._pin_y[pins].copy()
+        pin_cells = self.db.pin_cell[pins]
+        slot = np.searchsorted(uc, pin_cells)
+        slot = np.minimum(slot, uc.size - 1)
+        moved = uc[slot] == pin_cells
+        if moved.any():
+            mpins = pins[moved]
+            px[moved] = ux[slot[moved]] + self.db.pin_offset_x[mpins]
+            py[moved] = uy[slot[moved]] + self.db.pin_offset_y[mpins]
+        after_terms = (
+            np.maximum.reduceat(px, seg_starts)
+            - np.minimum.reduceat(px, seg_starts)
+            + np.maximum.reduceat(py, seg_starts)
+            - np.minimum.reduceat(py, seg_starts)
+        ) * weights
+        # sequential sums in sorted-net order: bit-identical to the
+        # reference implementation's Python accumulation
+        before = 0.0
+        for term in before_terms:
+            before += term
+        after = 0.0
+        for term in after_terms:
+            after += term
+        return after - before
+
+    def apply(self, cells, new_x, new_y) -> None:
+        """Commit moves, updating cached pin positions and net bboxes."""
+        uc, ux, uy = _dedup_moves(cells, new_x, new_y)
+        self.x[uc] = ux
+        self.y[uc] = uy
+        starts = self.db.cell2pin_start
+        lens = starts[uc + 1] - starts[uc]
+        total = int(lens.sum())
+        if total:
+            offsets = np.arange(total) \
+                - np.repeat(np.cumsum(lens) - lens, lens)
+            pins = self.db.cell2pin[np.repeat(starts[uc], lens) + offsets]
+            owner = np.repeat(np.arange(uc.size), lens)
+            self._pin_x[pins] = ux[owner] + self.db.pin_offset_x[pins]
+            self._pin_y[pins] = uy[owner] + self.db.pin_offset_y[pins]
+            # refresh the bbox cache of every touched net from scratch
+            # (a moved pin may have defined the old extreme)
+            nets = np.unique(self.db.pin_net[pins])
+            apins, seg_starts = self._expand_nets(nets)
+            apx = self._pin_x[apins]
+            apy = self._pin_y[apins]
+            self._net_xmin[nets] = np.minimum.reduceat(apx, seg_starts)
+            self._net_xmax[nets] = np.maximum.reduceat(apx, seg_starts)
+            self._net_ymin[nets] = np.minimum.reduceat(apy, seg_starts)
+            self._net_ymax[nets] = np.maximum.reduceat(apy, seg_starts)
+
+
+class ReferenceIncrementalHpwl:
+    """The original per-pin loop implementation (oracle / baseline).
+
+    Kept verbatim so the determinism tests can prove the cached engine
+    produces bit-identical deltas and accepted-move sequences, and so
+    ``benchmarks/bench_legality.py`` has an honest "before".
     """
 
     def __init__(self, db: PlacementDB, x: np.ndarray, y: np.ndarray):
@@ -21,9 +173,10 @@ class IncrementalHpwl:
         self._pin_x = self.x[db.pin_cell] + db.pin_offset_x
         self._pin_y = self.y[db.pin_cell] + db.pin_offset_y
 
-    # ------------------------------------------------------------------
     def net_hpwl(self, net: int) -> float:
         pins = self.db.net_pins(net)
+        if pins.size == 0:
+            return 0.0  # pinless net: no extent
         px = self._pin_x[pins]
         py = self._pin_y[pins]
         return float(px.max() - px.min() + py.max() - py.min())
@@ -41,9 +194,7 @@ class IncrementalHpwl:
         return hpwl(self._pin_x, self._pin_y, self.db.pin_net,
                     self.db.num_nets, self.db.net_weight)
 
-    # ------------------------------------------------------------------
     def delta(self, cells, new_x, new_y) -> float:
-        """HPWL change if ``cells`` moved to ``new_x/new_y`` (not applied)."""
         nets = self.nets_of_cells(cells)
         before = sum(self.net_hpwl(e) * self.db.net_weight[e] for e in nets)
         moved = {int(c): (float(nx), float(ny))
@@ -64,7 +215,6 @@ class IncrementalHpwl:
         return after - before
 
     def apply(self, cells, new_x, new_y) -> None:
-        """Commit moves, updating cached pin positions."""
         for c, nx, ny in zip(cells, new_x, new_y):
             c = int(c)
             self.x[c] = float(nx)

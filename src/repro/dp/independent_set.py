@@ -37,20 +37,34 @@ def _independent_groups(db: PlacementDB, cells: np.ndarray,
 
 
 def independent_set_matching(db: PlacementDB, state: IncrementalHpwl,
-                             group_size: int = 12) -> int:
-    """One sweep of independent-set matching; returns #improved groups."""
+                             group_size: int = 12,
+                             fence_id: np.ndarray | None = None) -> int:
+    """One sweep of independent-set matching; returns #improved groups.
+
+    With ``fence_id`` (per-cell fence membership, ``-1`` = unfenced)
+    the swappable classes are keyed by (footprint, membership): slots
+    are only exchanged inside one fence group, so a fence-legal
+    placement stays fence-legal.
+    """
     movable = db.movable_index
     if movable.size == 0:
         return 0
     improved = 0
     widths = db.cell_width[movable]
     heights = db.cell_height[movable]
-    footprints = np.stack([widths, heights], axis=1)
-    for width, height in np.unique(footprints, axis=0):
-        cells = movable[
+    groups_by = [widths, heights]
+    if fence_id is not None:
+        groups_by.append(fence_id[movable].astype(np.float64))
+    footprints = np.stack(groups_by, axis=1)
+    for key in np.unique(footprints, axis=0):
+        width, height = key[0], key[1]
+        same_class = (
             (np.abs(widths - width) < 1e-9)
             & (np.abs(heights - height) < 1e-9)
-        ]
+        )
+        if fence_id is not None:
+            same_class &= fence_id[movable] == int(key[2])
+        cells = movable[same_class]
         if cells.size < 2:
             continue
         # spatially coherent order so groups are local

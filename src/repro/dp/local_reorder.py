@@ -12,13 +12,17 @@ from repro.netlist.database import PlacementDB
 
 
 def local_reorder(db: PlacementDB, state: IncrementalHpwl,
-                  window: int = 3) -> int:
+                  window: int = 3,
+                  fence_id: np.ndarray | None = None) -> int:
     """One sweep of sliding-window reordering; returns #accepted moves.
 
     Windows are confined to one free row segment (so packing never
     crosses a fixed blockage) and the cells of a window are left-packed
     in the tried order, which never grows the occupied extent — legality
-    is preserved by construction.
+    is preserved by construction.  With ``fence_id`` (per-cell fence
+    membership, ``-1`` = unfenced), windows mixing memberships are
+    skipped: a uniform window permutes within its original extent,
+    which lies inside that group's allowed area.
     """
     region = db.region
     accepted = 0
@@ -59,6 +63,9 @@ def local_reorder(db: PlacementDB, state: IncrementalHpwl,
                     np.argsort(state.x[seg_cells], kind="stable")
                 ]
                 group = cells[lo:lo + window]
+                if fence_id is not None and \
+                        np.unique(fence_id[group]).size > 1:
+                    continue
                 start = state.x[group[0]]
                 widths = db.cell_width[group]
                 base_y = state.y[group]

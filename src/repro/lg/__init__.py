@@ -9,13 +9,20 @@ relies on.
 
 from repro.lg.tetris import tetris_legalize
 from repro.lg.abacus import abacus_legalize
-from repro.lg.checker import check_legal, LegalityReport
+from repro.lg.checker import (
+    LegalityError,
+    LegalityReport,
+    check_legal,
+    check_legal_reference,
+)
 from repro.lg.legalizer import legalize
 
 __all__ = [
     "tetris_legalize",
     "abacus_legalize",
     "check_legal",
+    "check_legal_reference",
+    "LegalityError",
     "LegalityReport",
     "legalize",
 ]

@@ -69,13 +69,17 @@ def _legalize_segment(cells, desired_x, widths, weights, lo, hi):
 def abacus_legalize(db: PlacementDB, x: np.ndarray, y: np.ndarray,
                     row_of_cell: np.ndarray,
                     desired_x: np.ndarray | None = None,
-                    desired_y: np.ndarray | None = None):
+                    desired_y: np.ndarray | None = None,
+                    cells: np.ndarray | None = None,
+                    segments=None):
     """Refine a row-assigned placement with Abacus clustering.
 
     ``x/y/row_of_cell`` come from :func:`tetris_legalize` (they define
     which segment each cell occupies); ``desired_*`` are the positions
     to approach (default: the current global-placement result in the
-    database).  Returns new ``(x, y)``.
+    database).  ``cells``/``segments`` restrict the refinement to one
+    cell group over its own free space (the fence-aware path).
+    Returns new ``(x, y)``.
     """
     region = db.region
     x = np.asarray(x, dtype=np.float64).copy()
@@ -87,9 +91,18 @@ def abacus_legalize(db: PlacementDB, x: np.ndarray, y: np.ndarray,
     widths = db.cell_width
     site = region.site_width
 
-    segments = build_row_segments(db)
+    in_group = None
+    if cells is not None:
+        in_group = np.zeros(db.num_cells, dtype=bool)
+        in_group[np.asarray(cells, dtype=np.int64)] = True
+
+    if segments is None:
+        segments = build_row_segments(db)
     for row, row_segments in enumerate(segments):
-        members = np.flatnonzero(row_of_cell == row)
+        row_mask = row_of_cell == row
+        if in_group is not None:
+            row_mask &= in_group
+        members = np.flatnonzero(row_mask)
         if members.size == 0:
             continue
         members = members[np.argsort(x[members], kind="stable")]

@@ -68,3 +68,35 @@ def build_row_segments(db: PlacementDB,
             free.append(Segment(row, cursor, region.xh))
         segments.append(free)
     return segments
+
+
+def clip_segments_to_fence(db: PlacementDB,
+                           segments: list[list[Segment]],
+                           fence) -> list[list[Segment]]:
+    """Restrict row segments to a fence rectangle.
+
+    Only rows lying fully inside the fence's y-range survive, and the
+    x-bounds are snapped *inward* to the site grid so every position a
+    legalizer derives from a clipped segment stays on-grid and inside
+    the fence.
+    """
+    region = db.region
+    site = region.site_width
+    fence_xl = region.xl + np.ceil(
+        (fence.xl - region.xl) / site - 1e-9
+    ) * site
+    fence_xh = region.xl + np.floor(
+        (fence.xh - region.xl) / site + 1e-9
+    ) * site
+    clipped: list[list[Segment]] = [[] for _ in segments]
+    for row, row_segments in enumerate(segments):
+        row_yl = region.yl + row * region.row_height
+        if row_yl < fence.yl - 1e-9 or \
+                row_yl + region.row_height > fence.yh + 1e-9:
+            continue
+        for seg in row_segments:
+            start = max(seg.start, fence_xl)
+            end = min(seg.end, fence_xh)
+            if end > start + 1e-9:
+                clipped[row].append(Segment(row, start, end))
+    return clipped

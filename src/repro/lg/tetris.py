@@ -62,7 +62,9 @@ def tetris_legalize(db: PlacementDB,
                     x: np.ndarray | None = None,
                     y: np.ndarray | None = None,
                     row_window: int = 8,
-                    packed: bool = False):
+                    packed: bool = False,
+                    cells: np.ndarray | None = None,
+                    segments=None):
     """Legalize movable single-row cells.
 
     Returns ``(x, y, row_of_cell)`` where ``row_of_cell[i] = -1`` for
@@ -71,12 +73,18 @@ def tetris_legalize(db: PlacementDB,
     retried in ``packed`` mode, which fills rows from the left and
     succeeds whenever the total capacity suffices.  Raises
     ``RuntimeError`` only if even packed mode cannot fit the cells.
+
+    ``cells`` restricts the pass to a subset of the movable cells and
+    ``segments`` overrides the row free space (both together are how
+    the fence-aware legalizer runs one pass per fence group over that
+    group's clipped segments).
     """
     region = db.region
     x = db.cell_x.copy() if x is None else np.asarray(x, dtype=np.float64).copy()
     y = db.cell_y.copy() if y is None else np.asarray(y, dtype=np.float64).copy()
 
-    movable = db.movable_index
+    movable = db.movable_index if cells is None \
+        else np.asarray(cells, dtype=np.int64)
     tall = db.cell_height[movable] > region.row_height + 1e-9
     if tall.any():
         raise NotImplementedError(
@@ -86,7 +94,9 @@ def tetris_legalize(db: PlacementDB,
 
     rows = [
         _RowState(region.yl + r * region.row_height, segs)
-        for r, segs in enumerate(build_row_segments(db))
+        for r, segs in enumerate(
+            build_row_segments(db) if segments is None else segments
+        )
     ]
     num_rows = len(rows)
     site = region.site_width
@@ -127,7 +137,8 @@ def tetris_legalize(db: PlacementDB,
                 if not packed:
                     # greedy stranded too much space; pack from the left
                     return tetris_legalize(db, x, y, row_window,
-                                           packed=True)
+                                           packed=True, cells=cells,
+                                           segments=segments)
                 raise RuntimeError(
                     f"tetris legalization failed for cell "
                     f"{db.cell_names[cell]!r} (width {width}); "

@@ -45,6 +45,14 @@ def validate_db(db: PlacementDB, check_inside: bool = False) -> None:
         if db.pin_net.min() < 0 or db.pin_net.max() >= db.num_nets:
             problems.append("pin_net index out of range")
 
+    if db.num_nets:
+        pinless = int((np.diff(db.net2pin_start) == 0).sum())
+        if pinless:
+            # a pinless net has no extent: harmless to HPWL but almost
+            # always an extraction bug, and historically crashed the
+            # incremental DP evaluator — flag it here instead
+            problems.append(f"{pinless} nets have no pins")
+
     if (db.cell_width < 0).any() or (db.cell_height < 0).any():
         problems.append("negative cell dimensions")
     if (db.net_weight < 0).any():

@@ -21,6 +21,8 @@ GP_ITERATION_SECONDS = "repro_gp_iteration_seconds"
 GP_OVERFLOW = "repro_gp_overflow"
 GP_HPWL_DELTA = "repro_gp_hpwl_rel_delta"
 GP_RECOVERIES = "repro_gp_recoveries_total"
+LEGALITY_VIOLATIONS = "repro_legality_violations"
+FENCE_VIOLATIONS = "repro_fence_violations"
 CACHE_HITS = "repro_cache_hits_total"
 CACHE_MISSES = "repro_cache_misses_total"
 CACHE_DEGRADED = "repro_cache_degraded_hits_total"

@@ -39,6 +39,9 @@ class EventType:
     RETRY = "retry"
     TIMEOUT = "timeout"
     PROFILE = "profile"
+    #: post-stage legality verdict (the LG/DP gate): carries the
+    #: ``LegalityReport.as_dict()`` payload plus the stage name
+    LEGALITY = "legality"
     #: the run completed but a best-effort artifact write failed
     ARTIFACT_ERROR = "artifact_error"
     #: a stale-leased ``running`` run was recovered after a worker death

@@ -45,6 +45,8 @@ from repro.obs.recorders import (
     CACHE_HITS,
     CACHE_MISSES,
     CHECKPOINTS,
+    FENCE_VIOLATIONS,
+    LEGALITY_VIOLATIONS,
     RUNS_TOTAL,
     IterationRecorder,
 )
@@ -375,6 +377,19 @@ def _execute_job(spec: JobSpec, store: RunStore,
                 handle.events.emit(EventType.STAGE_START, stage=stage)
                 handle.events.emit(EventType.STAGE_END, stage=stage,
                                    seconds=seconds)
+        if result.legality is not None:
+            report = result.legality.as_dict()
+            handle.events.emit(EventType.LEGALITY, stage="final",
+                               **report)
+            violations = (report["outside"] + report["off_row"]
+                          + report["off_site"] + report["overlaps"])
+            job_reg.gauge(LEGALITY_VIOLATIONS,
+                          help="legality violations in the final "
+                               "placement").set(violations)
+            job_reg.gauge(FENCE_VIOLATIONS,
+                          help="cells outside their fence region in "
+                               "the final placement").set(
+                report["fence_violations"])
 
         metrics = placement_result_metrics(result)
         try:

@@ -1,0 +1,383 @@
+"""Fence-aware legalization/DP and the vectorized legality engine.
+
+Covers the post-GP fence correctness contract: the checker counts
+fence violations, LG/DP never move a cell across a fence boundary,
+the DreamPlacer gate raises on illegal stages, the vectorized checker
+and cached incremental evaluator are bit-identical to their reference
+implementations, and degenerate (pinless) nets neither crash DP nor
+pass validation silently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.benchgen import CircuitSpec, generate
+from repro.core import DreamPlacer, FenceRegion, PlacementParams, fence_of_cell
+from repro.dp import IncrementalHpwl, ReferenceIncrementalHpwl
+from repro.dp.global_swap import global_swap
+from repro.dp.independent_set import independent_set_matching
+from repro.dp.local_reorder import local_reorder
+from repro.geometry import PlacementRegion
+from repro.lg import (
+    LegalityError,
+    check_legal,
+    check_legal_reference,
+    legalize,
+)
+from repro.lg.rows import build_row_segments, clip_segments_to_fence
+from repro.netlist import CellKind, Netlist
+from repro.netlist.validate import validate_db
+
+
+def _two_fence_design(num_cells: int = 80, seed: int = 3):
+    """A hand-built design with two exclusive fences (L and R)."""
+    region = PlacementRegion(0, 0, 48, 48)
+    netlist = Netlist("fences")
+    rng = np.random.default_rng(seed)
+    for i in range(num_cells):
+        netlist.add_cell(f"c{i}", float(rng.integers(1, 4)), 1.0,
+                         CellKind.MOVABLE, x=24.0, y=24.0)
+    for e in range(num_cells):
+        a = int(rng.integers(num_cells))
+        b = int(rng.integers(num_cells))
+        if a == b:
+            b = (b + 1) % num_cells
+        netlist.add_net(f"n{e}", [(a, 0.5, 0.5), (b, 0.5, 0.5)])
+    db = netlist.compile(region)
+    half = num_cells // 2
+    fences = [
+        FenceRegion("L", 2, 2, 20, 46, cells=list(range(half))),
+        FenceRegion("R", 28, 2, 46, 46, cells=list(range(half, num_cells))),
+    ]
+    return db, fences
+
+
+def _scatter_into_fences(db, fences, seed=0):
+    """Random in-fence positions (a stand-in for a fenced GP result)."""
+    rng = np.random.default_rng(seed)
+    x = db.cell_x.copy()
+    y = db.cell_y.copy()
+    for fence in fences:
+        cells = np.asarray(fence.cells)
+        x[cells] = rng.uniform(fence.xl, fence.xh - db.cell_width[cells])
+        y[cells] = rng.uniform(fence.yl, fence.yh - 1.0)
+    return x, y
+
+
+class TestCheckerFenceViolations:
+    def test_cell_outside_fence_reported(self):
+        db, fences = _two_fence_design()
+        x, y = _scatter_into_fences(db, fences)
+        lx, ly = legalize(db, x, y, fences=fences)
+        # move one L cell into R territory: still legal geometrically
+        # but a fence violation
+        lx[0] = 30.0
+        ly[0] = 10.0
+        report = check_legal(db, lx, ly, fences=fences)
+        assert not report.legal
+        assert report.fence_violations == 1
+        assert any("fence" in m for m in report.messages)
+
+    def test_without_fences_stays_blind(self):
+        db, fences = _two_fence_design()
+        x, y = _scatter_into_fences(db, fences)
+        lx, ly = legalize(db, x, y, fences=fences)
+        lx[0] = 30.0
+        ly[0] = 10.0
+        assert check_legal(db, lx, ly).fence_violations == 0
+
+    def test_report_as_dict_roundtrip(self):
+        db, fences = _two_fence_design()
+        x, y = _scatter_into_fences(db, fences)
+        lx, ly = legalize(db, x, y, fences=fences)
+        report = check_legal(db, lx, ly, fences=fences)
+        d = report.as_dict()
+        assert d["legal"] is True
+        assert d["fence_violations"] == 0
+        assert set(d) == {"legal", "outside", "off_row", "off_site",
+                          "overlaps", "fence_violations", "messages"}
+
+
+class TestFenceAwareLegalize:
+    def test_groups_stay_in_their_fences(self):
+        db, fences = _two_fence_design()
+        x, y = _scatter_into_fences(db, fences)
+        lx, ly = legalize(db, x, y, fences=fences)
+        report = check_legal(db, lx, ly, fences=fences)
+        assert report.legal, report.messages
+
+    def test_default_cells_kept_out_of_fences(self):
+        db, fences = _two_fence_design()
+        # only fence L is populated; the rest are default-group cells
+        half = len(fences[0].cells)
+        fences = [fences[0]]
+        x, y = _scatter_into_fences(db, fences)
+        lx, ly = legalize(db, x, y, fences=fences)
+        assert check_legal(db, lx, ly, fences=fences).legal
+        fence = fences[0]
+        default = np.setdiff1d(db.movable_index, np.arange(half))
+        inside = (
+            (lx[default] + db.cell_width[default] > fence.xl + 1e-6)
+            & (lx[default] < fence.xh - 1e-6)
+            & (ly[default] + 1.0 > fence.yl + 1e-6)
+            & (ly[default] < fence.yh - 1e-6)
+        )
+        assert not inside.any()
+
+    def test_clip_segments_rows_and_sites(self):
+        db, fences = _two_fence_design()
+        base = build_row_segments(db)
+        fence = FenceRegion("odd", 3.4, 2.0, 17.6, 13.0, cells=[0])
+        clipped = clip_segments_to_fence(db, base, fence)
+        region = db.region
+        for row, row_segments in enumerate(clipped):
+            row_yl = region.yl + row * region.row_height
+            for seg in row_segments:
+                assert row_yl >= fence.yl - 1e-9
+                assert row_yl + region.row_height <= fence.yh + 1e-9
+                # bounds snapped inward onto the site grid
+                assert seg.start >= fence.xl - 1e-9
+                assert seg.end <= fence.xh + 1e-9
+                assert abs(seg.start - round(seg.start)) < 1e-9
+                assert abs(seg.end - round(seg.end)) < 1e-9
+
+    def test_fenced_movable_macro_rejected(self):
+        region = PlacementRegion(0, 0, 16, 16)
+        netlist = Netlist("tallfence")
+        netlist.add_cell("m", 2.0, 3.0, CellKind.MOVABLE, x=1, y=1)
+        netlist.add_cell("c", 1.0, 1.0, CellKind.MOVABLE, x=5, y=5)
+        netlist.add_net("n", [(0, 0.5, 0.5), (1, 0.5, 0.5)])
+        db = netlist.compile(region)
+        fences = [FenceRegion("F", 0, 0, 8, 8, cells=[0])]
+        with pytest.raises(NotImplementedError):
+            legalize(db, fences=fences)
+
+
+class TestFenceAwareDetailedPlacement:
+    def _legal_fenced_state(self, seed=0):
+        db, fences = _two_fence_design(seed=seed)
+        x, y = _scatter_into_fences(db, fences, seed=seed)
+        lx, ly = legalize(db, x, y, fences=fences)
+        return db, fences, lx, ly
+
+    def test_global_swap_never_crosses_fences(self):
+        db, fences, lx, ly = self._legal_fenced_state()
+        fence_id = fence_of_cell(db, fences)
+        state = IncrementalHpwl(db, lx, ly)
+        before_fence = {
+            int(c): int(fence_id[c]) for c in db.movable_index
+        }
+        global_swap(db, state, fence_id=fence_id)
+        report = check_legal(db, state.x, state.y, fences=fences)
+        assert report.fence_violations == 0, report.messages
+        # every cell is still inside the fence it started in
+        for fence in fences:
+            for c in fence.cells:
+                assert before_fence[c] == int(fence_id[c])
+                assert state.x[c] >= fence.xl - 1e-6
+                assert state.x[c] + db.cell_width[c] <= fence.xh + 1e-6
+
+    def test_global_swap_would_violate_without_fence_id(self):
+        """The regression: fence-blind swapping crosses fences.
+
+        Guards against the mask silently becoming a no-op — if the
+        unconstrained pass never crosses a fence on this design the
+        fence-aware assertions above would be vacuous.
+        """
+        db, fences, lx, ly = self._legal_fenced_state()
+        state = IncrementalHpwl(db, lx, ly)
+        global_swap(db, state)
+        report = check_legal(db, state.x, state.y, fences=fences)
+        assert report.fence_violations > 0
+
+    def test_all_passes_preserve_fences(self):
+        db, fences, lx, ly = self._legal_fenced_state(seed=1)
+        fence_id = fence_of_cell(db, fences)
+        state = IncrementalHpwl(db, lx, ly)
+        global_swap(db, state, fence_id=fence_id)
+        local_reorder(db, state, 3, fence_id=fence_id)
+        independent_set_matching(db, state, 12, fence_id=fence_id)
+        report = check_legal(db, state.x, state.y, fences=fences)
+        assert report.legal, report.messages
+
+
+class TestEndToEndFenceFlow:
+    def test_gp_lg_dp_zero_violations(self):
+        db, fences = _two_fence_design()
+        params = PlacementParams(max_global_iters=120, min_global_iters=5)
+        result = DreamPlacer(db, params, fences=fences).run()
+        assert result.legality is not None
+        assert result.legality.legal, result.legality.messages
+        assert result.legality.fence_violations == 0
+        assert result.legality.overlaps == 0
+        # the placement really is split: every cell inside its fence
+        report = check_legal(db, result.x, result.y, fences=fences)
+        assert report.fence_violations == 0
+
+    def test_gate_raises_on_illegal_stage(self, monkeypatch):
+        db, fences = _two_fence_design()
+        params = PlacementParams(max_global_iters=30, min_global_iters=5)
+
+        def fence_blind_legalize(db, x=None, y=None, refine=True,
+                                 fences=None):
+            return legalize(db, x, y, refine=refine)  # drops the fences
+
+        monkeypatch.setattr("repro.core.placer.legalize",
+                            fence_blind_legalize)
+        with pytest.raises(LegalityError) as err:
+            DreamPlacer(db, params, fences=fences).run()
+        assert err.value.stage == "legalize"
+        assert err.value.report.fence_violations > 0
+
+    def test_gate_off_reports_instead(self, monkeypatch):
+        db, fences = _two_fence_design()
+        params = PlacementParams(max_global_iters=30, min_global_iters=5,
+                                 detailed=False, legality_gate=False)
+
+        def fence_blind_legalize(db, x=None, y=None, refine=True,
+                                 fences=None):
+            return legalize(db, x, y, refine=refine)
+
+        monkeypatch.setattr("repro.core.placer.legalize",
+                            fence_blind_legalize)
+        result = DreamPlacer(db, params, fences=fences).run()
+        assert result.legality is not None
+        assert not result.legality.legal
+        assert result.legality.fence_violations > 0
+
+
+class TestCheckerDeterminism:
+    """The vectorized checker is bit-identical to the Python sweep."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_legal_placements(self, seed):
+        db = generate(CircuitSpec(name=f"dl{seed}", num_cells=150,
+                                  seed=seed))
+        lx, ly = legalize(db)
+        a = check_legal(db, lx, ly)
+        b = check_legal_reference(db, lx, ly)
+        assert a.as_dict() == b.as_dict()
+        assert a.legal
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_messy_placements(self, seed):
+        db = generate(CircuitSpec(
+            name=f"dm{seed}", num_cells=150, seed=seed,
+            num_macros=2 if seed % 2 else 0,
+            macro_area_fraction=0.1 if seed % 2 else 0.0,
+        ))
+        rng = np.random.default_rng(seed)
+        x = db.cell_x + rng.normal(0, 2, db.num_cells)
+        y = db.cell_y + rng.normal(0, 2, db.num_cells)
+        a = check_legal(db, x, y)
+        b = check_legal_reference(db, x, y)
+        assert a.as_dict() == b.as_dict()
+
+    def test_piled_up_worst_case(self):
+        """Every cell on one spot: the dirty-band fallback must still
+        agree with the reference exactly."""
+        db = generate(CircuitSpec(name="pile", num_cells=60, seed=5))
+        x = np.full(db.num_cells, 4.0)
+        y = np.full(db.num_cells, 4.0)
+        a = check_legal(db, x, y)
+        b = check_legal_reference(db, x, y)
+        assert a.as_dict() == b.as_dict()
+        assert a.overlaps > 0
+
+
+class TestIncrementalDeterminism:
+    """Cached bboxes produce bit-identical deltas and move sequences."""
+
+    def test_random_deltas_bit_identical(self):
+        db = generate(CircuitSpec(name="inc", num_cells=200, seed=11))
+        lx, ly = legalize(db)
+        a = IncrementalHpwl(db, lx, ly)
+        b = ReferenceIncrementalHpwl(db, lx, ly)
+        rng = np.random.default_rng(1)
+        mv = db.movable_index
+        for _ in range(200):
+            k = int(rng.integers(1, 4))
+            cells = rng.choice(mv, size=k, replace=True)
+            nx = a.x[cells] + rng.normal(0, 3, k)
+            ny = a.y[cells] + rng.normal(0, 3, k)
+            assert a.delta(cells, nx, ny) == b.delta(cells, nx, ny)
+            if rng.random() < 0.3:
+                a.apply(cells, nx, ny)
+                b.apply(cells, nx, ny)
+                np.testing.assert_array_equal(a.x, b.x)
+                np.testing.assert_array_equal(a._pin_x, b._pin_x)
+
+    def test_pass_move_sequences_bit_identical(self):
+        db = generate(CircuitSpec(name="seq", num_cells=200, seed=7))
+        lx, ly = legalize(db)
+        a = IncrementalHpwl(db, lx, ly)
+        b = ReferenceIncrementalHpwl(db, lx, ly)
+        for sweep in (global_swap, local_reorder,
+                      independent_set_matching):
+            assert sweep(db, a) == sweep(db, b), sweep.__name__
+            np.testing.assert_array_equal(a.x, b.x)
+            np.testing.assert_array_equal(a.y, b.y)
+        assert a.total_hpwl() == b.total_hpwl()
+
+    def test_net_hpwl_matches_cache(self):
+        db = generate(CircuitSpec(name="nh", num_cells=100, seed=2))
+        state = IncrementalHpwl(db, db.cell_x, db.cell_y)
+        ref = ReferenceIncrementalHpwl(db, db.cell_x, db.cell_y)
+        for net in range(db.num_nets):
+            assert state.net_hpwl(net) == ref.net_hpwl(net)
+
+
+class TestDegenerateNets:
+    def _db_with_pinless_net(self):
+        region = PlacementRegion(0, 0, 16, 16)
+        netlist = Netlist("degenerate")
+        for i in range(4):
+            netlist.add_cell(f"c{i}", 1.0, 1.0, CellKind.MOVABLE,
+                             x=float(2 + i * 3), y=2.0)
+        netlist.add_net("n0", [(0, 0.5, 0.5), (1, 0.5, 0.5)])
+        netlist.add_net("empty", [])
+        netlist.add_net("n1", [(2, 0.5, 0.5), (3, 0.5, 0.5)])
+        return netlist.compile(region)
+
+    def test_net_hpwl_pinless_returns_zero(self):
+        db = self._db_with_pinless_net()
+        state = IncrementalHpwl(db, db.cell_x, db.cell_y)
+        assert state.net_hpwl(1) == 0.0
+
+    def test_delta_and_apply_survive_pinless_nets(self):
+        db = self._db_with_pinless_net()
+        state = IncrementalHpwl(db, db.cell_x, db.cell_y)
+        d = state.delta([0], [5.0], [3.0])
+        assert np.isfinite(d)
+        state.apply([0], [5.0], [3.0])
+        assert state.x[0] == 5.0
+
+    def test_validate_flags_pinless_nets(self):
+        db = self._db_with_pinless_net()
+        with pytest.raises(ValueError, match="nets have no pins"):
+            validate_db(db)
+
+    def test_delta_empty_move_is_zero(self):
+        db = self._db_with_pinless_net()
+        state = IncrementalHpwl(db, db.cell_x, db.cell_y)
+        assert state.delta([], [], []) == 0.0
+
+
+class TestMetricsAndEvents:
+    def test_result_metrics_carry_legality(self):
+        from repro.core import placement_result_metrics
+
+        db, fences = _two_fence_design()
+        params = PlacementParams(max_global_iters=60, min_global_iters=5)
+        result = DreamPlacer(db, params, fences=fences).run()
+        metrics = placement_result_metrics(result)
+        assert metrics["legal"] is True
+        assert metrics["legality"]["fence_violations"] == 0
+        assert metrics["legality"]["overlaps"] == 0
+
+    def test_legality_gate_param_roundtrips(self):
+        params = PlacementParams(legality_gate=False)
+        again = PlacementParams.from_dict(params.to_dict())
+        assert again.legality_gate is False
