@@ -1,0 +1,128 @@
+"""Multilevel cascade benchmark: flat vs coarse-to-fine GP wall-clock.
+
+Runs global placement on a 50k-cell synthetic design four ways — the
+{eager, captured-replay} x {flat, multilevel cascade} grid — and
+reports wall-clock, total/per-level iteration counts and final HPWL.
+The cascade must beat flat GP wall-clock at a small HPWL premium (the
+coarse level trades cluster-granularity wirelength fidelity for nearly
+free spreading iterations), and graph capture must compose with the
+cascade (each level records its own tape once and replays it).
+
+Heavier than the default benchmark operating point, so the cell count
+is scaled by ``REPRO_ML_CELLS`` (default 50000).  Besides the usual
+``benchmarks/results`` row, writes a summary to
+``BENCH_multilevel.json`` at the repo root.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from _support import print_header, print_row, record
+from repro.benchgen import CircuitSpec, generate
+from repro.core import GlobalPlacer, PlacementParams
+from repro.core.multilevel import multilevel_place
+
+NUM_CELLS = int(os.environ.get("REPRO_ML_CELLS", "50000"))
+SEED = 1
+ROOT_JSON = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_multilevel.json",
+)
+
+
+def _design():
+    return generate(CircuitSpec(name=f"ml{NUM_CELLS}",
+                                num_cells=NUM_CELLS,
+                                num_ios=256, seed=SEED))
+
+
+def _params(capture: bool) -> PlacementParams:
+    return PlacementParams(seed=SEED, max_global_iters=1500,
+                           graph_capture=capture)
+
+
+def _run(db, capture: bool, multilevel: bool):
+    params = _params(capture)
+    t0 = time.perf_counter()
+    if multilevel:
+        result = multilevel_place(
+            db, params.with_overrides(multilevel_levels=3))
+    else:
+        result = GlobalPlacer(db, params).place()
+    wall = time.perf_counter() - t0
+    return {
+        "mode": "replay" if capture else "eager",
+        "gp": "cascade" if multilevel else "flat",
+        "wall_s": wall,
+        "iterations": int(result.iterations),
+        "hpwl": float(result.hpwl),
+        "overflow": float(result.overflow),
+        "converged": bool(result.converged),
+        "levels": result.levels if multilevel else None,
+    }
+
+
+def run(benchmark=None):
+    print_header(
+        f"Multilevel cascade vs flat GP ({NUM_CELLS} cells)",
+        ["mode", "gp", "wall s", "iters", "hpwl", "vs flat", "speedup"],
+    )
+    rows = []
+    flat_by_mode = {}
+    for capture in (False, True):
+        for multilevel in (False, True):
+            row = _run(_design(), capture, multilevel)
+            if not multilevel:
+                flat_by_mode[row["mode"]] = row
+            flat = flat_by_mode[row["mode"]]
+            row["hpwl_delta_pct"] = (row["hpwl"] / flat["hpwl"] - 1) * 100
+            row["speedup_vs_flat"] = flat["wall_s"] / row["wall_s"]
+            iters = str(row["iterations"])
+            if row["levels"]:
+                iters += " (" + "+".join(
+                    str(info["iterations"]) for info in row["levels"]) + ")"
+            print_row([
+                row["mode"], row["gp"], f"{row['wall_s']:.1f}", iters,
+                f"{row['hpwl']:.4e}", f"{row['hpwl_delta_pct']:+.2f}%",
+                f"{row['speedup_vs_flat']:.2f}x",
+            ])
+            record("multilevel", row)
+            rows.append(row)
+
+    cascade = [r for r in rows if r["gp"] == "cascade"]
+    summary = {
+        "num_cells": NUM_CELLS,
+        "speedup_eager": next(r["speedup_vs_flat"] for r in cascade
+                              if r["mode"] == "eager"),
+        "speedup_replay": next(r["speedup_vs_flat"] for r in cascade
+                               if r["mode"] == "replay"),
+        "hpwl_delta_pct_replay": next(r["hpwl_delta_pct"] for r in cascade
+                                      if r["mode"] == "replay"),
+        "runs": rows,
+    }
+    with open(ROOT_JSON, "w") as handle:
+        json.dump(summary, handle, indent=1)
+    print(f"-- cascade speedup: eager {summary['speedup_eager']:.2f}x, "
+          f"replay {summary['speedup_replay']:.2f}x at "
+          f"{summary['hpwl_delta_pct_replay']:+.2f}% HPWL")
+
+    assert all(r["converged"] for r in rows), rows
+    # the cascade must actually pay for itself, in both engines
+    assert summary["speedup_eager"] > 1.0, summary
+    assert summary["speedup_replay"] > 1.0, summary
+    # cascade positions stay bit-deterministic across engines: capture
+    # never changes semantics, multilevel or not
+    hp = {r["mode"]: r["hpwl"] for r in cascade}
+    assert np.isclose(hp["eager"], hp["replay"], rtol=0, atol=0), hp
+    return summary
+
+
+def test_multilevel_cascade(benchmark):
+    run(benchmark)
+
+
+if __name__ == "__main__":
+    run()

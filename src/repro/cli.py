@@ -80,6 +80,9 @@ def _cmd_place(args) -> int:
         max_recoveries=args.max_recoveries,
         graph_capture=not args.no_capture,
         legality_gate=not args.no_legality_gate,
+        multilevel_levels=args.multilevel,
+        coarsen_ratio=args.coarsen_ratio,
+        ignore_net_degree=args.ignore_net_degree,
     )
     import contextlib
 
@@ -668,6 +671,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "checkpoint but never retry)")
     place.add_argument("--max-recoveries", type=int, default=3,
                        help="rollback budget per GP run before giving up")
+    place.add_argument("--multilevel", type=int, default=1,
+                       metavar="LEVELS",
+                       help="coarse-to-fine GP cascade levels "
+                            "(1 = flat placement, the default)")
+    place.add_argument("--coarsen-ratio", type=float, default=0.35,
+                       help="per-level movable-cell shrink target "
+                            "for the multilevel coarsener")
+    place.add_argument("--ignore-net-degree", type=int, default=0,
+                       help="mask nets with more pins than this out "
+                            "of the wirelength gradient (0 = off)")
     place.add_argument("--no-capture", action="store_true",
                        help="disable the captured-tape replay engine "
                             "(evaluate the objective eagerly every "

@@ -9,6 +9,7 @@ placement, with an optional routability-driven cell-inflation loop.
 from repro.core.params import DEFAULT_SEED, PlacementParams
 from repro.core.placer import DreamPlacer, PlacementResult, StageTimes
 from repro.core.global_place import GlobalPlacer, GlobalPlaceResult
+from repro.core.multilevel import build_levels, multilevel_place
 from repro.core.convergence import (
     ConvergenceMonitor,
     IterationStatus,
@@ -37,6 +38,8 @@ __all__ = [
     "StageTimes",
     "GlobalPlacer",
     "GlobalPlaceResult",
+    "build_levels",
+    "multilevel_place",
     "ConvergenceMonitor",
     "IterationStatus",
     "PlacerSnapshot",

@@ -69,6 +69,9 @@ class GlobalPlaceResult:
     recoveries: int = 0
     #: minimum finite HPWL observed across the trace
     best_hpwl: float = math.nan
+    #: per-level outcome dicts when this result came out of the
+    #: multilevel cascade (coarsest first); None for a flat run
+    levels: list | None = None
 
 
 class GlobalPlacer:
@@ -114,6 +117,10 @@ class GlobalPlacer:
         # resume, set_positions) so the next closure recaptures
         self._tape = None
         self._capture_ok = True
+        #: extra keys folded into every capture_loop_state() dict; the
+        #: multilevel cascade driver stores its active level here so a
+        #: checkpoint taken mid-cascade records where to resume
+        self.checkpoint_extra: dict = {}
 
     # ------------------------------------------------------------------
     def _build_variables(self) -> None:
@@ -188,11 +195,13 @@ class GlobalPlacer:
                 self.db, gamma=self.gamma_schedule(1.0),
                 strategy=params.wirelength_strategy, dtype=dtype,
                 pooled=pooled, workspace=self.ws,
+                ignore_net_degree=params.ignore_net_degree,
             )
         elif params.wirelength == "lse":
             wl_op = LogSumExpWirelength(
                 self.db, gamma=self.gamma_schedule(1.0), dtype=dtype,
                 pooled=pooled, workspace=self.ws,
+                ignore_net_degree=params.ignore_net_degree,
             )
         else:
             raise ValueError(f"unknown wirelength model {params.wirelength!r}")
@@ -343,7 +352,8 @@ class GlobalPlacer:
                 "call it from an on_iteration callback"
             )
         scheduler = ctx["scheduler"]
-        return {
+        state = dict(self.checkpoint_extra)
+        state.update({
             "iteration": ctx["iteration"],
             "hpwl": ctx["hpwl"],
             "overflow": ctx["overflow"],
@@ -360,7 +370,8 @@ class GlobalPlacer:
             "overflow_trace": list(ctx["overflow_trace"]),
             "best_hpwl": ctx["best_hpwl"],
             "recoveries": ctx["recoveries"],
-        }
+        })
+        return state
 
     def _restore_loop_state(self, state: dict, monitor: ConvergenceMonitor):
         """Rebuild every loop variable from :meth:`capture_loop_state`."""

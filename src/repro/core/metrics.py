@@ -89,6 +89,11 @@ def placement_result_metrics(result) -> dict:
             "router_calls": int(result.router_calls),
         },
     }
+    # multilevel cascade: per-level outcomes (only present when the
+    # cascade ran, so flat-run metrics keep their historical shape)
+    levels = getattr(result, "gp_levels", None)
+    if levels:
+        out["gp_levels"] = [dict(info) for info in levels]
     return out
 
 

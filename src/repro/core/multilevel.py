@@ -1,0 +1,227 @@
+"""Multilevel global placement: coarse-to-fine GP cascade.
+
+The DG-RePlAce-style accelerant on top of the kernel GP loop: coarsen
+the netlist ``multilevel_levels - 1`` times (``repro.netlist.coarsen``,
+deterministic heavy-edge matching), run GP on the coarsest problem
+from a cold start, then repeatedly *prolong* cluster positions onto
+the next-finer level and warm-start its GP from there.
+
+Why it is fast:
+
+- a level with ``r``x fewer movable cells costs roughly ``r``x less
+  per iteration (wirelength is pin-linear, the density grid auto-sizes
+  to ``sqrt(num_movable)`` via ``PlacementParams.resolve_num_bins``),
+  so coarse iterations are nearly free;
+- the fine level starts from an already-spread placement, skipping
+  the expensive early phase where a cold start untangles the random
+  center initialization — it needs a fraction of the flat iteration
+  count to reach the same overflow target.
+
+Coarse levels run with a relaxed overflow target and a short plateau
+patience (``multilevel_coarse_*`` knobs): past that point the coarse
+optimum stops transferring through prolongation, so the budget is
+handed to the finer level instead.
+
+Checkpoint/resume: the driver stamps the active level (and its
+movable-cell count, as a determinism guard) into every
+``capture_loop_state()`` dict via ``GlobalPlacer.checkpoint_extra``.
+Because coarsening is a pure function of the database and parameters,
+resuming rebuilds the identical level stack, restores the checkpointed
+level's loop state, and continues prolonging downward — completed
+coarser levels never replay, their only output (the warm-start
+positions) is already inside the checkpoint.
+
+Each level's GP runs inside a ``gp.level{i}`` trace span/profiler op
+(plus ``gp.coarsen``/``gp.prolong`` for the transfer operators), and
+each ``on_iteration`` info dict gains ``level``/``num_levels`` keys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.global_place import GlobalPlacer, GlobalPlaceResult
+from repro.core.params import PlacementParams
+from repro.netlist.coarsen import CoarseLevel, coarsen
+from repro.netlist.database import PlacementDB
+from repro.obs.trace import trace_span
+from repro.perf.profiler import profiled
+
+
+def build_levels(db: PlacementDB, params: PlacementParams,
+                 fences=None) -> list[CoarseLevel]:
+    """The level stack, finest first.
+
+    ``levels[0]`` is an identity level over ``db``; ``levels[i]`` for
+    ``i >= 1`` coarsens ``levels[i-1].db``.  Generation stops early
+    when a level would fall below ``multilevel_min_cells`` movable
+    cells or the coarsener stalls, so the stack may be shorter than
+    ``multilevel_levels``.
+    """
+    from repro.netlist.coarsen import _identity_level
+
+    levels = [_identity_level(db, fences)]
+    for _ in range(1, max(int(params.multilevel_levels), 1)):
+        prev = levels[-1]
+        if prev.db.num_movable <= params.multilevel_min_cells:
+            break
+        step = coarsen(prev.db, params.coarsen_ratio, fences=prev.fences)
+        if step.identity:
+            break
+        levels.append(step)
+    return levels
+
+
+def _coarse_bins(num_movable: int) -> int:
+    """Coarse-level grid rule: power of two *below* sqrt(#movable).
+
+    The default auto-sizing (``PlacementParams.resolve_num_bins``)
+    rounds up, which is right for the final-quality fine level; coarse
+    levels only need the density field to spread clusters, and the
+    DCT/stamping cost is quadratic in the grid side, so rounding down
+    buys a 4x cheaper field at no measurable transfer loss.
+    """
+    guess = 2 ** int(np.floor(np.log2(max(
+        np.sqrt(max(num_movable, 1)), 1))))
+    return int(np.clip(guess, 16, 512))
+
+
+def _level_params(params: PlacementParams, level: int, num_levels: int,
+                  num_movable: int) -> PlacementParams:
+    """Per-level GP knobs.
+
+    Coarse levels (``level > 0``) scale the density grid to their own
+    cell count, stop early on relaxed targets/plateaus, and ramp
+    lambda hotter (``multilevel_coarse_mu``) — their job is global
+    structure, not a polished optimum.  Warm-started levels (all but
+    the coarsest) soften the balanced lambda_0 restart by
+    ``multilevel_warm_lambda_scale`` so refinement opens with
+    wirelength-led repair iterations.  A single-level stack therefore
+    returns ``params`` untouched: the flat path stays bit-identical.
+    """
+    p = params
+    if level > 0:
+        p = p.with_overrides(
+            num_bins=_coarse_bins(num_movable),
+            stop_overflow=max(params.stop_overflow,
+                              params.multilevel_coarse_overflow),
+            plateau_patience=min(params.plateau_patience,
+                                 params.multilevel_coarse_patience),
+            mu_max=max(params.mu_max, params.multilevel_coarse_mu),
+        )
+    if level < num_levels - 1:
+        p = p.with_overrides(
+            density_weight_scale=(p.density_weight_scale
+                                  * params.multilevel_warm_lambda_scale),
+        )
+    return p
+
+
+def multilevel_place(db: PlacementDB, params: PlacementParams,
+                     fences=None, on_iteration=None,
+                     resume_state: dict | None = None) -> GlobalPlaceResult:
+    """Run the coarse-to-fine cascade; returns the *fine* GP result.
+
+    The returned :class:`GlobalPlaceResult` carries the fine level's
+    positions/metrics, with ``iterations`` summed across every level
+    (total GP work) and a ``levels`` attribute listing the per-level
+    outcomes.  ``resume_state`` must come from a checkpoint captured
+    by this driver (it records the active level).
+    """
+    with trace_span("gp.coarsen", levels=int(params.multilevel_levels)), \
+            profiled("gp.coarsen"):
+        levels = build_levels(db, params, fences=fences)
+
+    start_level = len(levels) - 1
+    level_resume = None
+    if resume_state is not None:
+        start_level = int(resume_state.get("multilevel_level",
+                                           len(levels) - 1))
+        if not 0 <= start_level < len(levels):
+            raise ValueError(
+                f"checkpoint level {start_level} outside the rebuilt "
+                f"{len(levels)}-level cascade (parameters changed?)"
+            )
+        expect = resume_state.get("multilevel_cells")
+        have = levels[start_level].db.num_movable
+        if expect is not None and int(expect) != have:
+            raise ValueError(
+                f"checkpoint level {start_level} had {expect} movable "
+                f"cells, rebuilt level has {have}: the cascade is not "
+                f"the one that was checkpointed"
+            )
+        level_resume = resume_state
+
+    warm = None
+    # completed-level history rides inside every checkpoint so a
+    # resumed cascade reports the same totals as an uninterrupted one
+    # (already-finished coarse levels are never replayed)
+    total_iterations = 0
+    total_recoveries = 0
+    level_infos = []
+    if level_resume is not None:
+        total_iterations = int(level_resume.get("multilevel_iterations", 0))
+        total_recoveries = int(level_resume.get("multilevel_recoveries", 0))
+        level_infos = [dict(info) for info
+                       in level_resume.get("multilevel_done", [])]
+    result = None
+    for level in range(start_level, -1, -1):
+        stack = levels[level]
+        level_db = stack.db
+        placer = GlobalPlacer(
+            level_db,
+            _level_params(params, level, len(levels),
+                          level_db.num_movable),
+            fences=stack.fences,
+        )
+        placer.checkpoint_extra = {
+            "multilevel_level": level,
+            "multilevel_cells": level_db.num_movable,
+            "multilevel_iterations": total_iterations,
+            "multilevel_recoveries": total_recoveries,
+            "multilevel_done": [dict(info) for info in level_infos],
+        }
+        if warm is not None:
+            placer.set_positions(*warm)
+
+        def hook(placer_, info, _level=level):
+            if on_iteration is not None:
+                info = dict(info)
+                info["level"] = _level
+                info["num_levels"] = len(levels)
+                on_iteration(placer_, info)
+
+        with trace_span(f"gp.level{level}",
+                        cells=level_db.num_movable,
+                        nets=level_db.num_nets,
+                        pins=level_db.num_pins), \
+                profiled(f"gp.level{level}"):
+            result = placer.place(on_iteration=hook,
+                                  resume_state=level_resume)
+        level_resume = None
+        total_iterations += result.iterations
+        total_recoveries += result.recoveries
+        # deterministic fields only: this dict lands in metrics.json,
+        # which the kill/resume machinery compares bit-exactly against
+        # uninterrupted runs (timing lives in the trace spans)
+        level_infos.append({
+            "level": level,
+            "cells": int(level_db.num_movable),
+            "nets": int(level_db.num_nets),
+            "pins": int(level_db.num_pins),
+            "bins": int(placer.grid.nx),
+            "iterations": int(result.iterations),
+            "hpwl": float(result.hpwl),
+            "overflow": float(result.overflow),
+            "converged": bool(result.converged),
+        })
+
+        if level > 0:
+            with trace_span("gp.prolong", level=level), \
+                    profiled("gp.prolong"):
+                warm = stack.prolong(result.x, result.y)
+
+    result.iterations = total_iterations
+    result.recoveries = total_recoveries
+    result.levels = level_infos
+    return result

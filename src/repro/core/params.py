@@ -52,6 +52,40 @@ class PlacementParams:
     wirelength_strategy: str = "merged"  # see repro.ops.wa_wirelength
     #: gamma = gamma_factor * (bin_w + bin_h)/2 * 10^(k*overflow + b)
     gamma_factor: float = 4.0
+    #: DREAMPlace-style high-fanout filter: nets with more pins than
+    #: this are masked out of the smooth wirelength *gradient* (they
+    #: carry no locality signal and dominate kernel cost) while still
+    #: counted in every reported HPWL.  0 disables the filter.
+    ignore_net_degree: int = 0
+
+    # -- multilevel cascade ----------------------------------------------
+    #: GP resolution levels: 1 = flat (bit-identical to the classic
+    #: single-level flow), N > 1 coarsens the netlist N-1 times and
+    #: runs coarse-to-fine with warm-started refinement
+    multilevel_levels: int = 1
+    #: per-level movable-cell shrink target for the coarsener
+    #: (``repro.netlist.coarsen``): each level keeps at most this
+    #: fraction of the previous level's movable cells
+    coarsen_ratio: float = 0.35
+    #: overflow at which a *coarse* level may stop (the fine level
+    #: always runs to ``stop_overflow``); coarse optima below this are
+    #: wasted work that warm-starting discards anyway
+    multilevel_coarse_overflow: float = 0.15
+    #: plateau patience for coarse levels (early handoff on stalls)
+    multilevel_coarse_patience: int = 40
+    #: density-weight growth (``mu_max``) floor for coarse levels:
+    #: their lambda ramp can run hotter than the fine level's because
+    #: warm-starting keeps only the global structure of their result
+    multilevel_coarse_mu: float = 1.10
+    #: ``density_weight_scale`` multiplier applied to every
+    #: *warm-started* level (all but the coarsest).  Restarting the
+    #: balanced lambda_0 at full strength on a prolonged placement is
+    #: too density-dominant: the fine level needs a stretch of
+    #: wirelength-led iterations to repair the cluster-granularity
+    #: HPWL damage before spreading resumes
+    multilevel_warm_lambda_scale: float = 0.1
+    #: stop generating coarser levels below this many movable cells
+    multilevel_min_cells: int = 512
 
     # -- optimizer -------------------------------------------------------
     optimizer: str = "nesterov"  # nesterov | adam | sgd | rmsprop | cg

@@ -63,6 +63,9 @@ class PlacementResult:
     recoveries: int = 0
     diverged: bool = False
     best_hpwl: float = float("nan")
+    #: per-level GP outcomes (coarsest first) when the multilevel
+    #: cascade ran; None for the flat single-level flow
+    gp_levels: Optional[list] = None
 
 
 class DreamPlacer:
@@ -124,6 +127,22 @@ class DreamPlacer:
             gp_result, route_info = self._routability_global_place(
                 times, on_iteration=on_iteration,
             )
+        elif params.multilevel_levels > 1:
+            from repro.core.multilevel import multilevel_place
+
+            start = time.perf_counter()
+            with trace_span("stage.gp",
+                            multilevel=params.multilevel_levels) as span:
+                gp_result = multilevel_place(
+                    db, params, fences=self.fences,
+                    on_iteration=on_iteration, resume_state=resume_state,
+                )
+                if span is not None:
+                    span["iterations"] = gp_result.iterations
+                    span["converged"] = gp_result.converged
+                    span["levels"] = len(gp_result.levels or ())
+            times.global_place = time.perf_counter() - start
+            route_info = None
         else:
             start = time.perf_counter()
             with trace_span("stage.gp") as span:
@@ -188,6 +207,7 @@ class DreamPlacer:
             recoveries=gp_result.recoveries,
             diverged=gp_result.diverged,
             best_hpwl=gp_result.best_hpwl,
+            gp_levels=gp_result.levels,
         )
 
     # ------------------------------------------------------------------

@@ -2,6 +2,8 @@
 
 from repro.netlist.hypergraph import Netlist, CellKind
 from repro.netlist.database import PlacementDB
+from repro.netlist.coarsen import CoarseLevel, coarsen
 from repro.netlist.validate import validate_db
 
-__all__ = ["Netlist", "CellKind", "PlacementDB", "validate_db"]
+__all__ = ["Netlist", "CellKind", "PlacementDB", "CoarseLevel",
+           "coarsen", "validate_db"]

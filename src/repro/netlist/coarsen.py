@@ -1,0 +1,325 @@
+"""Deterministic hypergraph coarsening for multilevel placement.
+
+Heavy-edge matching in the hMetis/DG-RePlAce tradition, specialized
+for the placement problem:
+
+- only *movable* cells are ever clustered; fixed cells and terminals
+  stay singleton clusters with their exact geometry and position, so
+  the coarse problem sees the same blockage/IO landscape;
+- a pair is matchable only if both cells have the same height (std
+  cells cluster within their row family, macros never absorb a std
+  cell) and the same fence membership (a cluster must be legal in
+  exactly one region set);
+- connectivity rating is the classic ``weight / (degree - 1)`` sum
+  over shared nets, with very-high-degree nets skipped (they carry no
+  locality signal and would densify the candidate graph);
+- cluster geometry conserves area: equal-height members concatenate
+  horizontally (``width = sum of widths``), members sit centered in
+  the cluster so every fine cell has an exact lower-left offset
+  (``member_dx/dy``) inside its cluster.  Pin offsets are rebased by
+  that member offset, which makes prolongation *exact*: placing the
+  cluster and expanding members reproduces every pin position the
+  coarse wirelength model optimized.
+
+Everything is a pure function of the database (ties break on the
+lowest cell index), so two processes that coarsen the same netlist
+build bit-identical levels — the property the mid-cascade
+checkpoint/resume path relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.netlist.database import PlacementDB
+
+#: nets above this degree are ignored while *rating* pairs (the
+#: candidate graph stays sparse); they are still carried — exactly,
+#: with their weights — into the coarse database
+MATCH_DEGREE_CAP = 16
+
+
+@dataclass
+class CoarseLevel:
+    """One coarsening step: fine database -> clustered database.
+
+    ``cluster_of[i]`` is the coarse cell holding fine cell ``i`` and
+    ``member_dx/dy[i]`` its lower-left offset inside that cluster, so
+
+    ``fine_x = coarse_x[cluster_of] + member_dx``
+
+    is the exact prolongation (fixed cells keep their own stored
+    positions; their singleton clusters never move).
+    """
+
+    fine: PlacementDB
+    db: PlacementDB
+    cluster_of: np.ndarray
+    member_dx: np.ndarray
+    member_dy: np.ndarray
+    fences: Optional[list] = None
+
+    @property
+    def identity(self) -> bool:
+        """True when no cells merged (``db`` *is* the fine database)."""
+        return self.db is self.fine
+
+    def prolong(self, x: np.ndarray, y: np.ndarray):
+        """Expand coarse cluster positions to fine cell positions."""
+        fx = np.asarray(x, dtype=np.float64)[self.cluster_of] + self.member_dx
+        fy = np.asarray(y, dtype=np.float64)[self.cluster_of] + self.member_dy
+        fixed = ~self.fine.movable
+        fx[fixed] = self.fine.cell_x[fixed]
+        fy[fixed] = self.fine.cell_y[fixed]
+        return fx, fy
+
+    def restrict(self, x: np.ndarray, y: np.ndarray):
+        """Project fine positions to clusters (area-weighted centers)."""
+        fine = self.fine
+        area = fine.cell_area
+        cx = np.asarray(x, dtype=np.float64) + 0.5 * fine.cell_width
+        cy = np.asarray(y, dtype=np.float64) + 0.5 * fine.cell_height
+        num = self.db.num_cells
+        mass = np.bincount(self.cluster_of, weights=area, minlength=num)
+        mass = np.maximum(mass, 1e-12)
+        gx = np.bincount(self.cluster_of, weights=area * cx,
+                         minlength=num) / mass
+        gy = np.bincount(self.cluster_of, weights=area * cy,
+                         minlength=num) / mass
+        return (gx - 0.5 * self.db.cell_width,
+                gy - 0.5 * self.db.cell_height)
+
+
+def _fence_ids(db: PlacementDB, fences) -> np.ndarray:
+    ids = np.full(db.num_cells, -1, dtype=np.int64)
+    if fences:
+        for i, fence in enumerate(fences):
+            ids[np.asarray(fence.cells, dtype=np.int64)] = i
+    return ids
+
+
+def _identity_level(db: PlacementDB, fences) -> CoarseLevel:
+    n = db.num_cells
+    return CoarseLevel(
+        fine=db, db=db,
+        cluster_of=np.arange(n, dtype=np.int64),
+        member_dx=np.zeros(n), member_dy=np.zeros(n),
+        fences=fences,
+    )
+
+
+def _rate_pairs(db: PlacementDB, fence_id: np.ndarray):
+    """All matchable cell pairs with their summed heavy-edge rating.
+
+    Emits, for every net with ``2 <= degree <= MATCH_DEGREE_CAP``, all
+    unordered pin-cell pairs rated ``net_weight / (degree - 1)``, then
+    aggregates duplicate pairs.  Fully vectorized by grouping nets of
+    equal degree (there are only ~CAP distinct degrees).
+    """
+    deg = db.net_degree
+    lo_parts, hi_parts, w_parts = [], [], []
+    for d in np.unique(deg):
+        d = int(d)
+        if d < 2 or d > MATCH_DEGREE_CAP:
+            continue
+        nets = np.flatnonzero(deg == d)
+        # pin cells of these nets as a (num_nets_d, d) matrix
+        idx = db.net2pin_start[nets][:, None] + np.arange(d)[None, :]
+        cells = db.pin_cell[db.net2pin[idx]]
+        iu, ju = np.triu_indices(d, k=1)
+        a = cells[:, iu].ravel()
+        b = cells[:, ju].ravel()
+        rating = np.repeat(db.net_weight[nets] / (d - 1), iu.shape[0])
+        lo_parts.append(np.minimum(a, b))
+        hi_parts.append(np.maximum(a, b))
+        w_parts.append(rating)
+    if not lo_parts:
+        return (np.empty(0, np.int64), np.empty(0, np.int64),
+                np.empty(0, np.float64))
+    lo = np.concatenate(lo_parts)
+    hi = np.concatenate(hi_parts)
+    w = np.concatenate(w_parts)
+    ok = (
+        (lo != hi)
+        & db.movable[lo] & db.movable[hi]
+        & (db.cell_height[lo] == db.cell_height[hi])
+        & (fence_id[lo] == fence_id[hi])
+    )
+    lo, hi, w = lo[ok], hi[ok], w[ok]
+    # aggregate duplicate pairs (same two cells on several nets)
+    key = lo * np.int64(db.num_cells) + hi
+    uniq, inverse = np.unique(key, return_inverse=True)
+    score = np.bincount(inverse, weights=w, minlength=uniq.shape[0])
+    lo = (uniq // db.num_cells).astype(np.int64)
+    hi = (uniq % db.num_cells).astype(np.int64)
+    return lo, hi, score
+
+
+def _greedy_match(db: PlacementDB, lo, hi, score,
+                  max_area: float, max_merges: int) -> np.ndarray:
+    """Greedy maximal matching over pairs sorted by descending rating.
+
+    Ties break on the lowest (lo, hi) index pair, making the matching
+    a pure function of the database.  ``match[i]`` is the partner of
+    cell ``i`` or ``-1``.
+    """
+    order = np.lexsort((hi, lo, -score))
+    area = db.cell_area
+    match = np.full(db.num_cells, -1, dtype=np.int64)
+    merges = 0
+    for k in order:
+        if merges >= max_merges:
+            break
+        u = int(lo[k])
+        v = int(hi[k])
+        if match[u] != -1 or match[v] != -1:
+            continue
+        if area[u] + area[v] > max_area:
+            continue
+        match[u] = v
+        match[v] = u
+        merges += 1
+    return match
+
+
+def _contract(db: PlacementDB, match: np.ndarray,
+              fences) -> Optional[CoarseLevel]:
+    """Build the clustered database for one matching pass.
+
+    Returns ``None`` when the matching is empty (no progress).  Coarse
+    cells are numbered by their lowest fine member index, so the
+    movable/fixed interleaving of the fine database is preserved and
+    the construction is order-deterministic.
+    """
+    if (match < 0).all():
+        return None
+    n = db.num_cells
+    rep = np.where((match >= 0) & (match < np.arange(n)),
+                   match, np.arange(n))
+    reps = np.unique(rep)  # sorted ascending -> coarse index order
+    cluster_of = np.searchsorted(reps, rep).astype(np.int64)
+    num = reps.shape[0]
+
+    paired = reps[match[reps] >= 0]          # reps of two-cell clusters
+    partner = match[paired]
+
+    width = db.cell_width[reps].copy()
+    height = db.cell_height[reps].copy()
+    # equal heights concatenate horizontally: width adds, area is
+    # conserved exactly (w_u*h + w_v*h == (w_u+w_v)*h up to rounding)
+    width[cluster_of[paired]] += db.cell_width[partner]
+
+    names = [db.cell_names[r] for r in reps]
+    for r, p in zip(cluster_of[paired], partner):
+        names[r] = f"{names[r]}+{db.cell_names[p]}"
+
+    # members concatenate left-to-right inside their cluster (rep
+    # first): the coarse pin geometry is then *exactly* the fine pin
+    # geometry of the side-by-side arrangement, and prolongation
+    # expands a cluster into an overlap-free row of its members.  A
+    # singleton's offset is exactly zero, keeping identity clusters'
+    # pin geometry bit-exact.
+    member_dx = np.zeros(n)
+    member_dx[partner] = db.cell_width[paired]
+    member_dy = 0.5 * (height[cluster_of] - db.cell_height)
+
+    # one pin per (net, cluster): internal pins of a merged pair
+    # collapse, with the surviving offset the mean of the members'
+    p_cluster = cluster_of[db.pin_cell]
+    p_off_x = member_dx[db.pin_cell] + db.pin_offset_x
+    p_off_y = member_dy[db.pin_cell] + db.pin_offset_y
+    key = db.pin_net * np.int64(num) + p_cluster
+    uniq, inverse, counts = np.unique(key, return_inverse=True,
+                                      return_counts=True)
+    pin_net = (uniq // num).astype(np.int64)
+    pin_cell = (uniq % num).astype(np.int64)
+    pin_off_x = np.bincount(inverse, weights=p_off_x) / counts
+    pin_off_y = np.bincount(inverse, weights=p_off_y) / counts
+    net2pin_start = np.concatenate(([0], np.cumsum(
+        np.bincount(pin_net, minlength=db.num_nets)))).astype(np.int64)
+
+    coarse = PlacementDB(
+        name=f"{db.name}@coarse",
+        region=db.region,
+        cell_names=names,
+        cell_width=width,
+        cell_height=height,
+        cell_x=db.cell_x[reps].copy(),
+        cell_y=db.cell_y[reps].copy(),
+        movable=db.movable[reps].copy(),
+        terminal=db.terminal[reps].copy(),
+        net_names=list(db.net_names),
+        net_weight=db.net_weight.copy(),
+        net2pin_start=net2pin_start,
+        pin_cell=pin_cell,
+        pin_net=pin_net,
+        pin_offset_x=pin_off_x,
+        pin_offset_y=pin_off_y,
+    )
+
+    coarse_fences = None
+    if fences:
+        from repro.core.fence import FenceRegion
+
+        coarse_fences = [
+            FenceRegion(
+                f.name, f.xl, f.yl, f.xh, f.yh,
+                cells=sorted(set(
+                    int(cluster_of[c]) for c in f.cells
+                )),
+            )
+            for f in fences
+        ]
+    return CoarseLevel(
+        fine=db, db=coarse, cluster_of=cluster_of,
+        member_dx=member_dx, member_dy=member_dy, fences=coarse_fences,
+    )
+
+
+def _compose(outer: CoarseLevel, inner: CoarseLevel) -> CoarseLevel:
+    """Fuse two stacked coarsening passes into one fine->coarse map."""
+    return CoarseLevel(
+        fine=outer.fine,
+        db=inner.db,
+        cluster_of=inner.cluster_of[outer.cluster_of],
+        member_dx=outer.member_dx + inner.member_dx[outer.cluster_of],
+        member_dy=outer.member_dy + inner.member_dy[outer.cluster_of],
+        fences=inner.fences,
+    )
+
+
+def coarsen(db: PlacementDB, ratio: float, fences=None,
+            max_passes: int = 8) -> CoarseLevel:
+    """Coarsen until ``num_movable <= ratio * db.num_movable``.
+
+    Runs heavy-edge matching passes (each at most halves the movable
+    count) until the target is met, matching stalls, or ``max_passes``
+    is exhausted.  ``ratio >= 1`` (or a stalled first pass) returns
+    the exact identity level: ``level.db is db``, so downstream
+    placement is bit-identical to the uncoarsened flow.
+    """
+    if ratio >= 1.0 or db.num_movable == 0:
+        return _identity_level(db, fences)
+    target = max(int(np.ceil(ratio * db.num_movable)), 1)
+    level = _identity_level(db, fences)
+    for _ in range(max_passes):
+        cur = level.db
+        if cur.num_movable <= target:
+            break
+        fence_id = _fence_ids(cur, level.fences)
+        lo, hi, score = _rate_pairs(cur, fence_id)
+        if lo.shape[0] == 0:
+            break
+        # a cluster may not exceed twice its fair share of the target
+        # movable area (keeps density locally representable)
+        max_area = 2.0 * cur.total_movable_area / target
+        match = _greedy_match(cur, lo, hi, score, max_area,
+                              max_merges=cur.num_movable - target)
+        step = _contract(cur, match, level.fences)
+        if step is None:
+            break
+        level = step if level.identity else _compose(level, step)
+    return level

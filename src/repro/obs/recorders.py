@@ -17,6 +17,7 @@ from repro.obs.metrics import RATIO_BUCKETS, MetricsRegistry
 
 #: canonical series names (one place, so dashboards never chase renames)
 GP_ITERATIONS = "repro_gp_iterations_total"
+GP_LEVEL_ITERATIONS = "repro_gp_level_iterations"
 GP_ITERATION_SECONDS = "repro_gp_iteration_seconds"
 GP_OVERFLOW = "repro_gp_overflow"
 GP_HPWL_DELTA = "repro_gp_hpwl_rel_delta"
@@ -63,6 +64,13 @@ class IterationRecorder:
         now = self._monotonic()
         reg.counter(GP_ITERATIONS,
                     help="GP iterations executed").inc()
+        level = info.get("level")
+        if level is not None:
+            # multilevel cascade: per-level iteration counters (the
+            # label keeps the flat-run series shape unchanged)
+            reg.counter(GP_LEVEL_ITERATIONS,
+                        help="GP iterations per cascade level",
+                        level=str(level)).inc()
         reg.histogram(GP_ITERATION_SECONDS,
                       help="wall time per GP iteration").observe(
             max(now - self._last_t, 0.0))

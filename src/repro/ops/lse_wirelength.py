@@ -152,13 +152,15 @@ class LogSumExpWirelength(Module):
 
     def __init__(self, db: PlacementDB, gamma: float = 1.0,
                  dtype=np.float64, pooled: bool = True,
-                 workspace: Workspace | None = None):
+                 workspace: Workspace | None = None,
+                 ignore_net_degree: int = 0):
         if (np.diff(db.net2pin_start) < 1).any():
             raise ValueError("LSE wirelength requires every net to have pins")
         self.gamma = float(gamma)
         self.dtype = np.dtype(dtype)
         self.num_cells = db.num_cells
         self.pooled = bool(pooled)
+        self.ignore_net_degree = int(ignore_net_degree)
         self.ws = workspace if workspace is not None else (
             Workspace() if pooled else NullWorkspace()
         )

@@ -528,6 +528,16 @@ def _build_pin_precompute(op, db: PlacementDB) -> None:
     op.pin_offset_x_sorted = db.pin_offset_x[order].astype(op.dtype)
     op.pin_offset_y_sorted = db.pin_offset_y[order].astype(op.dtype)
     op.net_weight = db.net_weight.astype(op.dtype)
+    # high-fanout filter (DREAMPlace's ignore_net_degree): zeroing the
+    # weight here removes the net from the smooth-wirelength *gradient*
+    # on every dataflow — pooled, reference, and the captured-tape
+    # replay all derive their weights from these hoisted arrays — while
+    # reported HPWL (db.hpwl) keeps its own unmasked weights
+    limit = int(getattr(op, "ignore_net_degree", 0) or 0)
+    if limit > 0:
+        op.net_weight = np.where(
+            db.net_degree <= limit, op.net_weight, 0.0
+        ).astype(op.dtype)
     op.net_of_pin = np.repeat(
         np.arange(db.num_nets, dtype=np.int64), db.net_degree
     )
@@ -569,11 +579,15 @@ class WeightedAverageWirelength(Module):
     workspace:
         Optional externally owned :class:`Workspace` (to share pools
         across ops); defaults to a private one.
+    ignore_net_degree:
+        Mask nets with more pins than this out of the gradient
+        (0 = keep every net, the default).
     """
 
     def __init__(self, db: PlacementDB, gamma: float = 1.0,
                  strategy: str = "merged", dtype=np.float64,
-                 pooled: bool = True, workspace: Workspace | None = None):
+                 pooled: bool = True, workspace: Workspace | None = None,
+                 ignore_net_degree: int = 0):
         if strategy not in STRATEGIES:
             raise ValueError(
                 f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
@@ -585,6 +599,7 @@ class WeightedAverageWirelength(Module):
         self.dtype = np.dtype(dtype)
         self.num_cells = db.num_cells
         self.pooled = bool(pooled)
+        self.ignore_net_degree = int(ignore_net_degree)
         self.ws = workspace if workspace is not None else (
             Workspace() if pooled else NullWorkspace()
         )

@@ -286,10 +286,12 @@ def _execute_job(spec: JobSpec, store: RunStore,
             nonlocal seen_recoveries
             record_iteration(placer, info)
             handle.touch_lease()
+            extra = ({"level": info["level"]} if "level" in info else {})
             handle.events.emit(
                 EventType.ITERATION,
                 iteration=info["iteration"], hpwl=info["hpwl"],
                 overflow=info["overflow"], status=info["status"],
+                **extra,
             )
             if info["recoveries"] > seen_recoveries:
                 seen_recoveries = info["recoveries"]

@@ -1,0 +1,228 @@
+"""Coarsening invariants: area, connectivity, fences, exactness.
+
+The multilevel cascade is only sound if the coarsener preserves the
+quantities global placement optimizes: total movable area (density),
+pin connectivity and net weights (wirelength), fence membership
+(region legality).  Ratio-1 coarsening must be the *identity* — the
+coarse database is the fine database, so the flat flow is bit-exact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.benchgen import CircuitSpec, generate
+from repro.core import FenceRegion, GlobalPlacer, PlacementParams
+from repro.netlist import CellKind, Netlist, coarsen
+from repro.netlist.coarsen import MATCH_DEGREE_CAP
+
+
+def _design(num_cells=400, seed=3, **kw):
+    return generate(CircuitSpec(name=f"coarse{seed}", num_cells=num_cells,
+                                num_ios=16, seed=seed, **kw))
+
+
+class TestCoarsenInvariants:
+    def test_movable_area_conserved(self):
+        db = _design()
+        level = coarsen(db, 0.4)
+        assert level.db.num_movable < db.num_movable
+        assert np.isclose(level.db.total_movable_area,
+                          db.total_movable_area, rtol=1e-12)
+        # per-cluster: area of the cluster equals its members' sum
+        area = np.bincount(level.cluster_of, weights=db.cell_area,
+                           minlength=level.db.num_cells)
+        assert np.allclose(area, level.db.cell_area, rtol=1e-12)
+
+    def test_fixed_and_terminal_cells_stay_singletons(self):
+        db = _design(num_cells=300, num_macros=3, macro_area_fraction=0.2)
+        level = coarsen(db, 0.4)
+        fixed = np.flatnonzero(~db.movable)
+        clusters = level.cluster_of[fixed]
+        # each fixed fine cell is alone in its cluster...
+        sizes = np.bincount(level.cluster_of)
+        assert (sizes[clusters] == 1).all()
+        # ...with identical geometry, position and kind
+        assert np.array_equal(level.db.cell_x[clusters], db.cell_x[fixed])
+        assert np.array_equal(level.db.cell_y[clusters], db.cell_y[fixed])
+        assert np.array_equal(level.db.cell_width[clusters],
+                              db.cell_width[fixed])
+        assert not level.db.movable[clusters].any()
+        assert np.array_equal(level.db.terminal[clusters],
+                              db.terminal[fixed])
+
+    def test_net_weights_and_connectivity_preserved(self):
+        db = _design()
+        level = coarsen(db, 0.4)
+        coarse = level.db
+        # nets map one-to-one, weights untouched
+        assert coarse.num_nets == db.num_nets
+        assert np.array_equal(coarse.net_weight, db.net_weight)
+        # every net touches exactly the clusters of its fine cells
+        for net in range(db.num_nets):
+            fine_cells = db.pin_cell[db.net_pins(net)]
+            coarse_cells = coarse.pin_cell[coarse.net_pins(net)]
+            assert set(coarse_cells) == set(level.cluster_of[fine_cells])
+            # pins deduplicate per (net, cluster): no repeats
+            assert len(set(coarse_cells)) == len(coarse_cells)
+
+    def test_prolongation_is_exact_interpolation(self):
+        db = _design()
+        level = coarsen(db, 0.4)
+        rng = np.random.default_rng(0)
+        cx = rng.uniform(0, 50, level.db.num_cells)
+        cy = rng.uniform(0, 50, level.db.num_cells)
+        fx, fy = level.prolong(cx, cy)
+        movable = db.movable
+        assert np.array_equal(
+            fx[movable], cx[level.cluster_of[movable]]
+            + level.member_dx[movable])
+        assert np.array_equal(
+            fy[movable], cy[level.cluster_of[movable]]
+            + level.member_dy[movable])
+        # fixed cells ignore the cluster coordinates entirely
+        assert np.array_equal(fx[~movable], db.cell_x[~movable])
+        assert np.array_equal(fy[~movable], db.cell_y[~movable])
+        # members never extend past their cluster footprint
+        cluster_w = level.db.cell_width[level.cluster_of]
+        assert (level.member_dx + db.cell_width
+                <= cluster_w + 1e-9).all()
+
+    def test_coarse_pin_geometry_matches_expanded_fine(self):
+        """The coarse wirelength model is exact: a cluster pin sits
+        where the member's pin sits after prolongation."""
+        db = _design()
+        level = coarsen(db, 0.4)
+        coarse = level.db
+        fx, fy = level.prolong(coarse.cell_x, coarse.cell_y)
+        fine_px = fx[db.pin_cell] + db.pin_offset_x
+        fine_py = fy[db.pin_cell] + db.pin_offset_y
+        coarse_px = (coarse.cell_x[coarse.pin_cell]
+                     + coarse.pin_offset_x)
+        # merged (net, cluster) pins average their member offsets, so
+        # compare per-net bounding boxes built from per-pin positions:
+        # every coarse pin must lie inside the fine span of its net
+        for net in range(db.num_nets):
+            fine = fine_px[db.net_pins(net)]
+            cps = coarse_px[coarse.net_pins(net)]
+            assert (cps >= fine.min() - 1e-9).all()
+            assert (cps <= fine.max() + 1e-9).all()
+        del fine_py
+
+    def test_fence_membership_never_mixed(self):
+        db = _design(num_cells=300)
+        fences = [
+            FenceRegion("L", 0, 0, 25, 50, cells=list(range(100))),
+            FenceRegion("R", 25, 0, 50, 50, cells=list(range(100, 200))),
+        ]
+        level = coarsen(db, 0.4, fences=fences)
+        fence_id = np.full(db.num_cells, -1)
+        fence_id[:100] = 0
+        fence_id[100:200] = 1
+        for cluster in range(level.db.num_cells):
+            members = np.flatnonzero(level.cluster_of == cluster)
+            assert len(set(fence_id[members])) == 1
+        # remapped fences partition the clusters the same way
+        assert level.fences is not None
+        left = set(level.fences[0].cells)
+        right = set(level.fences[1].cells)
+        assert left.isdisjoint(right)
+        assert left == set(level.cluster_of[:100])
+        assert right == set(level.cluster_of[100:200])
+
+    def test_equal_height_matching_only(self):
+        db = _design(num_cells=300, num_macros=2, macro_area_fraction=0.15,
+                     movable_macros=True)
+        level = coarsen(db, 0.4)
+        heights = np.zeros(level.db.num_cells)
+        for cluster in range(level.db.num_cells):
+            members = np.flatnonzero(level.cluster_of == cluster)
+            assert len(set(db.cell_height[members])) == 1
+            heights[cluster] = db.cell_height[members[0]]
+        assert np.array_equal(level.db.cell_height, heights)
+
+    def test_deterministic(self):
+        db = _design()
+        a = coarsen(db, 0.4)
+        b = coarsen(db.clone(), 0.4)
+        assert np.array_equal(a.cluster_of, b.cluster_of)
+        assert np.array_equal(a.member_dx, b.member_dx)
+        assert np.array_equal(a.db.pin_offset_x, b.db.pin_offset_x)
+        assert a.db.fingerprint() == b.db.fingerprint()
+
+    def test_high_degree_nets_carried_but_not_rated(self):
+        netlist = Netlist("fanout")
+        for i in range(40):
+            netlist.add_cell(f"c{i}", 1.0, 1.0, CellKind.MOVABLE)
+        # one net touching every cell (degree 40 > MATCH_DEGREE_CAP)
+        netlist.add_net("big", [(i, 0.5, 0.5) for i in range(40)])
+        assert 40 > MATCH_DEGREE_CAP
+        from repro.geometry import PlacementRegion
+
+        db = netlist.compile(PlacementRegion(0, 0, 20, 20))
+        level = coarsen(db, 0.5)
+        # no pair shares a ratable net -> nothing merges (identity)
+        assert level.identity
+        # ...but with a small net added, its pair merges and the big
+        # net still reaches every surviving cluster with its weight
+        netlist.add_net("small", [(0, 0.5, 0.5), (1, 0.5, 0.5)])
+        db2 = netlist.compile(PlacementRegion(0, 0, 20, 20))
+        level2 = coarsen(db2, 0.9)
+        assert level2.db.num_movable == 39
+        big = level2.db.net_pins(0)
+        assert len(big) == 39  # deduped where the pair merged
+        assert np.array_equal(level2.db.net_weight, db2.net_weight)
+
+
+class TestRatioOneIdentity:
+    def test_identity_level_is_the_same_database(self):
+        db = _design()
+        level = coarsen(db, 1.0)
+        assert level.identity
+        assert level.db is db
+        assert np.array_equal(level.cluster_of, np.arange(db.num_cells))
+        assert (level.member_dx == 0).all()
+        assert (level.member_dy == 0).all()
+
+    def test_ratio_one_places_bit_identically(self):
+        db = _design(num_cells=200)
+        level = coarsen(db, 1.0)
+        params = PlacementParams(max_global_iters=40, min_global_iters=5)
+        a = GlobalPlacer(db.clone(), params).place()
+        b = GlobalPlacer(level.db.clone(), params).place()
+        assert np.array_equal(a.x, b.x)
+        assert np.array_equal(a.y, b.y)
+        assert a.hpwl == b.hpwl
+
+    def test_prolong_through_identity_is_passthrough(self):
+        db = _design(num_cells=150)
+        level = coarsen(db, 1.0)
+        x, y = db.positions()
+        fx, fy = level.prolong(x, y)
+        assert np.array_equal(fx, x)
+        assert np.array_equal(fy, y)
+
+
+class TestCoarsenRatios:
+    @pytest.mark.parametrize("ratio", [0.25, 0.4, 0.6])
+    def test_target_ratio_met_or_stalled(self, ratio):
+        db = _design(num_cells=600)
+        level = coarsen(db, ratio)
+        target = int(np.ceil(ratio * db.num_movable))
+        # heavy-edge matching halves per pass; the target is reached
+        # unless matching stalls, and never overshot by construction
+        assert level.db.num_movable >= target
+        assert level.db.num_movable <= max(target, db.num_movable // 2)
+
+    def test_restrict_round_trip(self):
+        db = _design(num_cells=200)
+        level = coarsen(db, 0.4)
+        rng = np.random.default_rng(1)
+        cx = rng.uniform(0, 40, level.db.num_cells)
+        cy = rng.uniform(0, 40, level.db.num_cells)
+        fx, fy = level.prolong(cx, cy)
+        rx, ry = level.restrict(fx, fy)
+        # restriction of a prolonged movable placement recovers the
+        # cluster positions (members sit exactly in their footprint)
+        mov = level.db.movable
+        assert np.allclose(rx[mov], cx[mov], atol=1e-9)
+        assert np.allclose(ry[mov], cy[mov], atol=1e-9)

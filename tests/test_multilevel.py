@@ -1,0 +1,193 @@
+"""Multilevel cascade: bit-identity, warm-start wins, resume, masking."""
+
+import numpy as np
+import pytest
+
+from repro.benchgen import CircuitSpec, generate
+from repro.core import GlobalPlacer, PlacementParams
+from repro.core.multilevel import build_levels, multilevel_place
+from repro.nn import Parameter, Tensor
+from repro.netlist import CellKind, Netlist
+from repro.ops.wa_wirelength import WeightedAverageWirelength
+
+
+def _design(num_cells=1200, seed=7):
+    return generate(CircuitSpec(name=f"ml{num_cells}", num_cells=num_cells,
+                                num_ios=32, seed=seed))
+
+
+def _params(**kw):
+    kw.setdefault("seed", 5)
+    kw.setdefault("max_global_iters", 300)
+    return PlacementParams(**kw)
+
+
+class TestLevelsOneIsFlat:
+    def test_bit_identical_to_flat_placer(self):
+        db = _design(num_cells=400)
+        params = _params(multilevel_levels=1)
+        flat = GlobalPlacer(db.clone(), params).place()
+        ml = multilevel_place(db.clone(), params)
+        assert np.array_equal(ml.x, flat.x)
+        assert np.array_equal(ml.y, flat.y)
+        assert ml.hpwl == flat.hpwl
+        assert ml.iterations == flat.iterations
+        assert len(ml.levels) == 1
+        assert ml.levels[0]["level"] == 0
+
+    def test_build_levels_respects_min_cells(self):
+        db = _design(num_cells=400)
+        params = _params(multilevel_levels=4, multilevel_min_cells=400)
+        levels = build_levels(db, params)
+        assert len(levels) == 1  # already at/below the floor
+
+        params = _params(multilevel_levels=3, multilevel_min_cells=64,
+                         coarsen_ratio=0.4)
+        levels = build_levels(db, params)
+        assert len(levels) == 3
+        assert levels[0].identity
+        sizes = [lv.db.num_movable for lv in levels]
+        assert sizes[1] < sizes[0] and sizes[2] < sizes[1]
+
+
+class TestCascade:
+    def test_warm_fine_level_beats_cold_start(self):
+        db = _design(num_cells=1200)
+        params = _params(multilevel_levels=2, coarsen_ratio=0.35)
+        cold = GlobalPlacer(db.clone(), params).place()
+        ml = multilevel_place(db.clone(), params)
+
+        assert ml.converged
+        assert len(ml.levels) == 2
+        fine = next(i for i in ml.levels if i["level"] == 0)
+        coarse = next(i for i in ml.levels if i["level"] == 1)
+        # warm-started refinement needs fewer fine iterations than the
+        # cold start needed on the same problem
+        assert fine["iterations"] < cold.iterations
+        assert coarse["cells"] < fine["cells"]
+        # total work is the sum over levels
+        assert ml.iterations == (fine["iterations"]
+                                 + coarse["iterations"])
+        # sane quality: warm-started result in the same ballpark
+        assert ml.hpwl < 1.25 * cold.hpwl
+        assert ml.overflow <= params.stop_overflow + 1e-9
+
+    def test_iteration_hook_sees_levels(self):
+        db = _design(num_cells=1200)
+        params = _params(multilevel_levels=2)
+        seen = []
+
+        def hook(placer, info):
+            seen.append((info["level"], info["num_levels"],
+                         info["iteration"]))
+
+        multilevel_place(db.clone(), params, on_iteration=hook)
+        levels_seen = {lv for lv, _, _ in seen}
+        assert levels_seen == {0, 1}
+        assert all(n == 2 for _, n, _ in seen)
+        # coarse level runs first
+        assert seen[0][0] == 1
+        assert seen[-1][0] == 0
+
+
+class TestMidCascadeResume:
+    @pytest.mark.parametrize("capture_level,capture_iter",
+                             [(1, 8), (0, 6)])
+    def test_checkpoint_resume_bit_exact(self, capture_level, capture_iter):
+        db = _design(num_cells=1200)
+        params = _params(multilevel_levels=2)
+
+        state = {}
+
+        def capture_hook(placer, info):
+            if (info["level"] == capture_level
+                    and info["iteration"] == capture_iter
+                    and not state):
+                state.update(placer.capture_loop_state())
+
+        ref = multilevel_place(db.clone(), params,
+                               on_iteration=capture_hook)
+        assert state, "checkpoint hook never fired"
+        assert state["multilevel_level"] == capture_level
+
+        resumed = multilevel_place(db.clone(), params, resume_state=state)
+        assert np.array_equal(resumed.x, ref.x)
+        assert np.array_equal(resumed.y, ref.y)
+        assert resumed.hpwl == ref.hpwl
+        assert resumed.iterations == ref.iterations
+        assert resumed.levels == ref.levels
+
+    def test_mismatched_checkpoint_rejected(self):
+        db = _design(num_cells=1200)
+        params = _params(multilevel_levels=2)
+        with pytest.raises(ValueError, match="outside the rebuilt"):
+            multilevel_place(db.clone(), params,
+                             resume_state={"multilevel_level": 7})
+        with pytest.raises(ValueError, match="not the one"):
+            multilevel_place(
+                db.clone(), params,
+                resume_state={"multilevel_level": 1,
+                              "multilevel_cells": 3},
+            )
+
+
+class TestIgnoreNetDegree:
+    def _fanout_db(self):
+        netlist = Netlist("fan")
+        for i in range(8):
+            netlist.add_cell(f"c{i}", 1.0, 1.0, CellKind.MOVABLE,
+                             x=float(i), y=float(i % 3))
+        netlist.add_net("pair", [(0, 0.5, 0.5), (1, 0.5, 0.5)])
+        netlist.add_net("clk", [(i, 0.5, 0.5) for i in range(8)])
+        from repro.geometry import PlacementRegion
+
+        return netlist.compile(PlacementRegion(0, 0, 16, 16))
+
+    def test_high_degree_net_masked_from_gradient(self):
+        db = self._fanout_db()
+        pos = np.concatenate([db.cell_x, db.cell_y])
+
+        masked = WeightedAverageWirelength(db, gamma=0.5,
+                                           ignore_net_degree=4)
+        # reference: zero the clk net's weight by hand
+        db_ref = db.clone()
+        db_ref.net_weight[1] = 0.0
+        ref = WeightedAverageWirelength(db_ref, gamma=0.5)
+
+        p1 = Parameter(pos.copy())
+        masked(p1).backward()
+        p2 = Parameter(pos.copy())
+        ref(p2).backward()
+        assert np.allclose(p1.grad, p2.grad)
+
+        # the masked op's value drops the clk net entirely...
+        full = WeightedAverageWirelength(db, gamma=0.5)
+        assert masked(Tensor(pos.copy())).item() \
+            < full(Tensor(pos.copy())).item()
+        # ...but the database (and thus reported HPWL) is untouched
+        assert db.net_weight[1] == 1.0
+
+    def test_reported_hpwl_still_counts_masked_nets(self):
+        db = _design(num_cells=400)
+        deg = db.net_degree
+        limit = int(np.percentile(deg, 90))
+        assert (deg > limit).any(), "design has no high-degree nets"
+
+        params = _params(ignore_net_degree=limit, max_global_iters=60)
+        result = GlobalPlacer(db.clone(), params).place()
+        # result.hpwl is the full weighted HPWL over every net
+        check = db.clone()
+        assert result.hpwl == pytest.approx(
+            check.hpwl(result.x, result.y))
+
+    def test_end_to_end_gradient_masking_changes_trajectory(self):
+        db = _design(num_cells=400)
+        deg = db.net_degree
+        limit = int(np.percentile(deg, 90))
+        a = GlobalPlacer(db.clone(),
+                         _params(max_global_iters=40)).place()
+        b = GlobalPlacer(
+            db.clone(),
+            _params(max_global_iters=40, ignore_net_degree=limit),
+        ).place()
+        assert not np.array_equal(a.x, b.x)

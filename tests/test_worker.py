@@ -165,6 +165,59 @@ class TestWorkerDeath:
                 == _comparable_metrics(
                     os.path.join(out.directory, "metrics.json"))
 
+    def test_sigkilled_multilevel_cascade_resumes_bit_exact(
+            self, tmp_path, aux_design, monkeypatch):
+        """Kill -9 a worker mid-cascade; the checkpoint records the
+        active level and the resumed run finishes bit-exact."""
+        sentinel = str(tmp_path / "killed.sentinel")
+        monkeypatch.setenv(KILL_SWITCH_ENV, f"15:{sentinel}")
+
+        def ml_spec() -> JobSpec:
+            return JobSpec(
+                design=DesignRef.parse(aux_design),
+                params=PlacementParams(
+                    max_global_iters=60, min_global_iters=5,
+                    multilevel_levels=2, coarsen_ratio=0.5,
+                    multilevel_min_cells=16,
+                ),
+                stages=("gp",),
+            )
+
+        store = RunStore(str(tmp_path / "store"))
+        scheduler = Scheduler(store, cache=ResultCache(store),
+                              workers=2, max_retries=1, backoff=0.01,
+                              checkpoint_every=10)
+        scheduler.submit_sweep(ml_spec(), {"seed": [1, 2]})
+        outcomes = scheduler.run()
+        assert os.path.exists(sentinel)
+        assert len(outcomes) == 2 and all(o.ok for o in outcomes)
+
+        resumed = [o for o in outcomes if o.resumed_from is not None]
+        assert len(resumed) == 1
+        assert resumed[0].resumed_from == 10
+        events = os.path.join(resumed[0].directory, "events.jsonl")
+        assert list(read_events(events, type="resume"))
+        # iteration telemetry is stamped with the cascade level
+        iters = list(read_events(events, type="iteration"))
+        assert {e["level"] for e in iters} == {0, 1}
+
+        # the cascade made it into the metrics, one entry per level
+        metrics = _comparable_metrics(
+            os.path.join(resumed[0].directory, "metrics.json"))
+        assert [info["level"] for info in metrics["gp_levels"]] == [1, 0]
+
+        # bit-exact equivalence with an uninterrupted serial run
+        monkeypatch.delenv(KILL_SWITCH_ENV)
+        ref_store = RunStore(str(tmp_path / "ref"))
+        ref = Scheduler(ref_store, cache=ResultCache(ref_store))
+        ref.submit_sweep(ml_spec(), {"seed": [1, 2]})
+        for ref_out, out in zip(ref.run(), outcomes):
+            assert ref_out.job_hash == out.job_hash
+            assert _comparable_metrics(
+                os.path.join(ref_out.directory, "metrics.json")) \
+                == _comparable_metrics(
+                    os.path.join(out.directory, "metrics.json"))
+
 
 class TestWorkerPlumbing:
     def test_outcome_payload_drops_live_result(self):
